@@ -1,0 +1,145 @@
+// E6 — Figure 4: "A snapshot of the simulation at z = 0 (present time).
+// Particles in a 45 Mpc x 45 Mpc x 2.5 Mpc box are plotted."
+//
+// We run the scaled cosmological sphere to z = 0 with the grape-tree
+// engine and render the same kind of slab projection (dimensions scaled to
+// this run's sphere radius, i.e. 0.9 R x 0.9 R x 0.05 R like the paper's
+// 45 x 45 x 2.5 out of R = 50). Output: ASCII art on stdout and a PGM
+// image next to the binary, plus clustering summary statistics that show
+// structure actually formed (the point of the figure).
+//
+//   ./bench_e6_figure4 [--grid 32] [--steps 48] [--pgm figure4.pgm]
+
+#include <cmath>
+#include <cstdio>
+
+#include "core/engines.hpp"
+#include "core/render.hpp"
+#include "core/simulation.hpp"
+#include "ic/zeldovich.hpp"
+#include "model/units.hpp"
+#include "util/options.hpp"
+#include "util/stats.hpp"
+
+int main(int argc, char** argv) {
+  using namespace g5;
+  util::Options opt(argc, argv);
+
+  ic::CosmologicalSphereConfig cc;
+  cc.grid_n = static_cast<std::size_t>(opt.get_int("grid", 32));
+  while ((cc.grid_n & (cc.grid_n - 1)) != 0) ++cc.grid_n;
+  const auto icr = ic::make_cosmological_sphere(cc);
+  model::ParticleSet pset = icr.particles;
+  const double G = model::gravitational_constant();
+  for (auto& m : pset.mass()) m *= G;
+
+  core::ForceParams fp;
+  const double spacing = icr.box_size / static_cast<double>(cc.grid_n);
+  fp.eps = 0.05 * spacing;
+  fp.theta = 0.75;
+  fp.n_crit = static_cast<std::uint32_t>(opt.get_int("ncrit", 256));
+  auto engine = core::make_engine(opt.get_string("engine", "grape-tree"), fp);
+
+  core::SimulationConfig sc;
+  sc.steps = static_cast<std::uint64_t>(opt.get_int("steps", 48));
+  const model::Cosmology cosmo(cc.cosmo);
+  sc.dt_schedule = cosmo.log_a_timesteps(icr.a_start, 1.0, sc.steps);
+  sc.log_every = 0;
+
+  std::printf("E6: Figure 4 — z=0 slab projection "
+              "(N=%zu, %llu steps, z=24 -> 0, engine=%s)\n",
+              pset.size(), static_cast<unsigned long long>(sc.steps),
+              engine->name().data());
+
+  // Clustering measure: rms density contrast on a coarse mesh over the
+  // *comoving* central cube (expansion removed via the scale factor; only
+  // cells inside the initial sphere count, so geometry does not pollute
+  // the statistic).
+  auto rms_contrast = [&](const model::ParticleSet& ps, double a) {
+    const int m = 8;
+    std::vector<double> cell(static_cast<std::size_t>(m * m * m), 0.0);
+    // Central cube inscribed in the sphere (comoving half-width R/sqrt(3)).
+    const double h = icr.sphere_radius / std::sqrt(3.0);
+    std::size_t inside = 0;
+    for (const auto& p : ps.pos()) {
+      const double u = (p.x / a + h) / (2.0 * h),
+                   v = (p.y / a + h) / (2.0 * h),
+                   w = (p.z / a + h) / (2.0 * h);
+      if (u < 0 || u >= 1 || v < 0 || v >= 1 || w < 0 || w >= 1) continue;
+      const auto iu = static_cast<int>(u * m), iv = static_cast<int>(v * m),
+                 iw = static_cast<int>(w * m);
+      cell[static_cast<std::size_t>((iu * m + iv) * m + iw)] += 1.0;
+      ++inside;
+    }
+    const double mean = static_cast<double>(inside) /
+                        static_cast<double>(cell.size());
+    if (mean <= 0.0) return 0.0;
+    double sum2 = 0.0;
+    for (double c : cell) {
+      const double d = c / mean - 1.0;
+      sum2 += d * d;
+    }
+    return std::sqrt(sum2 / static_cast<double>(cell.size()));
+  };
+  const double contrast0 = rms_contrast(pset, icr.a_start);
+
+  core::Simulation sim(*engine, sc);
+  const auto summary = sim.run(pset);
+  const double contrast1 = rms_contrast(pset, 1.0);
+
+  // The paper plots the central 45 x 45 x 2.5 Mpc of the 100 Mpc-diameter
+  // sphere: half-width 0.45 R in-plane, half-depth 0.025 R.
+  const double r = icr.sphere_radius;
+  core::SlabConfig slab;
+  slab.axis = 2;
+  slab.lo0 = -0.45 * r;
+  slab.hi0 = -slab.lo0;
+  slab.lo1 = slab.lo0;
+  slab.hi1 = slab.hi0;
+  slab.slab_lo = -0.025 * r;
+  slab.slab_hi = 0.025 * r;
+  slab.width = 96;
+  slab.height = 48;
+  const core::SlabImage img(slab, pset);
+
+  std::printf("\nslab %.1f x %.1f x %.1f Mpc (paper: 45 x 45 x 2.5 of "
+              "R = 50):\n%s\n", slab.hi0 - slab.lo0, slab.hi1 - slab.lo1,
+              slab.slab_hi - slab.slab_lo, img.ascii().c_str());
+
+  const std::string pgm = opt.get_string("pgm", "figure4.pgm");
+  img.write_pgm(pgm);
+  std::printf("wrote %s (%zux%zu, %llu particles in slab, peak cell %llu)\n",
+              pgm.c_str(), img.config().width, img.config().height,
+              static_cast<unsigned long long>(img.particles_in_slab()),
+              static_cast<unsigned long long>(img.peak_count()));
+
+  // At the paper's N = 2.16e6 the 5%-depth slab holds thousands of
+  // particles; at this bench's scaled N it holds only tens, so also render
+  // a thicker slab (30 % depth) that shows the morphology at this N.
+  core::SlabConfig thick = slab;
+  thick.lo0 = -0.8 * r;
+  thick.hi0 = 0.8 * r;
+  thick.lo1 = -0.8 * r;
+  thick.hi1 = 0.8 * r;
+  thick.slab_lo = -0.15 * r;
+  thick.slab_hi = 0.15 * r;
+  const core::SlabImage img2(thick, pset);
+  std::printf("\nthicker slab for this N (%.1f x %.1f x %.1f Mpc, %llu "
+              "particles):\n%s",
+              thick.hi0 - thick.lo0, thick.hi1 - thick.lo1,
+              thick.slab_hi - thick.slab_lo,
+              static_cast<unsigned long long>(img2.particles_in_slab()),
+              img2.ascii().c_str());
+
+  std::printf("\nclustering growth: rms cell-density contrast %.2f (z=24) "
+              "-> %.2f (z=0)\n", contrast0, contrast1);
+  std::printf("energy drift over the run: %.2e\n", summary.energy_drift);
+  std::printf(
+      "\nscale caveat: at this miniature radius (R = %.0f Mpc vs the "
+      "paper's 50) the z=0 rms\nbulk displacement (~8 Mpc comoving) is "
+      "comparable to R, so large-scale flows disperse\npart of the sphere "
+      "— the paper-scale run keeps its identity (displacement/R ~ 0.2).\n"
+      "Raise --grid to watch the slab fill in.\n",
+      r);
+  return 0;
+}

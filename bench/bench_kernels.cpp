@@ -1,0 +1,230 @@
+// E8 — kernel-level microbenchmarks (google-benchmark): the building
+// blocks whose costs the models in core/perf.hpp abstract. Useful for
+// porting the calibration to a new host.
+
+#include <benchmark/benchmark.h>
+
+#include <map>
+#include <vector>
+
+#include "core/analysis.hpp"
+#include "grape/cycle_sim.hpp"
+#include "grape/driver.hpp"
+#include "grape/host_reference.hpp"
+#include "ic/plummer.hpp"
+#include "ic/uniform.hpp"
+#include "math/fft.hpp"
+#include "math/lns.hpp"
+#include "math/morton.hpp"
+#include "math/rng.hpp"
+#include "tree/groupwalk.hpp"
+#include "tree/tree.hpp"
+
+namespace {
+
+using namespace g5;
+using grape::Vec3d;
+
+const model::ParticleSet& cached_plummer(std::size_t n) {
+  static std::map<std::size_t, model::ParticleSet> cache;
+  auto it = cache.find(n);
+  if (it == cache.end()) {
+    ic::PlummerConfig pc;
+    pc.n = n;
+    pc.seed = 31;
+    it = cache.emplace(n, ic::make_plummer(pc)).first;
+  }
+  return it->second;
+}
+
+void BM_TreeBuild(benchmark::State& state) {
+  const auto& pset = cached_plummer(static_cast<std::size_t>(state.range(0)));
+  tree::BhTree tree;
+  for (auto _ : state) {
+    tree.build(pset);
+    benchmark::DoNotOptimize(tree.node_count());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_TreeBuild)->Arg(1024)->Arg(8192)->Arg(32768);
+
+void BM_WalkOriginal(benchmark::State& state) {
+  const auto& pset = cached_plummer(static_cast<std::size_t>(state.range(0)));
+  tree::BhTree tree;
+  tree.build(pset);
+  tree::InteractionList list;
+  const tree::WalkConfig wc{0.75};
+  std::size_t i = 0;
+  for (auto _ : state) {
+    tree::walk_original(tree, tree.sorted_pos()[i % pset.size()], wc, list);
+    benchmark::DoNotOptimize(list.size());
+    ++i;
+  }
+}
+BENCHMARK(BM_WalkOriginal)->Arg(8192)->Arg(32768);
+
+void BM_WalkGroup(benchmark::State& state) {
+  const auto& pset = cached_plummer(8192);
+  tree::BhTree tree;
+  tree.build(pset);
+  const auto groups = tree::collect_groups(
+      tree, tree::GroupConfig{static_cast<std::uint32_t>(state.range(0))});
+  tree::InteractionList list;
+  const tree::WalkConfig wc{0.75};
+  std::size_t g = 0;
+  for (auto _ : state) {
+    tree::walk_group(tree, groups[g % groups.size()], wc, list);
+    benchmark::DoNotOptimize(list.size());
+    ++g;
+  }
+}
+BENCHMARK(BM_WalkGroup)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_HostKernel(benchmark::State& state) {
+  const auto& pset = cached_plummer(static_cast<std::size_t>(state.range(0)));
+  const std::size_t n = pset.size();
+  std::vector<Vec3d> acc(n);
+  std::vector<double> pot(n);
+  for (auto _ : state) {
+    grape::host_forces_on_targets(
+        std::span<const Vec3d>(pset.pos().data(), 256), pset.pos(),
+        pset.mass(), 0.01, std::span<Vec3d>(acc.data(), 256),
+        std::span<double>(pot.data(), 256));
+    benchmark::DoNotOptimize(acc[0]);
+  }
+  state.SetItemsProcessed(state.iterations() * 256 *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_HostKernel)->Arg(4096)->Arg(16384);
+
+void BM_PipelineEmulation(benchmark::State& state) {
+  grape::PipelineNumerics num;
+  num.exact_arithmetic = state.range(0) != 0;
+  grape::Pipeline pipe(num);
+  grape::PipelineScaling scaling;
+  scaling.range_lo = -2.0;
+  scaling.range_hi = 2.0;
+  scaling.eps = 0.01;
+  scaling.force_quantum = 1e-16;
+  scaling.potential_quantum = 1e-16;
+  pipe.configure(scaling);
+  math::Rng rng(3);
+  std::vector<grape::JWord> js;
+  for (int k = 0; k < 1024; ++k) {
+    js.push_back(pipe.encode_j(rng.in_unit_ball(), rng.uniform(0.5, 1.0)));
+  }
+  auto istate = pipe.encode_i(Vec3d{0.1, 0.2, 0.3});
+  for (auto _ : state) {
+    for (const auto& j : js) pipe.interact(istate, j);
+    benchmark::DoNotOptimize(istate);
+  }
+  state.SetItemsProcessed(state.iterations() * 1024);
+  state.SetLabel(num.exact_arithmetic ? "exact-arithmetic" : "lns-datapath");
+}
+BENCHMARK(BM_PipelineEmulation)->Arg(0)->Arg(1);
+
+void BM_LnsRoundTrip(benchmark::State& state) {
+  math::LnsFormat fmt(static_cast<int>(state.range(0)));
+  math::Rng rng(9);
+  std::vector<double> xs(1024);
+  for (auto& x : xs) x = rng.uniform(1e-6, 1e6);
+  for (auto _ : state) {
+    double sink = 0.0;
+    for (double x : xs) sink += fmt.quantize(x);
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_LnsRoundTrip)->Arg(8)->Arg(12);
+
+void BM_MortonEncode(benchmark::State& state) {
+  math::Rng rng(17);
+  std::vector<math::Vec3d> ps(1024);
+  for (auto& p : ps) p = rng.in_unit_ball();
+  const math::Vec3d lo{-1.0, -1.0, -1.0};
+  for (auto _ : state) {
+    std::uint64_t sink = 0;
+    for (const auto& p : ps) sink ^= math::morton_key(p, lo, 2.0);
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_MortonEncode);
+
+void BM_Fft3D(benchmark::State& state) {
+  math::Grid3C grid(static_cast<std::size_t>(state.range(0)));
+  grid.at(1, 2, 3) = math::Complex(1.0, 0.0);
+  for (auto _ : state) {
+    grid.forward();
+    grid.inverse();
+    benchmark::DoNotOptimize(grid.at(1, 2, 3));
+  }
+}
+BENCHMARK(BM_Fft3D)->Arg(16)->Arg(32);
+
+void BM_EvaluateListQuadrupole(benchmark::State& state) {
+  const bool quad = state.range(0) != 0;
+  const auto& pset = cached_plummer(8192);
+  tree::BhTree tree;
+  tree::TreeBuildConfig cfg;
+  cfg.quadrupole = quad;
+  tree.build(pset, cfg);
+  tree::InteractionList list;
+  tree::WalkConfig wc;
+  wc.use_quadrupole = quad;
+  tree::walk_original(tree, pset.pos()[0], wc, list);
+  Vec3d acc;
+  double pot;
+  const Vec3d target = pset.pos()[0];
+  for (auto _ : state) {
+    tree::evaluate_list_host(list, {&target, 1}, 0.01, {&acc, 1}, {&pot, 1});
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(list.size()));
+  state.SetLabel(quad ? "monopole+quadrupole" : "monopole");
+}
+BENCHMARK(BM_EvaluateListQuadrupole)->Arg(0)->Arg(1);
+
+void BM_CorrelationFunction(benchmark::State& state) {
+  const auto& pset = cached_plummer(static_cast<std::size_t>(state.range(0)));
+  core::CorrelationConfig cfg;
+  cfg.r_min = 0.05;
+  cfg.r_max = 2.0;
+  cfg.bins = 12;
+  for (auto _ : state) {
+    const auto xi = core::correlation_function(pset, cfg);
+    benchmark::DoNotOptimize(xi.xi[0]);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_CorrelationFunction)->Arg(4096)->Arg(16384);
+
+void BM_CycleSim(benchmark::State& state) {
+  const grape::SystemConfig cfg = grape::SystemConfig::paper_system();
+  for (auto _ : state) {
+    const auto r = grape::simulate_system_call(cfg, 2000, 13431);
+    benchmark::DoNotOptimize(r.seconds);
+  }
+}
+BENCHMARK(BM_CycleSim);
+
+void BM_GrapeForceCall(benchmark::State& state) {
+  const auto src = ic::make_uniform_cube(
+      static_cast<std::size_t>(state.range(0)), -1.0, 1.0, 1.0, 5);
+  grape::Grape5Device device;
+  device.set_range(-2.0, 2.0, src.mass()[0]);
+  device.set_eps(0.01);
+  device.set_j(src.pos(), src.mass());
+  std::vector<Vec3d> acc(128);
+  std::vector<double> pot(128);
+  for (auto _ : state) {
+    device.compute_forces(std::span<const Vec3d>(src.pos().data(), 128), acc,
+                          pot);
+    benchmark::DoNotOptimize(acc[0]);
+  }
+  state.SetItemsProcessed(state.iterations() * 128 * state.range(0));
+}
+BENCHMARK(BM_GrapeForceCall)->Arg(1024)->Arg(4096);
+
+}  // namespace

@@ -1,0 +1,109 @@
+// Two Plummer-sphere "galaxies" on a parabolic encounter, integrated with
+// the modified treecode on the emulated GRAPE-5. Tracks the separation of
+// the two density centers over time and renders the final state.
+//
+//   ./galaxy_collision [--n 4096] [--steps 150] [--dt 0.05]
+//                      [--pericenter 1.0] [--mass-ratio 1.0]
+
+#include <cstdio>
+#include <vector>
+
+#include "core/engines.hpp"
+#include "core/render.hpp"
+#include "core/simulation.hpp"
+#include "ic/galaxy.hpp"
+#include "util/options.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+g5::math::Vec3d mass_center(const g5::model::ParticleSet& pset,
+                            std::size_t first, std::size_t count) {
+  g5::math::Vec3d c{};
+  double m = 0.0;
+  for (std::size_t i = first; i < first + count; ++i) {
+    c += pset.mass()[i] * pset.pos()[i];
+    m += pset.mass()[i];
+  }
+  return m > 0.0 ? c / m : g5::math::Vec3d{};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace g5;
+  util::Options opt(argc, argv);
+
+  ic::GalaxyCollisionConfig gc;
+  gc.n_per_galaxy = static_cast<std::size_t>(opt.get_int("n", 4096)) / 2;
+  gc.pericenter = opt.get_double("pericenter", 1.0);
+  gc.mass_ratio = opt.get_double("mass-ratio", 1.0);
+  gc.initial_separation = opt.get_double("separation", 10.0);
+
+  ic::GalaxyCollisionResult icr = ic::make_galaxy_collision(gc);
+  model::ParticleSet& pset = icr.particles;
+
+  core::ForceParams fp;
+  fp.eps = opt.get_double("eps", 0.05);
+  fp.theta = opt.get_double("theta", 0.75);
+  fp.n_crit = static_cast<std::uint32_t>(opt.get_int("ncrit", 256));
+  auto engine = core::make_engine(opt.get_string("engine", "grape-tree"), fp);
+
+  core::SimulationConfig sc;
+  sc.dt = opt.get_double("dt", 0.05);
+  sc.steps = static_cast<std::uint64_t>(opt.get_int("steps", 150));
+  sc.log_every = static_cast<std::uint64_t>(opt.get_int("log-every", 50));
+
+  std::printf(
+      "galaxy collision: N=%zu (%zu + %zu), pericenter=%g, mass ratio=%g, "
+      "engine=%s\n",
+      pset.size(), icr.n_first, pset.size() - icr.n_first, gc.pericenter,
+      gc.mass_ratio, engine->name().data());
+
+  const std::size_t n1 = icr.n_first;
+  const std::size_t n2 = pset.size() - n1;
+  struct Sample {
+    double t;
+    double separation;
+  };
+  std::vector<Sample> track;
+  core::Simulation sim(*engine, sc);
+  const std::uint64_t sample_every =
+      static_cast<std::uint64_t>(opt.get_int("sample-every", 10));
+  sim.set_step_hook([&](std::uint64_t step, const model::ParticleSet& ps) {
+    if (step % sample_every != 0) return;
+    const auto c1 = mass_center(ps, 0, n1);
+    const auto c2 = mass_center(ps, n1, n2);
+    track.push_back({static_cast<double>(step) * sc.dt, (c2 - c1).norm()});
+  });
+
+  const core::SimulationSummary s = sim.run(pset);
+
+  util::Table t({"t", "center separation"});
+  for (const auto& sample : track) {
+    char tb[32], sb[32];
+    std::snprintf(tb, sizeof(tb), "%.2f", sample.t);
+    std::snprintf(sb, sizeof(sb), "%.3f", sample.separation);
+    t.add_row({tb, sb});
+  }
+  t.print();
+
+  std::printf("\nenergy drift: %s, interactions: %s, wall: %s\n",
+              util::sci(s.energy_drift).c_str(),
+              util::sci(static_cast<double>(s.engine.interactions)).c_str(),
+              util::human_seconds(s.wall_seconds).c_str());
+
+  core::SlabConfig slab;
+  slab.axis = 2;
+  slab.lo0 = -8.0;
+  slab.hi0 = 8.0;
+  slab.lo1 = -8.0;
+  slab.hi1 = 8.0;
+  slab.slab_lo = -2.0;
+  slab.slab_hi = 2.0;
+  slab.width = 72;
+  slab.height = 36;
+  const core::SlabImage img(slab, pset);
+  std::printf("\nfinal state (x-y projection):\n%s", img.ascii().c_str());
+  return 0;
+}

@@ -1,0 +1,298 @@
+#include "core/analysis.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "math/rng.hpp"
+
+namespace g5::core {
+
+namespace {
+
+/// Uniform-sphere pair-distance density: the probability density of the
+/// separation of two independent uniform points in a sphere of radius R,
+/// p(r) = (3 r^2 / R^3) (1 - 3r/(4R) + r^3/(16 R^3)),  0 <= r <= 2R.
+double uniform_sphere_pair_pdf(double r, double big_r) {
+  if (r < 0.0 || r > 2.0 * big_r) return 0.0;
+  const double x = r / big_r;
+  return 3.0 * x * x / big_r *
+         (1.0 - 0.75 * x + 0.0625 * x * x * x);
+}
+
+/// Integrate the pdf over [lo, hi] (Simpson on a fine grid).
+double uniform_sphere_pair_mass(double lo, double hi, double big_r) {
+  const int steps = 64;
+  const double h = (hi - lo) / steps;
+  double sum = 0.0;
+  for (int i = 0; i <= steps; ++i) {
+    const double w = (i == 0 || i == steps) ? 1.0 : (i % 2 == 1 ? 4.0 : 2.0);
+    sum += w * uniform_sphere_pair_pdf(lo + i * h, big_r);
+  }
+  return sum * h / 3.0;
+}
+
+/// Spatial hash on cells of size `cell`: key by integer cell coordinates.
+struct CellHash {
+  double cell;
+  std::unordered_map<std::uint64_t, std::vector<std::uint32_t>> map;
+
+  static std::uint64_t key(long ix, long iy, long iz) {
+    // Offset into positive range and pack 21 bits each.
+    const std::uint64_t bias = 1 << 20;
+    return ((static_cast<std::uint64_t>(ix + bias) & 0x1fffff) << 42) |
+           ((static_cast<std::uint64_t>(iy + bias) & 0x1fffff) << 21) |
+           (static_cast<std::uint64_t>(iz + bias) & 0x1fffff);
+  }
+  void insert(const Vec3d& p, std::uint32_t idx) {
+    map[key(static_cast<long>(std::floor(p.x / cell)),
+            static_cast<long>(std::floor(p.y / cell)),
+            static_cast<long>(std::floor(p.z / cell)))]
+        .push_back(idx);
+  }
+  template <typename Fn>
+  void for_neighbours(const Vec3d& p, Fn&& fn) const {
+    const long ix = static_cast<long>(std::floor(p.x / cell));
+    const long iy = static_cast<long>(std::floor(p.y / cell));
+    const long iz = static_cast<long>(std::floor(p.z / cell));
+    for (long dx = -1; dx <= 1; ++dx)
+      for (long dy = -1; dy <= 1; ++dy)
+        for (long dz = -1; dz <= 1; ++dz) {
+          const auto it = map.find(key(ix + dx, iy + dy, iz + dz));
+          if (it == map.end()) continue;
+          for (const auto idx : it->second) fn(idx);
+        }
+  }
+};
+
+}  // namespace
+
+CorrelationFunction correlation_function(const model::ParticleSet& pset,
+                                         const CorrelationConfig& config) {
+  if (!(config.r_max > config.r_min) || config.r_min <= 0.0) {
+    throw std::invalid_argument("need 0 < r_min < r_max");
+  }
+  if (config.bins == 0) throw std::invalid_argument("bins must be > 0");
+
+  CorrelationFunction out;
+  const Vec3d com = pset.center_of_mass();
+
+  // Sample sphere.
+  std::vector<double> radii;
+  radii.reserve(pset.size());
+  for (const auto& p : pset.pos()) radii.push_back((p - com).norm());
+  double sample_r = config.sample_radius;
+  if (sample_r <= 0.0) {
+    std::vector<double> sorted = radii;
+    std::nth_element(sorted.begin(), sorted.begin() + 9 * sorted.size() / 10,
+                     sorted.end());
+    sample_r = sorted[9 * sorted.size() / 10];
+  }
+  out.sample_radius = sample_r;
+
+  std::vector<Vec3d> sample;
+  for (std::size_t i = 0; i < pset.size(); ++i) {
+    if (radii[i] <= sample_r) sample.push_back(pset.pos()[i] - com);
+  }
+  out.n_used = sample.size();
+  if (sample.size() < 2) return out;
+
+  // Log bins.
+  const double lmin = std::log(config.r_min);
+  const double lmax = std::log(config.r_max);
+  out.r_lo.resize(config.bins);
+  out.r_hi.resize(config.bins);
+  out.pairs.assign(config.bins, 0);
+  for (std::size_t b = 0; b < config.bins; ++b) {
+    out.r_lo[b] = std::exp(lmin + (lmax - lmin) * static_cast<double>(b) /
+                           static_cast<double>(config.bins));
+    out.r_hi[b] = std::exp(lmin + (lmax - lmin) *
+                           static_cast<double>(b + 1) /
+                           static_cast<double>(config.bins));
+  }
+
+  // DD counts via a spatial hash of cell size r_max.
+  CellHash hash{config.r_max, {}};
+  for (std::uint32_t i = 0; i < sample.size(); ++i) {
+    hash.insert(sample[i], i);
+  }
+  const double r2max = config.r_max * config.r_max;
+  const double inv_dl = static_cast<double>(config.bins) / (lmax - lmin);
+  for (std::uint32_t i = 0; i < sample.size(); ++i) {
+    hash.for_neighbours(sample[i], [&](std::uint32_t j) {
+      if (j <= i) return;  // each pair once
+      const double r2 = (sample[i] - sample[j]).norm2();
+      if (r2 >= r2max || r2 <= 0.0) return;
+      const double r = std::sqrt(r2);
+      if (r < config.r_min) return;
+      auto b = static_cast<std::size_t>((std::log(r) - lmin) * inv_dl);
+      if (b >= config.bins) b = config.bins - 1;
+      ++out.pairs[b];
+    });
+  }
+
+  // Analytic Poisson expectation and xi.
+  const double npairs = 0.5 * static_cast<double>(sample.size()) *
+                        static_cast<double>(sample.size() - 1);
+  out.xi.resize(config.bins);
+  for (std::size_t b = 0; b < config.bins; ++b) {
+    const double rr =
+        npairs * uniform_sphere_pair_mass(out.r_lo[b], out.r_hi[b], sample_r);
+    out.xi[b] = rr > 0.0
+                    ? static_cast<double>(out.pairs[b]) / rr - 1.0
+                    : 0.0;
+  }
+  return out;
+}
+
+RadialProfile radial_profile(const model::ParticleSet& pset,
+                             const RadialProfileConfig& config) {
+  if (config.bins == 0) throw std::invalid_argument("bins must be > 0");
+  RadialProfile out;
+  const std::size_t n = pset.size();
+  out.r_lo.resize(config.bins);
+  out.r_hi.resize(config.bins);
+  out.count.assign(config.bins, 0);
+  out.density.assign(config.bins, 0.0);
+  out.mean_radial_vel.assign(config.bins, 0.0);
+  out.vel_dispersion.assign(config.bins, 0.0);
+  if (n == 0) return out;
+
+  const Vec3d com = pset.center_of_mass();
+  // Bulk velocity subtracted so dispersions are about the mean flow.
+  const Vec3d vbulk = pset.total_momentum() / pset.total_mass();
+
+  double r_max = config.r_max;
+  if (r_max <= 0.0) {
+    for (const auto& p : pset.pos()) {
+      r_max = std::max(r_max, (p - com).norm());
+    }
+    r_max *= 1.0 + 1e-12;
+  }
+  const double r_min_log = r_max * 1e-3;
+
+  auto bin_of = [&](double r) -> long {
+    if (config.log_bins) {
+      if (r < r_min_log) return 0;
+      const double t = std::log(r / r_min_log) / std::log(r_max / r_min_log);
+      return static_cast<long>(t * static_cast<double>(config.bins));
+    }
+    return static_cast<long>(r / r_max * static_cast<double>(config.bins));
+  };
+  for (std::size_t b = 0; b < config.bins; ++b) {
+    if (config.log_bins) {
+      const double step = std::log(r_max / r_min_log) /
+                          static_cast<double>(config.bins);
+      out.r_lo[b] = r_min_log * std::exp(step * static_cast<double>(b));
+      out.r_hi[b] = r_min_log * std::exp(step * static_cast<double>(b + 1));
+    } else {
+      out.r_lo[b] = r_max * static_cast<double>(b) /
+                    static_cast<double>(config.bins);
+      out.r_hi[b] = r_max * static_cast<double>(b + 1) /
+                    static_cast<double>(config.bins);
+    }
+  }
+
+  std::vector<double> shell_mass(config.bins, 0.0);
+  std::vector<Vec3d> shell_mom(config.bins);
+  for (std::size_t i = 0; i < n; ++i) {
+    const Vec3d d = pset.pos()[i] - com;
+    const double r = d.norm();
+    const long b = bin_of(r);
+    if (b < 0 || b >= static_cast<long>(config.bins)) continue;
+    const auto bi = static_cast<std::size_t>(b);
+    const double m = pset.mass()[i];
+    ++out.count[bi];
+    shell_mass[bi] += m;
+    const Vec3d v = pset.vel()[i] - vbulk;
+    shell_mom[bi] += m * v;
+    if (r > 0.0) out.mean_radial_vel[bi] += m * v.dot(d) / r;
+  }
+  // Dispersion pass (about each shell's mean velocity).
+  std::vector<Vec3d> shell_vmean(config.bins);
+  for (std::size_t b = 0; b < config.bins; ++b) {
+    if (shell_mass[b] > 0.0) {
+      shell_vmean[b] = shell_mom[b] / shell_mass[b];
+      out.mean_radial_vel[b] /= shell_mass[b];
+    }
+  }
+  std::vector<double> disp(config.bins, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const Vec3d d = pset.pos()[i] - com;
+    const long b = bin_of(d.norm());
+    if (b < 0 || b >= static_cast<long>(config.bins)) continue;
+    const auto bi = static_cast<std::size_t>(b);
+    const Vec3d dv = pset.vel()[i] - vbulk - shell_vmean[bi];
+    disp[bi] += pset.mass()[i] * dv.norm2();
+  }
+  for (std::size_t b = 0; b < config.bins; ++b) {
+    const double vol = 4.0 / 3.0 * M_PI *
+                       (out.r_hi[b] * out.r_hi[b] * out.r_hi[b] -
+                        out.r_lo[b] * out.r_lo[b] * out.r_lo[b]);
+    out.density[b] = vol > 0.0 ? shell_mass[b] / vol : 0.0;
+    out.vel_dispersion[b] =
+        shell_mass[b] > 0.0 ? std::sqrt(disp[b] / shell_mass[b]) : 0.0;
+    out.total_mass += shell_mass[b];
+  }
+  return out;
+}
+
+std::vector<double> lagrangian_radii(const model::ParticleSet& pset,
+                                     const std::vector<double>& fractions) {
+  std::vector<double> out;
+  if (pset.empty()) {
+    out.assign(fractions.size(), 0.0);
+    return out;
+  }
+  const Vec3d com = pset.center_of_mass();
+  // Sort (radius, mass) pairs.
+  std::vector<std::pair<double, double>> rm;
+  rm.reserve(pset.size());
+  for (std::size_t i = 0; i < pset.size(); ++i) {
+    rm.emplace_back((pset.pos()[i] - com).norm(), pset.mass()[i]);
+  }
+  std::sort(rm.begin(), rm.end());
+  const double total = pset.total_mass();
+  out.reserve(fractions.size());
+  for (double f : fractions) {
+    if (!(f > 0.0) || f > 1.0) {
+      throw std::invalid_argument("fractions must be in (0, 1]");
+    }
+    double cum = 0.0;
+    double radius = rm.back().first;
+    for (const auto& [r, m] : rm) {
+      cum += m;
+      if (cum >= f * total) {
+        radius = r;
+        break;
+      }
+    }
+    out.push_back(radius);
+  }
+  return out;
+}
+
+double mean_nearest_neighbour(const model::ParticleSet& pset,
+                              std::size_t probes, std::uint64_t seed) {
+  const std::size_t n = pset.size();
+  if (n < 2 || probes == 0) return 0.0;
+  math::Rng rng(seed);
+  double sum = 0.0;
+  std::size_t used = 0;
+  for (std::size_t k = 0; k < probes; ++k) {
+    const std::size_t i = rng.uniform_index(n);
+    double best2 = std::numeric_limits<double>::infinity();
+    for (std::size_t j = 0; j < n; ++j) {
+      if (j == i) continue;
+      best2 = std::min(best2, (pset.pos()[i] - pset.pos()[j]).norm2());
+    }
+    if (std::isfinite(best2)) {
+      sum += std::sqrt(best2);
+      ++used;
+    }
+  }
+  return used > 0 ? sum / static_cast<double>(used) : 0.0;
+}
+
+}  // namespace g5::core

@@ -1,0 +1,134 @@
+#include "core/blockstep.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace g5::core {
+
+BlockTimestepIntegrator::BlockTimestepIntegrator(const BlockStepConfig& config)
+    : cfg_(config) {
+  if (!(cfg_.dt_max > 0.0)) throw std::invalid_argument("dt_max must be > 0");
+  if (cfg_.max_rungs < 1 || cfg_.max_rungs > 24) {
+    throw std::invalid_argument("max_rungs must be in [1, 24]");
+  }
+  if (!(cfg_.eta > 0.0)) throw std::invalid_argument("eta must be > 0");
+  stats_.rung_population.assign(static_cast<std::size_t>(cfg_.max_rungs), 0);
+}
+
+int BlockTimestepIntegrator::rung_for(const math::Vec3d& acc,
+                                      double eps) const {
+  const double a = acc.norm();
+  if (a <= 0.0) return 0;
+  // dt = eta sqrt(eps / |a|); fall back to a velocity-free scale when the
+  // softening is zero (use dt_max itself as the reference length scale).
+  const double scale = eps > 0.0 ? eps : cfg_.dt_max;
+  const double dt_want = cfg_.eta * std::sqrt(scale / a);
+  int rung = 0;
+  double dt = cfg_.dt_max;
+  while (dt > dt_want && rung < cfg_.max_rungs - 1) {
+    dt *= 0.5;
+    ++rung;
+  }
+  return rung;
+}
+
+void BlockTimestepIntegrator::prime(model::ParticleSet& pset,
+                                    ForceEngine& engine) {
+  engine.compute(pset);
+  rungs_.resize(pset.size());
+  for (std::size_t i = 0; i < pset.size(); ++i) {
+    rungs_[i] = rung_for(pset.acc()[i], engine.params().eps);
+  }
+  primed_ = true;
+}
+
+void BlockTimestepIntegrator::step_block(model::ParticleSet& pset,
+                                         ForceEngine& engine) {
+  if (!primed_) {
+    throw std::logic_error("BlockTimestepIntegrator::prime before step_block");
+  }
+  if (pset.size() != rungs_.size()) {
+    throw std::logic_error("particle count changed since prime()");
+  }
+  const std::size_t n = pset.size();
+  const int deepest = cfg_.max_rungs - 1;
+  const std::uint64_t substeps = std::uint64_t{1} << deepest;
+  const double dt_min = cfg_.dt_max / static_cast<double>(substeps);
+
+  auto& pos = pset.pos();
+  auto& vel = pset.vel();
+  auto& acc = pset.acc();
+  const double eps = engine.params().eps;
+
+  auto dt_of = [&](int rung) {
+    return cfg_.dt_max / static_cast<double>(std::uint64_t{1} << rung);
+  };
+  auto due_at = [&](std::size_t i, std::uint64_t k) {
+    // Particle i is due at substep k when k is a multiple of its stride.
+    const std::uint64_t stride = std::uint64_t{1}
+                                 << (deepest - rungs_[i]);
+    return k % stride == 0;
+  };
+
+  std::vector<std::uint32_t> due;
+  due.reserve(n);
+
+  // Opening half-kick for everyone (all particles are due at k = 0).
+  for (std::size_t i = 0; i < n; ++i) {
+    vel[i] += 0.5 * dt_of(rungs_[i]) * acc[i];
+  }
+
+  for (std::uint64_t k = 1; k <= substeps; ++k) {
+    // Drift everyone by dt_min: positions stay synchronized.
+    for (std::size_t i = 0; i < n; ++i) pos[i] += dt_min * vel[i];
+    ++stats_.substeps;
+
+    // Particles due at time k*dt_min close their step: new force, closing
+    // half-kick, rung update, and (unless the block ends) opening
+    // half-kick of the next step.
+    due.clear();
+    for (std::size_t i = 0; i < n; ++i) {
+      if (due_at(i, k)) due.push_back(static_cast<std::uint32_t>(i));
+    }
+    if (due.empty()) continue;
+    if (due.size() == n) {
+      engine.compute(pset);  // full set: let the engine use grouped lists
+    } else {
+      engine.compute_targets(pset, due);
+    }
+    stats_.force_updates += due.size();
+
+    const bool block_end = (k == substeps);
+    for (const std::uint32_t i : due) {
+      vel[i] += 0.5 * dt_of(rungs_[i]) * acc[i];
+      // Rung changes: deepen any time; shallower only at aligned times
+      // (a particle may move to rung r only when k*dt_min is a multiple
+      // of dt_max / 2^r).
+      const int want = rung_for(acc[i], eps);
+      int next = rungs_[i];
+      if (want > next) {
+        next = want;
+      } else if (want < next) {
+        while (next > want) {
+          const std::uint64_t stride = std::uint64_t{1}
+                                       << (deepest - (next - 1));
+          if (k % stride != 0) break;
+          --next;
+        }
+      }
+      rungs_[i] = next;
+      if (!block_end) {
+        vel[i] += 0.5 * dt_of(rungs_[i]) * acc[i];
+      }
+    }
+  }
+
+  ++stats_.blocks;
+  stats_.shared_equivalent += n * substeps;
+  for (std::size_t i = 0; i < n; ++i) {
+    ++stats_.rung_population[static_cast<std::size_t>(rungs_[i])];
+  }
+}
+
+}  // namespace g5::core

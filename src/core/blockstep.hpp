@@ -1,0 +1,76 @@
+// Hierarchical block (individual) timesteps.
+//
+// The paper's run advances every particle with one shared timestep — the
+// natural choice for the grouped treecode, where one interaction list
+// serves many targets. Individual timesteps are the classic refinement
+// the GRAPE family used for collisional dynamics (GRAPE-4): each particle
+// gets a power-of-two subdivision dt_max / 2^rung chosen from a local
+// criterion, and only the particles due at a substep have their forces
+// recomputed — the rest coast on their last kick.
+//
+// Scheme: the synchronized block KDK. One block = dt_max. With R the
+// deepest rung in use, the block runs 2^R substeps of dt_min; at substep
+// boundaries the due particles (those with k * dt_min a multiple of their
+// dt_i) close their previous kick, get fresh forces and open the next.
+// All particles drift every substep, so force evaluations always see a
+// synchronized position set. Rungs may change only when a particle is
+// due (standard block-step rule; rung decreases are limited to
+// block-aligned times to keep the hierarchy consistent).
+//
+// The timestep criterion is the standard collisionless choice
+// dt_i = eta * sqrt(eps / |a_i|), quantized down to the nearest rung.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "model/particles.hpp"
+
+namespace g5::core {
+
+struct BlockStepConfig {
+  double dt_max = 0.01;   ///< top-of-hierarchy (block) step
+  int max_rungs = 4;      ///< rungs 0..max_rungs-1; dt_min = dt_max/2^(R-1)
+  double eta = 0.1;       ///< accuracy parameter of the dt criterion
+};
+
+struct BlockStepStats {
+  std::uint64_t blocks = 0;
+  std::uint64_t force_updates = 0;   ///< per-particle force recomputations
+  std::uint64_t substeps = 0;
+  /// Histogram of rung occupancy sampled at the end of each block.
+  std::vector<std::uint64_t> rung_population;
+  /// Equivalent shared-step force updates for the same span (N * 2^(R-1)
+  /// per block) — the saving factor is force_updates / this.
+  std::uint64_t shared_equivalent = 0;
+};
+
+class BlockTimestepIntegrator {
+ public:
+  explicit BlockTimestepIntegrator(const BlockStepConfig& config);
+
+  /// Compute initial forces and rungs. Call before the first block.
+  void prime(model::ParticleSet& pset, ForceEngine& engine);
+
+  /// Advance one full block (dt_max). Forces valid on return.
+  void step_block(model::ParticleSet& pset, ForceEngine& engine);
+
+  [[nodiscard]] const BlockStepStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] const std::vector<int>& rungs() const noexcept {
+    return rungs_;
+  }
+  [[nodiscard]] const BlockStepConfig& config() const noexcept {
+    return cfg_;
+  }
+
+ private:
+  BlockStepConfig cfg_;
+  BlockStepStats stats_;
+  std::vector<int> rungs_;
+  bool primed_ = false;
+
+  [[nodiscard]] int rung_for(const math::Vec3d& acc, double eps) const;
+};
+
+}  // namespace g5::core

@@ -1,0 +1,24 @@
+#include "core/diagnostics.hpp"
+
+#include <cmath>
+
+namespace g5::core {
+
+ConservationReport diagnose(const model::ParticleSet& pset) {
+  ConservationReport r;
+  r.energy.kinetic = pset.kinetic_energy();
+  r.energy.potential = pset.potential_energy_from_pot();
+  r.momentum = pset.total_momentum();
+  r.angular_momentum = pset.total_angular_momentum();
+  r.center_of_mass = pset.center_of_mass();
+  return r;
+}
+
+double relative_energy_drift(const EnergyReport& now,
+                             const EnergyReport& initial) {
+  const double e0 = initial.total();
+  if (e0 == 0.0) return std::fabs(now.total());
+  return std::fabs((now.total() - e0) / e0);
+}
+
+}  // namespace g5::core

@@ -1,0 +1,34 @@
+// Conserved-quantity diagnostics used by tests, examples and the
+// simulation driver's per-step log.
+#pragma once
+
+#include "model/particles.hpp"
+
+namespace g5::core {
+
+struct EnergyReport {
+  double kinetic = 0.0;
+  double potential = 0.0;  ///< 0.5 sum m_i pot_i (pot filled by an engine)
+  [[nodiscard]] double total() const { return kinetic + potential; }
+  /// |2K/W| — 1 for a virialized system.
+  [[nodiscard]] double virial_ratio() const {
+    return potential != 0.0 ? -2.0 * kinetic / potential : 0.0;
+  }
+};
+
+struct ConservationReport {
+  EnergyReport energy;
+  math::Vec3d momentum{};
+  math::Vec3d angular_momentum{};
+  math::Vec3d center_of_mass{};
+};
+
+/// Snapshot diagnostics; requires pot() to be current (engine.compute ran
+/// on the current positions).
+ConservationReport diagnose(const model::ParticleSet& pset);
+
+/// Relative energy drift |(E - E0) / E0| guarded against E0 == 0.
+double relative_energy_drift(const EnergyReport& now,
+                             const EnergyReport& initial);
+
+}  // namespace g5::core

@@ -1,0 +1,79 @@
+// ForceEngine: the backend abstraction of the simulation core.
+//
+// Four implementations reproduce the paper's design space:
+//   * HostDirectEngine — O(N^2) direct summation in double on the host;
+//   * HostTreeEngine   — Barnes-Hut on the host (original per-particle
+//                        walk, or Barnes' modified grouped walk);
+//   * GrapeDirectEngine— O(N^2) with the force loop on emulated GRAPE-5;
+//   * GrapeTreeEngine  — the paper's system: modified treecode with the
+//                        interaction lists evaluated on emulated GRAPE-5.
+//
+// Every engine fills acc() and pot() of the ParticleSet (G = 1 units;
+// potential excludes the self term) and keeps per-phase wall-clock and
+// work statistics for the benches.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+#include "model/particles.hpp"
+#include "tree/walk.hpp"
+
+namespace g5::core {
+
+/// Knobs shared by the engines (subset used depends on the backend).
+struct ForceParams {
+  double eps = 0.01;          ///< Plummer softening
+  double theta = 0.75;        ///< tree opening angle
+  std::uint32_t n_crit = 256; ///< group size bound (modified algorithm)
+  std::uint32_t leaf_max = 8; ///< tree leaf capacity
+  tree::Mac mac = tree::Mac::Edge;  ///< acceptance criterion variant
+  /// Quadrupole moments for accepted cells. Host tree engines only — the
+  /// GRAPE pipelines evaluate point masses, which is exactly the ablation:
+  /// host accuracy per list entry vs hardware throughput.
+  bool quadrupole = false;
+};
+
+/// Per-engine cumulative statistics (reset with reset_stats()).
+struct EngineStats {
+  std::uint64_t evaluations = 0;     ///< compute() calls
+  std::uint64_t interactions = 0;    ///< pairwise interactions evaluated
+  tree::WalkStats walk;              ///< tree engines only
+  double seconds_total = 0.0;        ///< host wall clock, whole compute()
+  double seconds_tree_build = 0.0;
+  double seconds_walk = 0.0;         ///< traversal + list packing
+  double seconds_kernel = 0.0;       ///< force kernel (host) or emulator wall
+  std::uint64_t groups = 0;          ///< interaction lists shipped
+};
+
+class ForceEngine {
+ public:
+  explicit ForceEngine(const ForceParams& params) : params_(params) {}
+  virtual ~ForceEngine() = default;
+  ForceEngine(const ForceEngine&) = delete;
+  ForceEngine& operator=(const ForceEngine&) = delete;
+
+  [[nodiscard]] virtual std::string_view name() const = 0;
+
+  /// Fill pset.acc() and pset.pot() from pset.pos()/mass().
+  virtual void compute(model::ParticleSet& pset) = 0;
+
+  /// Fill acc()/pot() for the given target indices ONLY (other entries
+  /// must be left untouched — the block-timestep integrator relies on
+  /// this). Sources are always the full set.
+  virtual void compute_targets(model::ParticleSet& pset,
+                               std::span<const std::uint32_t> targets) = 0;
+
+  [[nodiscard]] const EngineStats& stats() const noexcept { return stats_; }
+  virtual void reset_stats() { stats_ = EngineStats{}; }
+
+  [[nodiscard]] const ForceParams& params() const noexcept { return params_; }
+  void set_params(const ForceParams& params) { params_ = params; }
+
+ protected:
+  ForceParams params_;
+  EngineStats stats_;
+};
+
+}  // namespace g5::core

@@ -1,0 +1,142 @@
+#include "core/engines.hpp"
+
+#include <stdexcept>
+
+#include "util/timer.hpp"
+
+namespace g5::core {
+
+GrapeTreeEngine::GrapeTreeEngine(const ForceParams& params,
+                                 std::shared_ptr<grape::Grape5Device> device)
+    : ForceEngine(params), device_(std::move(device)) {
+  if (!device_) throw std::invalid_argument("grape device is null");
+}
+
+void GrapeTreeEngine::compute(model::ParticleSet& pset) {
+  util::Stopwatch total;
+  const std::size_t n = pset.size();
+  pset.zero_force();
+  if (n == 0) return;
+
+  // Host phase 1: tree construction.
+  util::Stopwatch phase;
+  tree::TreeBuildConfig build_cfg;
+  build_cfg.leaf_max = params_.leaf_max;
+  tree_.build(pset, build_cfg);
+  stats_.seconds_tree_build += phase.lap();
+
+  // Hardware setup for this force phase: window from the current hull.
+  configure_device_window(*device_, pset, params_.eps);
+
+  const auto groups =
+      tree::collect_groups(tree_, tree::GroupConfig{params_.n_crit});
+  const tree::WalkConfig walk_cfg{params_.theta, params_.mac};
+  const auto& orig = tree_.original_index();
+
+  if (acc_sorted_.size() < n) {
+    acc_sorted_.resize(n);
+    pot_sorted_.resize(n);
+  }
+
+  // Per group: host builds the shared interaction list (phase 2), GRAPE
+  // evaluates it on the group members (phase 3), host scatters results.
+  for (const auto& group : groups) {
+    phase.restart();
+    tree::walk_group(tree_, group, walk_cfg, list_, &stats_.walk);
+    stats_.seconds_walk += phase.lap();
+
+    std::span<const math::Vec3d> targets(
+        tree_.sorted_pos().data() + group.first, group.count);
+    const auto before = device_->system().account();
+    device_->compute_forces_chunked(
+        targets, list_.pos, list_.mass,
+        std::span<math::Vec3d>(acc_sorted_.data() + group.first, group.count),
+        std::span<double>(pot_sorted_.data() + group.first, group.count));
+    const auto& after = device_->system().account();
+    stats_.interactions += after.interactions - before.interactions;
+    stats_.seconds_kernel += after.emulation_wall - before.emulation_wall;
+    ++stats_.groups;
+  }
+
+  // Scatter sorted-order results back to the caller's ordering.
+  for (std::size_t slot = 0; slot < n; ++slot) {
+    const std::uint32_t dst = orig[slot];
+    pset.acc()[dst] = acc_sorted_[slot];
+    pset.pot()[dst] = pot_sorted_[slot];
+  }
+
+  // The group's direct part includes each member itself; the pipeline's
+  // coincident-pair cut drops those self terms in hardware.
+
+  ++stats_.evaluations;
+  stats_.seconds_total += total.elapsed();
+}
+
+void GrapeTreeEngine::compute_targets(model::ParticleSet& pset,
+                                      std::span<const std::uint32_t> targets) {
+  util::Stopwatch total;
+  if (pset.empty() || targets.empty()) return;
+
+  util::Stopwatch phase;
+  tree::TreeBuildConfig build_cfg;
+  build_cfg.leaf_max = params_.leaf_max;
+  tree_.build(pset, build_cfg);
+  stats_.seconds_tree_build += phase.lap();
+
+  configure_device_window(*device_, pset, params_.eps);
+
+  // Per-target original walks; each list streams through the hardware
+  // with the target as the single i-particle. (The grouped algorithm
+  // pays off for full-set evaluations; scattered subsets use the
+  // original per-particle lists, as individual-timestep GRAPE codes did.)
+  const tree::WalkConfig walk_cfg{params_.theta, params_.mac};
+  for (const std::uint32_t t : targets) {
+    phase.restart();
+    tree::walk_original(tree_, pset.pos()[t], walk_cfg, list_, &stats_.walk);
+    stats_.seconds_walk += phase.lap();
+
+    const math::Vec3d xi = pset.pos()[t];
+    const auto before = device_->system().account();
+    device_->compute_forces_chunked({&xi, 1}, list_.pos, list_.mass,
+                                    {&pset.acc()[t], 1},
+                                    {&pset.pot()[t], 1});
+    const auto& after = device_->system().account();
+    stats_.interactions += after.interactions - before.interactions;
+    stats_.seconds_kernel += after.emulation_wall - before.emulation_wall;
+    ++stats_.groups;
+  }
+  ++stats_.evaluations;
+  stats_.seconds_total += total.elapsed();
+}
+
+std::unique_ptr<ForceEngine> make_engine(
+    const std::string& name, const ForceParams& params,
+    std::shared_ptr<grape::Grape5Device> device) {
+  auto need_device = [&]() -> std::shared_ptr<grape::Grape5Device> {
+    if (device) return device;
+    return std::make_shared<grape::Grape5Device>(
+        grape::SystemConfig::paper_system());
+  };
+  if (name == "host-direct") {
+    return std::make_unique<HostDirectEngine>(params);
+  }
+  if (name == "host-tree" || name == "host-tree-original") {
+    return std::make_unique<HostTreeEngine>(params,
+                                            HostTreeEngine::Mode::Original);
+  }
+  if (name == "host-tree-modified") {
+    return std::make_unique<HostTreeEngine>(params,
+                                            HostTreeEngine::Mode::Modified);
+  }
+  if (name == "grape-direct") {
+    return std::make_unique<GrapeDirectEngine>(params, need_device());
+  }
+  if (name == "grape-tree") {
+    return std::make_unique<GrapeTreeEngine>(params, need_device());
+  }
+  throw std::invalid_argument("unknown engine '" + name +
+                              "' (host-direct, host-tree[-original], "
+                              "host-tree-modified, grape-direct, grape-tree)");
+}
+
+}  // namespace g5::core

@@ -1,0 +1,36 @@
+#include "core/engines.hpp"
+
+#include "grape/host_reference.hpp"
+#include "util/timer.hpp"
+
+namespace g5::core {
+
+void HostDirectEngine::compute(model::ParticleSet& pset) {
+  util::Stopwatch watch;
+  grape::host_direct_self(pset.pos(), pset.mass(), params_.eps, pset.acc(),
+                          pset.pot());
+  const std::size_t n = pset.size();
+  stats_.seconds_kernel += watch.elapsed();
+  stats_.seconds_total += watch.elapsed();
+  ++stats_.evaluations;
+  stats_.interactions += n > 0 ? static_cast<std::uint64_t>(n) * (n - 1) : 0;
+}
+
+void HostDirectEngine::compute_targets(model::ParticleSet& pset,
+                                       std::span<const std::uint32_t> targets) {
+  util::Stopwatch watch;
+  for (const std::uint32_t t : targets) {
+    const math::Vec3d xi = pset.pos()[t];
+    // The source set includes the target; the kernel's coincident-pair
+    // cut drops the self term.
+    grape::host_forces_on_targets({&xi, 1}, pset.pos(), pset.mass(),
+                                  params_.eps, {&pset.acc()[t], 1},
+                                  {&pset.pot()[t], 1});
+  }
+  stats_.seconds_kernel += watch.elapsed();
+  stats_.seconds_total += watch.elapsed();
+  ++stats_.evaluations;
+  stats_.interactions += targets.size() * pset.size();
+}
+
+}  // namespace g5::core

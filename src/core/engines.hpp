@@ -1,0 +1,115 @@
+// Concrete force engines. See engine.hpp for the contract.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "core/engine.hpp"
+#include "grape/driver.hpp"
+#include "tree/groupwalk.hpp"
+#include "tree/tree.hpp"
+
+namespace g5::core {
+
+/// O(N^2) direct summation in double precision on the host.
+class HostDirectEngine final : public ForceEngine {
+ public:
+  explicit HostDirectEngine(const ForceParams& params) : ForceEngine(params) {}
+  [[nodiscard]] std::string_view name() const override {
+    return "host-direct";
+  }
+  void compute(model::ParticleSet& pset) override;
+  void compute_targets(model::ParticleSet& pset,
+                       std::span<const std::uint32_t> targets) override;
+};
+
+/// Barnes-Hut on the host.
+class HostTreeEngine final : public ForceEngine {
+ public:
+  enum class Mode {
+    Original,  ///< per-particle interaction lists (Barnes & Hut 1986)
+    Modified   ///< grouped lists (Barnes 1990)
+  };
+
+  HostTreeEngine(const ForceParams& params, Mode mode)
+      : ForceEngine(params), mode_(mode) {}
+
+  [[nodiscard]] std::string_view name() const override {
+    return mode_ == Mode::Original ? "host-tree-original"
+                                   : "host-tree-modified";
+  }
+  void compute(model::ParticleSet& pset) override;
+  void compute_targets(model::ParticleSet& pset,
+                       std::span<const std::uint32_t> targets) override;
+
+  [[nodiscard]] Mode mode() const noexcept { return mode_; }
+  [[nodiscard]] const tree::BhTree& tree() const noexcept { return tree_; }
+
+ private:
+  Mode mode_;
+  tree::BhTree tree_;
+  tree::InteractionList list_;
+  std::vector<math::Vec3d> acc_scratch_;
+  std::vector<double> pot_scratch_;
+};
+
+/// O(N^2) with the force loop on the emulated GRAPE-5 (whole particle set
+/// as both i and j, chunked through the particle memory by the driver).
+class GrapeDirectEngine final : public ForceEngine {
+ public:
+  GrapeDirectEngine(const ForceParams& params,
+                    std::shared_ptr<grape::Grape5Device> device);
+  [[nodiscard]] std::string_view name() const override {
+    return "grape-direct";
+  }
+  void compute(model::ParticleSet& pset) override;
+  void compute_targets(model::ParticleSet& pset,
+                       std::span<const std::uint32_t> targets) override;
+
+  [[nodiscard]] grape::Grape5Device& device() noexcept { return *device_; }
+  [[nodiscard]] const grape::Grape5Device& device() const noexcept {
+    return *device_;
+  }
+
+ private:
+  std::shared_ptr<grape::Grape5Device> device_;
+};
+
+/// The paper's system: Barnes' modified treecode with interaction lists
+/// evaluated on the emulated GRAPE-5.
+class GrapeTreeEngine final : public ForceEngine {
+ public:
+  GrapeTreeEngine(const ForceParams& params,
+                  std::shared_ptr<grape::Grape5Device> device);
+  [[nodiscard]] std::string_view name() const override { return "grape-tree"; }
+  void compute(model::ParticleSet& pset) override;
+  void compute_targets(model::ParticleSet& pset,
+                       std::span<const std::uint32_t> targets) override;
+
+  [[nodiscard]] grape::Grape5Device& device() noexcept { return *device_; }
+  [[nodiscard]] const grape::Grape5Device& device() const noexcept {
+    return *device_;
+  }
+  [[nodiscard]] const tree::BhTree& tree() const noexcept { return tree_; }
+
+ private:
+  std::shared_ptr<grape::Grape5Device> device_;
+  tree::BhTree tree_;
+  tree::InteractionList list_;
+  std::vector<math::Vec3d> acc_sorted_;
+  std::vector<double> pot_sorted_;
+};
+
+/// Factory by name ("host-direct", "host-tree", "host-tree-modified",
+/// "grape-direct", "grape-tree"); grape engines get a fresh device with
+/// the paper's SystemConfig unless one is supplied.
+std::unique_ptr<ForceEngine> make_engine(
+    const std::string& name, const ForceParams& params,
+    std::shared_ptr<grape::Grape5Device> device = nullptr);
+
+/// Shared helper: set the device range window (snapshot hull + margin) and
+/// softening before a force phase. Returns the window used.
+std::pair<double, double> configure_device_window(
+    grape::Grape5Device& device, const model::ParticleSet& pset, double eps);
+
+}  // namespace g5::core

@@ -1,0 +1,31 @@
+#include "core/integrator.hpp"
+
+#include <stdexcept>
+
+namespace g5::core {
+
+void LeapfrogIntegrator::prime(model::ParticleSet& pset, ForceEngine& engine) {
+  engine.compute(pset);
+  primed_ = true;
+}
+
+void LeapfrogIntegrator::step(model::ParticleSet& pset, ForceEngine& engine,
+                              double dt) {
+  if (!primed_) {
+    throw std::logic_error("LeapfrogIntegrator::prime before step");
+  }
+  if (!(dt > 0.0)) throw std::invalid_argument("dt must be > 0");
+  const std::size_t n = pset.size();
+  auto& pos = pset.pos();
+  auto& vel = pset.vel();
+  auto& acc = pset.acc();
+
+  const double half = 0.5 * dt;
+  for (std::size_t i = 0; i < n; ++i) vel[i] += half * acc[i];   // kick
+  for (std::size_t i = 0; i < n; ++i) pos[i] += dt * vel[i];     // drift
+  engine.compute(pset);                                          // force
+  for (std::size_t i = 0; i < n; ++i) vel[i] += half * acc[i];   // kick
+  ++steps_;
+}
+
+}  // namespace g5::core

@@ -1,0 +1,28 @@
+// Time integration: leapfrog (kick-drift-kick), the integrator the paper's
+// class of simulations uses (shared constant timestep).
+#pragma once
+
+#include "core/engine.hpp"
+#include "model/particles.hpp"
+
+namespace g5::core {
+
+class LeapfrogIntegrator {
+ public:
+  /// Prime the integrator: compute forces for the current positions.
+  /// Must be called once before the first step (and again if positions
+  /// are modified externally).
+  void prime(model::ParticleSet& pset, ForceEngine& engine);
+
+  /// Advance one step of size dt (KDK). Forces are valid on return.
+  void step(model::ParticleSet& pset, ForceEngine& engine, double dt);
+
+  [[nodiscard]] bool primed() const noexcept { return primed_; }
+  [[nodiscard]] std::uint64_t steps_taken() const noexcept { return steps_; }
+
+ private:
+  bool primed_ = false;
+  std::uint64_t steps_ = 0;
+};
+
+}  // namespace g5::core

@@ -1,0 +1,122 @@
+#include "core/perf.hpp"
+
+#include <cmath>
+
+namespace g5::core {
+
+namespace {
+
+/// Aggregate modeled GRAPE seconds (compute + DMA) for a workload with the
+/// given totals. Uses the mean group size for the VMP pass count — exact
+/// when groups share a size, a tight approximation otherwise.
+void grape_seconds(const grape::SystemConfig& system, const RunWorkload& work,
+                   double& compute_s, double& dma_s) {
+  compute_s = 0.0;
+  dma_s = 0.0;
+  if (work.interactions == 0 || work.list_entries == 0 || work.groups == 0) {
+    return;
+  }
+  const grape::TimingModel timing(system);
+  const double avg_ni = static_cast<double>(work.interactions) /
+                        static_cast<double>(work.list_entries);
+  const double slots = static_cast<double>(system.board.i_slots());
+  const double passes = std::ceil(avg_ni / slots);
+  const double boards = static_cast<double>(system.boards);
+  compute_s = passes * static_cast<double>(work.list_entries) /
+              (boards * system.board.memory_clock_hz);
+
+  // DMA: j-lists split over the boards' interfaces (parallel), i uploads
+  // and result readbacks per group, three DMA setups per group.
+  const double bw = system.hib.bandwidth_bytes_per_s;
+  const double j_bytes = static_cast<double>(work.list_entries) *
+                         static_cast<double>(system.hib.bytes_per_j) / boards;
+  const double i_total = static_cast<double>(work.n_particles) *
+                         static_cast<double>(work.steps);
+  const double i_bytes =
+      i_total * static_cast<double>(system.hib.bytes_per_i);
+  const double r_bytes =
+      i_total * static_cast<double>(system.hib.bytes_per_result);
+  dma_s = (j_bytes + i_bytes + r_bytes) / bw +
+          3.0 * system.hib.latency_s * static_cast<double>(work.groups);
+}
+
+}  // namespace
+
+PerformanceReport project_performance(const grape::SystemConfig& system,
+                                      const HostCostModel& host,
+                                      const grape::CostModel& cost,
+                                      const RunWorkload& work) {
+  PerformanceReport r;
+  r.work = work;
+  grape_seconds(system, work, r.grape_compute_s, r.grape_dma_s);
+  // step_seconds takes per-step quantities; aggregate directly here.
+  r.host_s = 1e-6 * (host.per_particle_build_us *
+                         static_cast<double>(work.n_particles) *
+                         static_cast<double>(work.steps) +
+                     host.per_particle_step_us *
+                         static_cast<double>(work.n_particles) *
+                         static_cast<double>(work.steps) +
+                     host.per_list_entry_us *
+                         static_cast<double>(work.list_entries) +
+                     host.per_group_us * static_cast<double>(work.groups));
+  r.total_s = r.grape_compute_s + r.grape_dma_s + r.host_s;
+  if (r.total_s > 0.0) {
+    r.raw_flops = grape::kFlopsPerInteraction *
+                  static_cast<double>(work.interactions) / r.total_s;
+    r.effective_flops = grape::kFlopsPerInteraction *
+                        static_cast<double>(work.original_interactions) /
+                        r.total_s;
+  }
+  const double denom = static_cast<double>(work.n_particles) *
+                       static_cast<double>(work.steps);
+  r.avg_list_length =
+      denom > 0.0 ? static_cast<double>(work.interactions) / denom : 0.0;
+  r.usd_total = cost.total_usd();
+  r.usd_per_mflops = r.effective_flops > 0.0
+                         ? cost.usd_per_mflops(r.effective_flops)
+                         : 0.0;
+  return r;
+}
+
+RunWorkload paper_workload() {
+  RunWorkload w;
+  w.n_particles = 2159038;
+  w.steps = 999;
+  w.interactions = static_cast<std::uint64_t>(2.90e13);
+  w.original_interactions = static_cast<std::uint64_t>(4.69e12);
+  // The paper reports the optimum n_g ~ 2000 for this configuration.
+  const double n_g = 2000.0;
+  w.groups = static_cast<std::uint64_t>(
+      std::ceil(static_cast<double>(w.n_particles) / n_g) *
+      static_cast<double>(w.steps));
+  w.list_entries = static_cast<std::uint64_t>(
+      static_cast<double>(w.interactions) / n_g);
+  return w;
+}
+
+NgSweepPoint sweep_point(const grape::SystemConfig& system,
+                         const HostCostModel& host, std::uint64_t n_particles,
+                         const tree::WalkStats& per_step_walk) {
+  NgSweepPoint p;
+  p.list_entries = per_step_walk.list_entries;
+  p.interactions = per_step_walk.interactions;
+  p.groups = per_step_walk.lists;
+  p.n_g = per_step_walk.list_entries > 0
+              ? static_cast<double>(per_step_walk.interactions) /
+                    static_cast<double>(per_step_walk.list_entries)
+              : 0.0;
+  p.host_s = host.step_seconds(n_particles, p.list_entries, p.groups);
+
+  RunWorkload one_step;
+  one_step.n_particles = n_particles;
+  one_step.steps = 1;
+  one_step.interactions = p.interactions;
+  one_step.list_entries = p.list_entries;
+  one_step.groups = p.groups;
+  double compute_s = 0.0, dma_s = 0.0;
+  grape_seconds(system, one_step, compute_s, dma_s);
+  p.grape_s = compute_s + dma_s;
+  return p;
+}
+
+}  // namespace g5::core

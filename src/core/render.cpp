@@ -1,0 +1,95 @@
+#include "core/render.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <memory>
+#include <stdexcept>
+
+namespace g5::core {
+
+SlabImage::SlabImage(const SlabConfig& config, const model::ParticleSet& pset)
+    : cfg_(config) {
+  if (cfg_.axis < 0 || cfg_.axis > 2) {
+    throw std::invalid_argument("axis must be 0, 1 or 2");
+  }
+  if (cfg_.width == 0 || cfg_.height == 0) {
+    throw std::invalid_argument("image dimensions must be > 0");
+  }
+  if (!(cfg_.hi0 > cfg_.lo0) || !(cfg_.hi1 > cfg_.lo1) ||
+      !(cfg_.slab_hi > cfg_.slab_lo)) {
+    throw std::invalid_argument("slab ranges empty");
+  }
+  counts_.assign(cfg_.width * cfg_.height, 0);
+
+  const int a0 = cfg_.axis == 0 ? 1 : 0;
+  const int a1 = cfg_.axis == 2 ? 1 : 2;
+  for (const auto& p : pset.pos()) {
+    const double depth = p[static_cast<std::size_t>(cfg_.axis)];
+    if (depth < cfg_.slab_lo || depth >= cfg_.slab_hi) continue;
+    const double u = (p[static_cast<std::size_t>(a0)] - cfg_.lo0) /
+                     (cfg_.hi0 - cfg_.lo0);
+    const double v = (p[static_cast<std::size_t>(a1)] - cfg_.lo1) /
+                     (cfg_.hi1 - cfg_.lo1);
+    if (u < 0.0 || u >= 1.0 || v < 0.0 || v >= 1.0) continue;
+    const auto px = static_cast<std::size_t>(u * static_cast<double>(cfg_.width));
+    const auto py =
+        static_cast<std::size_t>(v * static_cast<double>(cfg_.height));
+    auto& cell = counts_[py * cfg_.width + px];
+    ++cell;
+    peak_ = std::max(peak_, cell);
+    ++total_;
+  }
+}
+
+std::string SlabImage::ascii() const {
+  static const char ramp[] = " .:-=+*#%@";
+  constexpr int levels = static_cast<int>(sizeof(ramp)) - 2;
+  const double log_peak =
+      std::log1p(static_cast<double>(std::max<std::uint64_t>(peak_, 1)));
+  std::string out;
+  out.reserve((cfg_.width + 1) * cfg_.height);
+  for (std::size_t py = 0; py < cfg_.height; ++py) {
+    for (std::size_t px = 0; px < cfg_.width; ++px) {
+      const auto c = counts_[py * cfg_.width + px];
+      int level = 0;
+      if (c > 0 && log_peak > 0.0) {
+        level = 1 + static_cast<int>(std::log1p(static_cast<double>(c)) /
+                                     log_peak * (levels - 1));
+        level = std::min(level, levels);
+      }
+      out.push_back(ramp[level]);
+    }
+    out.push_back('\n');
+  }
+  return out;
+}
+
+void SlabImage::write_pgm(const std::string& path) const {
+  struct FileCloser {
+    void operator()(std::FILE* f) const {
+      if (f != nullptr) std::fclose(f);
+    }
+  };
+  std::unique_ptr<std::FILE, FileCloser> f(std::fopen(path.c_str(), "wb"));
+  if (!f) throw std::runtime_error("cannot open " + path + " for writing");
+  std::fprintf(f.get(), "P5\n%zu %zu\n255\n", cfg_.width, cfg_.height);
+  const double log_peak =
+      std::log1p(static_cast<double>(std::max<std::uint64_t>(peak_, 1)));
+  std::vector<unsigned char> row(cfg_.width);
+  for (std::size_t py = 0; py < cfg_.height; ++py) {
+    for (std::size_t px = 0; px < cfg_.width; ++px) {
+      const auto c = counts_[py * cfg_.width + px];
+      double t = 0.0;
+      if (c > 0 && log_peak > 0.0) {
+        t = std::log1p(static_cast<double>(c)) / log_peak;
+      }
+      row[px] = static_cast<unsigned char>(std::lround(t * 255.0));
+    }
+    if (std::fwrite(row.data(), 1, row.size(), f.get()) != row.size()) {
+      throw std::runtime_error("short write to " + path);
+    }
+  }
+}
+
+}  // namespace g5::core

@@ -1,0 +1,162 @@
+#include "core/simulation.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+#include "core/engines.hpp"
+#include "core/snapshot.hpp"
+#include "util/log.hpp"
+#include "util/timer.hpp"
+
+namespace g5::core {
+
+namespace {
+
+/// Pull the GRAPE hardware account out of an engine if it drives one.
+const grape::HardwareAccount* grape_account(const ForceEngine& engine) {
+  if (const auto* e = dynamic_cast<const GrapeTreeEngine*>(&engine)) {
+    return &e->device().system().account();
+  }
+  if (const auto* e = dynamic_cast<const GrapeDirectEngine*>(&engine)) {
+    return &e->device().system().account();
+  }
+  return nullptr;
+}
+
+std::string snapshot_name(const std::string& prefix, std::uint64_t index) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "_%06llu.g5snap",
+                static_cast<unsigned long long>(index));
+  return prefix + buf;
+}
+
+}  // namespace
+
+Simulation::Simulation(ForceEngine& engine, const SimulationConfig& config)
+    : engine_(engine), cfg_(config) {
+  if (cfg_.dt_schedule.empty()) {
+    if (!(cfg_.dt > 0.0)) throw std::invalid_argument("dt must be > 0");
+  } else {
+    cfg_.steps = cfg_.dt_schedule.size();
+    for (double dt : cfg_.dt_schedule) {
+      if (!(dt > 0.0)) {
+        throw std::invalid_argument("dt_schedule entries must be > 0");
+      }
+    }
+  }
+}
+
+SimulationSummary Simulation::run(model::ParticleSet& pset) {
+  SimulationSummary summary;
+  util::Stopwatch wall;
+
+  engine_.reset_stats();
+  if (auto* gt = dynamic_cast<GrapeTreeEngine*>(&engine_)) {
+    gt->device().system().reset_account();
+  } else if (auto* gd = dynamic_cast<GrapeDirectEngine*>(&engine_)) {
+    gd->device().system().reset_account();
+  }
+
+  LeapfrogIntegrator integrator;
+  integrator.prime(pset, engine_);
+
+  summary.energy_initial = diagnose(pset).energy;
+  const math::Vec3d p0 = pset.total_momentum();
+  const math::Vec3d l0 = pset.total_angular_momentum();
+
+  std::uint64_t snap_index = 0;
+  if (cfg_.snapshot_every > 0) {
+    write_snapshot(snapshot_name(cfg_.snapshot_prefix, snap_index), pset, 0.0,
+                   engine_.params().eps);
+    ++snap_index;
+    ++summary.snapshots_written;
+  }
+
+  struct FileCloser {
+    void operator()(std::FILE* f) const {
+      if (f != nullptr) std::fclose(f);
+    }
+  };
+  std::unique_ptr<std::FILE, FileCloser> csv;
+  if (!cfg_.stats_csv.empty()) {
+    csv.reset(std::fopen(cfg_.stats_csv.c_str(), "w"));
+    if (!csv) {
+      throw std::runtime_error("cannot open " + cfg_.stats_csv +
+                               " for writing");
+    }
+    std::fprintf(csv.get(),
+                 "step,time,interactions,lists,mean_list,kinetic,potential,"
+                 "total_energy\n");
+  }
+  std::uint64_t prev_inter = engine_.stats().interactions;
+  std::uint64_t prev_lists = engine_.stats().walk.lists;
+  std::uint64_t prev_entries = engine_.stats().walk.list_entries;
+
+  double t_elapsed = 0.0;
+  for (std::uint64_t s = 1; s <= cfg_.steps; ++s) {
+    const double dt = cfg_.dt_schedule.empty()
+                          ? cfg_.dt
+                          : cfg_.dt_schedule[static_cast<std::size_t>(s - 1)];
+    integrator.step(pset, engine_, dt);
+    t_elapsed += dt;
+
+    if (hook_) hook_(s, pset);
+
+    if (csv) {
+      const auto& es = engine_.stats();
+      const std::uint64_t d_inter = es.interactions - prev_inter;
+      const std::uint64_t d_lists = es.walk.lists - prev_lists;
+      const std::uint64_t d_entries = es.walk.list_entries - prev_entries;
+      prev_inter = es.interactions;
+      prev_lists = es.walk.lists;
+      prev_entries = es.walk.list_entries;
+      const auto diag = diagnose(pset);
+      std::fprintf(csv.get(), "%llu,%.10g,%llu,%llu,%.6g,%.10g,%.10g,%.10g\n",
+                   static_cast<unsigned long long>(s), t_elapsed,
+                   static_cast<unsigned long long>(d_inter),
+                   static_cast<unsigned long long>(d_lists),
+                   d_lists > 0 ? static_cast<double>(d_entries) /
+                                     static_cast<double>(d_lists)
+                               : 0.0,
+                   diag.energy.kinetic, diag.energy.potential,
+                   diag.energy.total());
+    }
+
+    if (cfg_.log_every > 0 && (s % cfg_.log_every == 0 || s == cfg_.steps)) {
+      const auto& es = engine_.stats();
+      util::log_info() << "step " << s << "/" << cfg_.steps << " t="
+                       << t_elapsed << " interactions=" << es.interactions
+                       << " wall=" << wall.elapsed() << "s";
+    }
+    if (cfg_.diag_every > 0 && s % cfg_.diag_every == 0) {
+      const auto diag = diagnose(pset);
+      util::log_info() << "  E=" << diag.energy.total()
+                       << " drift=" << relative_energy_drift(
+                              diag.energy, summary.energy_initial)
+                       << " |p|=" << diag.momentum.norm();
+    }
+    if (cfg_.snapshot_every > 0 && s % cfg_.snapshot_every == 0) {
+      write_snapshot(snapshot_name(cfg_.snapshot_prefix, snap_index), pset,
+                     t_elapsed, engine_.params().eps);
+      ++snap_index;
+      ++summary.snapshots_written;
+    }
+  }
+
+  summary.steps = cfg_.steps;
+  summary.wall_seconds = wall.elapsed();
+  summary.engine = engine_.stats();
+  if (const auto* acct = grape_account(engine_)) summary.grape = *acct;
+  summary.energy_final = diagnose(pset).energy;
+  summary.energy_drift =
+      relative_energy_drift(summary.energy_final, summary.energy_initial);
+  const math::Vec3d p1 = pset.total_momentum();
+  summary.momentum_drift = {std::fabs(p1.x - p0.x), std::fabs(p1.y - p0.y),
+                            std::fabs(p1.z - p0.z)};
+  summary.angular_momentum_drift =
+      (pset.total_angular_momentum() - l0).norm();
+  return summary;
+}
+
+}  // namespace g5::core

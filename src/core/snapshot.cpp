@@ -1,0 +1,170 @@
+#include "core/snapshot.hpp"
+
+#include <cstdio>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <stdexcept>
+
+namespace g5::core {
+
+namespace {
+
+constexpr char kMagic[8] = {'G', '5', 'S', 'N', 'A', 'P', '\0', '\1'};
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using File = std::unique_ptr<std::FILE, FileCloser>;
+
+void write_exact(std::FILE* f, const void* data, std::size_t bytes,
+                 const std::string& path) {
+  if (std::fwrite(data, 1, bytes, f) != bytes) {
+    throw std::runtime_error("short write to " + path);
+  }
+}
+
+void read_exact(std::FILE* f, void* data, std::size_t bytes,
+                const std::string& path) {
+  if (std::fread(data, 1, bytes, f) != bytes) {
+    throw std::runtime_error("short read from " + path);
+  }
+}
+
+}  // namespace
+
+void write_snapshot(const std::string& path, const model::ParticleSet& pset,
+                    double time, double eps) {
+  File f(std::fopen(path.c_str(), "wb"));
+  if (!f) throw std::runtime_error("cannot open " + path + " for writing");
+  write_exact(f.get(), kMagic, sizeof(kMagic), path);
+  const std::uint64_t n = pset.size();
+  write_exact(f.get(), &n, sizeof(n), path);
+  write_exact(f.get(), &time, sizeof(time), path);
+  write_exact(f.get(), &eps, sizeof(eps), path);
+  write_exact(f.get(), pset.pos().data(), n * sizeof(math::Vec3d), path);
+  write_exact(f.get(), pset.vel().data(), n * sizeof(math::Vec3d), path);
+  write_exact(f.get(), pset.mass().data(), n * sizeof(double), path);
+  write_exact(f.get(), pset.id().data(), n * sizeof(std::uint64_t), path);
+}
+
+SnapshotHeader read_snapshot(const std::string& path,
+                             model::ParticleSet& pset_out) {
+  File f(std::fopen(path.c_str(), "rb"));
+  if (!f) throw std::runtime_error("cannot open " + path);
+  char magic[8];
+  read_exact(f.get(), magic, sizeof(magic), path);
+  if (std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    throw std::runtime_error(path + " is not a G5SNAP file");
+  }
+  SnapshotHeader h;
+  read_exact(f.get(), &h.count, sizeof(h.count), path);
+  read_exact(f.get(), &h.time, sizeof(h.time), path);
+  read_exact(f.get(), &h.eps, sizeof(h.eps), path);
+  pset_out.resize(h.count);
+  read_exact(f.get(), pset_out.pos().data(), h.count * sizeof(math::Vec3d),
+             path);
+  read_exact(f.get(), pset_out.vel().data(), h.count * sizeof(math::Vec3d),
+             path);
+  read_exact(f.get(), pset_out.mass().data(), h.count * sizeof(double), path);
+  read_exact(f.get(), pset_out.id().data(), h.count * sizeof(std::uint64_t),
+             path);
+  return h;
+}
+
+namespace {
+
+struct TipsyHeader {
+  double time = 0.0;
+  std::int32_t nbodies = 0;
+  std::int32_t ndim = 3;
+  std::int32_t nsph = 0;
+  std::int32_t ndark = 0;
+  std::int32_t nstar = 0;
+  std::int32_t pad = 0;
+};
+
+struct TipsyDark {
+  float mass = 0.0f;
+  float pos[3] = {0.0f, 0.0f, 0.0f};
+  float vel[3] = {0.0f, 0.0f, 0.0f};
+  float eps = 0.0f;
+  float phi = 0.0f;
+};
+
+}  // namespace
+
+void write_snapshot_tipsy(const std::string& path,
+                          const model::ParticleSet& pset, double time,
+                          double eps) {
+  File f(std::fopen(path.c_str(), "wb"));
+  if (!f) throw std::runtime_error("cannot open " + path + " for writing");
+  TipsyHeader h;
+  h.time = time;
+  h.nbodies = static_cast<std::int32_t>(pset.size());
+  h.ndark = h.nbodies;
+  write_exact(f.get(), &h, sizeof(h), path);
+  for (std::size_t i = 0; i < pset.size(); ++i) {
+    TipsyDark d;
+    d.mass = static_cast<float>(pset.mass()[i]);
+    for (int c = 0; c < 3; ++c) {
+      d.pos[c] = static_cast<float>(pset.pos()[i][static_cast<std::size_t>(c)]);
+      d.vel[c] = static_cast<float>(pset.vel()[i][static_cast<std::size_t>(c)]);
+    }
+    d.eps = static_cast<float>(eps);
+    d.phi = static_cast<float>(pset.pot()[i]);
+    write_exact(f.get(), &d, sizeof(d), path);
+  }
+}
+
+SnapshotHeader read_snapshot_tipsy(const std::string& path,
+                                   model::ParticleSet& pset_out) {
+  File f(std::fopen(path.c_str(), "rb"));
+  if (!f) throw std::runtime_error("cannot open " + path);
+  TipsyHeader h;
+  read_exact(f.get(), &h, sizeof(h), path);
+  if (h.ndim != 3 || h.nbodies < 0 || h.ndark != h.nbodies || h.nsph != 0 ||
+      h.nstar != 0) {
+    throw std::runtime_error(path + " is not a dark-only TIPSY snapshot");
+  }
+  pset_out.resize(static_cast<std::size_t>(h.nbodies));
+  double eps = 0.0;
+  for (std::size_t i = 0; i < pset_out.size(); ++i) {
+    TipsyDark d;
+    read_exact(f.get(), &d, sizeof(d), path);
+    pset_out.mass()[i] = static_cast<double>(d.mass);
+    pset_out.pos()[i] = {static_cast<double>(d.pos[0]),
+                         static_cast<double>(d.pos[1]),
+                         static_cast<double>(d.pos[2])};
+    pset_out.vel()[i] = {static_cast<double>(d.vel[0]),
+                         static_cast<double>(d.vel[1]),
+                         static_cast<double>(d.vel[2])};
+    pset_out.pot()[i] = static_cast<double>(d.phi);
+    eps = static_cast<double>(d.eps);
+  }
+  SnapshotHeader out;
+  out.count = static_cast<std::uint64_t>(h.nbodies);
+  out.time = h.time;
+  out.eps = eps;
+  return out;
+}
+
+void write_snapshot_ascii(const std::string& path,
+                          const model::ParticleSet& pset, double time) {
+  File f(std::fopen(path.c_str(), "w"));
+  if (!f) throw std::runtime_error("cannot open " + path + " for writing");
+  std::fprintf(f.get(), "# G5SNAP ascii  n=%zu  time=%.17g\n", pset.size(),
+               time);
+  std::fprintf(f.get(), "# id x y z vx vy vz mass\n");
+  for (std::size_t i = 0; i < pset.size(); ++i) {
+    const auto& p = pset.pos()[i];
+    const auto& v = pset.vel()[i];
+    std::fprintf(f.get(), "%llu %.17g %.17g %.17g %.17g %.17g %.17g %.17g\n",
+                 static_cast<unsigned long long>(pset.id()[i]), p.x, p.y, p.z,
+                 v.x, v.y, v.z, pset.mass()[i]);
+  }
+}
+
+}  // namespace g5::core

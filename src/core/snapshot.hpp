@@ -1,0 +1,49 @@
+// Snapshot I/O: a small self-describing binary format plus an ASCII dump.
+//
+// Binary layout (little-endian):
+//   char[8]  magic "G5SNAP\0\1"
+//   u64      particle count
+//   f64      simulation time
+//   f64      softening used (informational)
+//   then per attribute, contiguous arrays: pos (3*f64 each), vel (3*f64),
+//   mass (f64), id (u64).
+#pragma once
+
+#include <string>
+
+#include "model/particles.hpp"
+
+namespace g5::core {
+
+struct SnapshotHeader {
+  std::uint64_t count = 0;
+  double time = 0.0;
+  double eps = 0.0;
+};
+
+/// Write a snapshot; throws std::runtime_error on I/O failure.
+void write_snapshot(const std::string& path, const model::ParticleSet& pset,
+                    double time, double eps);
+
+/// Read a snapshot written by write_snapshot.
+SnapshotHeader read_snapshot(const std::string& path,
+                             model::ParticleSet& pset_out);
+
+/// Human-readable dump: "id x y z vx vy vz m" per line.
+void write_snapshot_ascii(const std::string& path,
+                          const model::ParticleSet& pset, double time);
+
+/// TIPSY binary (native-endian) dark-matter-only snapshot: the de-facto
+/// interchange format of 1990s N-body work (tipsy, SKID, etc.). Layout:
+/// header {double time; i32 nbodies, ndim, nsph, ndark, nstar, pad} then
+/// per dark particle {f32 mass, pos[3], vel[3], eps, phi}. Positions and
+/// velocities are truncated to float, as the format prescribes.
+void write_snapshot_tipsy(const std::string& path,
+                          const model::ParticleSet& pset, double time,
+                          double eps);
+
+/// Read back a TIPSY dark-only snapshot written by write_snapshot_tipsy.
+SnapshotHeader read_snapshot_tipsy(const std::string& path,
+                                   model::ParticleSet& pset_out);
+
+}  // namespace g5::core

@@ -1,0 +1,80 @@
+#include "grape/board.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace g5::grape {
+
+ProcessorBoard::ProcessorBoard(const BoardConfig& board_cfg,
+                               const HostInterfaceConfig& hib_cfg,
+                               const PipelineNumerics& numerics)
+    : cfg_(board_cfg), pipe_(numerics), hib_(hib_cfg) {
+  jmem_.resize(cfg_.jmem_capacity);
+}
+
+void ProcessorBoard::configure(const PipelineScaling& scaling) {
+  pipe_.configure(scaling);
+  // Stored words are invalid on the new window; require a fresh upload.
+  j_count_ = 0;
+}
+
+void ProcessorBoard::set_j(std::size_t address, const Vec3d* pos,
+                           const double* mass, std::size_t count) {
+  if (address + count > cfg_.jmem_capacity) {
+    throw std::out_of_range("j segment exceeds particle memory capacity (" +
+                            std::to_string(address + count) + " > " +
+                            std::to_string(cfg_.jmem_capacity) + ")");
+  }
+  for (std::size_t k = 0; k < count; ++k) {
+    jmem_[address + k] = pipe_.encode_j(pos[k], mass[k]);
+  }
+  if (address + count > j_count_) j_count_ = address + count;
+  hib_.record_j_upload(count);
+}
+
+void ProcessorBoard::set_j_count(std::size_t count) {
+  if (count > cfg_.jmem_capacity) {
+    throw std::out_of_range("j count exceeds particle memory capacity");
+  }
+  j_count_ = count;
+}
+
+std::size_t ProcessorBoard::run(const Vec3d* i_pos, std::size_t ni,
+                                Vec3d* out_acc, double* out_pot,
+                                std::uint8_t* out_saturated) {
+  if (ni == 0 || j_count_ == 0) return 0;
+  hib_.record_i_upload(ni);
+
+  const std::size_t slots = cfg_.i_slots();
+  for (std::size_t i = 0; i < ni; ++i) {
+    IState state = pipe_.encode_i(i_pos[i]);
+    for (std::size_t j = 0; j < j_count_; ++j) {
+      pipe_.interact(state, jmem_[j]);
+    }
+    Vec3d force = pipe_.read_force(state);
+    double pot = pipe_.read_potential(state);
+    if (faulty_chip_ >= 0 &&
+        chip_of_slot(i % slots) == static_cast<std::size_t>(faulty_chip_)) {
+      force *= 1.0 + fault_gain_;
+      pot *= 1.0 + fault_gain_;
+    }
+    out_acc[i] += force;
+    out_pot[i] += pot;
+    if (out_saturated != nullptr && pipe_.saturated(state)) {
+      out_saturated[i] = 1;
+    }
+  }
+
+  hib_.record_result_read(ni);
+  return ni * j_count_;
+}
+
+void ProcessorBoard::inject_chip_fault(int chip_index, double gain_error) {
+  if (chip_index >= static_cast<int>(cfg_.chips)) {
+    throw std::out_of_range("chip index exceeds board");
+  }
+  faulty_chip_ = chip_index < 0 ? -1 : chip_index;
+  fault_gain_ = gain_error;
+}
+
+}  // namespace g5::grape

@@ -1,0 +1,77 @@
+// One GRAPE-5 processor board: 8 G5 chips (16 pipelines) plus the particle
+// data memory holding the j-particles it is responsible for.
+//
+// The emulator collapses the 16 physical pipelines into a loop — they are
+// numerically identical — but preserves the architectural quantities the
+// timing model charges for: the j-memory capacity, the VMP i-slot count,
+// and the number of streaming passes.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "grape/config.hpp"
+#include "grape/hib.hpp"
+#include "grape/pipeline.hpp"
+
+namespace g5::grape {
+
+class ProcessorBoard {
+ public:
+  ProcessorBoard(const BoardConfig& board_cfg,
+                 const HostInterfaceConfig& hib_cfg,
+                 const PipelineNumerics& numerics);
+
+  /// Reconfigure scaling (range window / eps / accumulator quanta); the
+  /// resident j-set must be re-uploaded afterwards (the stored words were
+  /// quantized on the old window).
+  void configure(const PipelineScaling& scaling);
+
+  /// Load j-particles into the particle memory starting at `address`.
+  /// Throws if the segment exceeds the memory capacity.
+  void set_j(std::size_t address, const Vec3d* pos, const double* mass,
+             std::size_t count);
+
+  /// Number of valid j-particles (highest loaded address + 1).
+  [[nodiscard]] std::size_t j_count() const noexcept { return j_count_; }
+
+  /// Truncate the valid j range (e.g. when a new, shorter set is loaded).
+  void set_j_count(std::size_t count);
+
+  /// Evaluate forces from this board's resident j-set on `ni` i-particles.
+  /// Adds into out_acc/out_pot (partial sums across boards). Sets
+  /// out_saturated[i] nonzero where an accumulator saturated. Returns the
+  /// number of interactions computed.
+  std::size_t run(const Vec3d* i_pos, std::size_t ni, Vec3d* out_acc,
+                  double* out_pot, std::uint8_t* out_saturated = nullptr);
+
+  [[nodiscard]] const BoardConfig& config() const noexcept { return cfg_; }
+  [[nodiscard]] const Pipeline& pipeline() const noexcept { return pipe_; }
+  [[nodiscard]] HostInterface& hib() noexcept { return hib_; }
+  [[nodiscard]] const HostInterface& hib() const noexcept { return hib_; }
+
+  /// Fault injection for self-test validation: chip `chip_index` produces
+  /// forces scaled by (1 + gain_error) — the signature of a marginal
+  /// multiplier. -1 clears the fault. i-particles map to chips through
+  /// the virtual-pipeline slot assignment, as in the hardware.
+  void inject_chip_fault(int chip_index, double gain_error = 1.0 / 16.0);
+  [[nodiscard]] int faulty_chip() const noexcept { return faulty_chip_; }
+
+ private:
+  BoardConfig cfg_;
+  Pipeline pipe_;
+  HostInterface hib_;
+  std::vector<JWord> jmem_;
+  std::size_t j_count_ = 0;
+  int faulty_chip_ = -1;
+  double fault_gain_ = 0.0;
+
+  /// Chip handling i-slot `slot` (slots cycle over pipelines, VMP-deep).
+  [[nodiscard]] std::size_t chip_of_slot(std::size_t slot) const {
+    const std::size_t pipeline = (slot / cfg_.vmp_factor) %
+                                 cfg_.pipelines();
+    return pipeline / cfg_.pipelines_per_chip;
+  }
+};
+
+}  // namespace g5::grape

@@ -1,0 +1,82 @@
+#include "grape/cycle_sim.hpp"
+
+#include <algorithm>
+
+namespace g5::grape {
+
+CycleSimResult simulate_board_call(const BoardConfig& board, std::size_t ni,
+                                   std::size_t nj) {
+  CycleSimResult r;
+  if (ni == 0 || nj == 0) return r;
+
+  const std::size_t slots = board.i_slots();
+  const auto clock_ratio = static_cast<std::uint64_t>(
+      board.pipeline_clock_hz / board.memory_clock_hz + 0.5);  // VMP factor
+
+  std::size_t i_remaining = ni;
+  while (i_remaining > 0) {
+    const std::size_t loaded = std::min(slots, i_remaining);
+    i_remaining -= loaded;
+    ++r.passes;
+
+    // One pass: the particle memory broadcasts one j-word per memory
+    // cycle; each broadcast feeds `clock_ratio` pipeline cycles, during
+    // which every physical pipeline serves its VMP-resident i-particles.
+    // Slots beyond `loaded` burn the same cycles doing nothing.
+    for (std::size_t j = 0; j < nj; ++j) {
+      ++r.memory_cycles;
+      r.pipeline_cycles += clock_ratio;
+      // Interactions completed this broadcast: one per loaded slot per
+      // full sweep of the VMP ring — i.e. `loaded` interactions per
+      // memory cycle when full, fewer when the last pass is partial.
+      r.interactions += loaded;
+      r.idle_slot_cycles += slots - loaded;
+    }
+    // Drain: the last j-words of the pass are still in the pipeline
+    // stages; the next pass cannot reuse the accumulators until they
+    // land. Convert pipeline cycles to memory cycles (ceil).
+    const std::uint64_t drain_mem =
+        (kPipelineDepth + clock_ratio - 1) / clock_ratio;
+    r.memory_cycles += drain_mem;
+    r.pipeline_cycles += drain_mem * clock_ratio;
+  }
+
+  r.seconds = static_cast<double>(r.memory_cycles) / board.memory_clock_hz;
+  const double peak_rate =
+      static_cast<double>(board.pipelines()) * board.pipeline_clock_hz;
+  r.utilization = r.seconds > 0.0
+                      ? static_cast<double>(r.interactions) /
+                            (r.seconds * peak_rate)
+                      : 0.0;
+  return r;
+}
+
+CycleSimResult simulate_system_call(const SystemConfig& system,
+                                    std::size_t ni, std::size_t nj) {
+  CycleSimResult worst;
+  std::size_t remaining = nj;
+  const std::size_t share = (nj + system.boards - 1) / system.boards;
+  for (std::size_t b = 0; b < system.boards && remaining > 0; ++b) {
+    const std::size_t nj_board = std::min(share, remaining);
+    remaining -= nj_board;
+    const CycleSimResult r = simulate_board_call(system.board, ni, nj_board);
+    // Boards run in parallel: the slowest sets the wall clock, the work
+    // adds up.
+    if (r.seconds > worst.seconds) {
+      worst.memory_cycles = r.memory_cycles;
+      worst.pipeline_cycles = r.pipeline_cycles;
+      worst.passes = r.passes;
+      worst.seconds = r.seconds;
+    }
+    worst.interactions += r.interactions;
+    worst.idle_slot_cycles += r.idle_slot_cycles;
+  }
+  const double peak_rate = system.peak_interaction_rate();
+  worst.utilization = worst.seconds > 0.0
+                          ? static_cast<double>(worst.interactions) /
+                                (worst.seconds * peak_rate)
+                          : 0.0;
+  return worst;
+}
+
+}  // namespace g5::grape

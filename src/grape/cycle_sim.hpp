@@ -1,0 +1,44 @@
+// Discrete-event cycle simulation of one force call.
+//
+// The analytic TimingModel (timing.hpp) charges ceil(ni / i_slots) passes
+// of nj memory cycles — a closed form. This module *simulates* the same
+// call cycle by cycle: the j-broadcast bus, the VMP slot occupancy of
+// every chip, pipeline fill/drain latency, and the serialization between
+// passes. It exists to validate the closed form (they must agree to the
+// drain-latency correction) and to answer shape questions the formula
+// cannot (e.g. how much the pipeline latency costs for very short lists).
+#pragma once
+
+#include <cstdint>
+
+#include "grape/config.hpp"
+
+namespace g5::grape {
+
+struct CycleSimResult {
+  std::uint64_t memory_cycles = 0;    ///< 15 MHz cycles consumed
+  std::uint64_t pipeline_cycles = 0;  ///< 90 MHz cycles (= 6x memory)
+  std::uint64_t interactions = 0;     ///< force evaluations completed
+  std::uint64_t passes = 0;           ///< i-reload passes
+  std::uint64_t idle_slot_cycles = 0; ///< slot-cycles wasted on partial fill
+  double seconds = 0.0;               ///< memory_cycles / memory_clock
+  /// Fraction of peak interaction throughput achieved during the call.
+  double utilization = 0.0;
+};
+
+/// Pipeline drain latency in pipeline (90 MHz) cycles: stages between a
+/// j-word entering the datapath and its contribution landing in the
+/// accumulator. Charged once per pass (the stream overlaps otherwise).
+inline constexpr std::uint64_t kPipelineDepth = 24;
+
+/// Simulate one board evaluating ni i-particles against nj resident
+/// j-particles, cycle by cycle.
+CycleSimResult simulate_board_call(const BoardConfig& board, std::size_t ni,
+                                   std::size_t nj);
+
+/// Simulate the full system (j block-partitioned over the boards, boards
+/// in parallel): the slowest board defines the wall clock.
+CycleSimResult simulate_system_call(const SystemConfig& system,
+                                    std::size_t ni, std::size_t nj);
+
+}  // namespace g5::grape

@@ -1,0 +1,70 @@
+// Host interface board (HIB) accounting.
+//
+// The paper's system has one HIB per processor board; all particle data
+// and results move through them. The emulator does not move real DMA
+// traffic, but every transfer is metered here so benches can report the
+// communication volume and the timing model can charge for it.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "grape/config.hpp"
+
+namespace g5::grape {
+
+class HostInterface {
+ public:
+  explicit HostInterface(const HostInterfaceConfig& config) : cfg_(config) {}
+
+  void record_j_upload(std::size_t count) {
+    j_words_ += count;
+    bytes_to_board_ += count * cfg_.bytes_per_j;
+    ++transfers_;
+  }
+  void record_i_upload(std::size_t count) {
+    i_words_ += count;
+    bytes_to_board_ += count * cfg_.bytes_per_i;
+    ++transfers_;
+  }
+  void record_result_read(std::size_t count) {
+    result_words_ += count;
+    bytes_from_board_ += count * cfg_.bytes_per_result;
+    ++transfers_;
+  }
+
+  [[nodiscard]] std::uint64_t bytes_to_board() const noexcept {
+    return bytes_to_board_;
+  }
+  [[nodiscard]] std::uint64_t bytes_from_board() const noexcept {
+    return bytes_from_board_;
+  }
+  [[nodiscard]] std::uint64_t total_bytes() const noexcept {
+    return bytes_to_board_ + bytes_from_board_;
+  }
+  [[nodiscard]] std::uint64_t transfers() const noexcept { return transfers_; }
+  [[nodiscard]] std::uint64_t j_words() const noexcept { return j_words_; }
+  [[nodiscard]] std::uint64_t i_words() const noexcept { return i_words_; }
+  [[nodiscard]] std::uint64_t result_words() const noexcept {
+    return result_words_;
+  }
+
+  /// Modeled seconds for everything this interface has carried so far.
+  [[nodiscard]] double modeled_time() const {
+    return static_cast<double>(transfers_) * cfg_.latency_s +
+           static_cast<double>(total_bytes()) / cfg_.bandwidth_bytes_per_s;
+  }
+
+  void reset() { *this = HostInterface(cfg_); }
+
+ private:
+  HostInterfaceConfig cfg_;
+  std::uint64_t bytes_to_board_ = 0;
+  std::uint64_t bytes_from_board_ = 0;
+  std::uint64_t transfers_ = 0;
+  std::uint64_t j_words_ = 0;
+  std::uint64_t i_words_ = 0;
+  std::uint64_t result_words_ = 0;
+};
+
+}  // namespace g5::grape

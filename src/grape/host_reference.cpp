@@ -1,0 +1,77 @@
+#include "grape/host_reference.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace g5::grape {
+
+void pairwise(const Vec3d& xi, const Vec3d& xj, double mj, double eps,
+              Vec3d& acc_out, double& pot_out) {
+  const Vec3d dx = xj - xi;
+  const double r2 = dx.norm2() + eps * eps;
+  if (r2 == 0.0) {
+    acc_out = Vec3d{};
+    pot_out = 0.0;
+    return;
+  }
+  const double rinv = 1.0 / std::sqrt(r2);
+  const double rinv3 = rinv * rinv * rinv;
+  acc_out = (mj * rinv3) * dx;
+  pot_out = -mj * rinv;
+}
+
+void host_direct_self(std::span<const Vec3d> pos, std::span<const double> mass,
+                      double eps, std::span<Vec3d> acc,
+                      std::span<double> pot) {
+  const std::size_t n = pos.size();
+  if (mass.size() != n || acc.size() != n || pot.size() != n) {
+    throw std::invalid_argument("host_direct_self: arity mismatch");
+  }
+  std::fill(acc.begin(), acc.end(), Vec3d{});
+  std::fill(pot.begin(), pot.end(), 0.0);
+  const double eps2 = eps * eps;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const Vec3d dx = pos[j] - pos[i];
+      const double r2 = dx.norm2() + eps2;
+      if (r2 == 0.0) continue;
+      const double rinv = 1.0 / std::sqrt(r2);
+      const double rinv3 = rinv * rinv * rinv;
+      acc[i] += (mass[j] * rinv3) * dx;
+      acc[j] -= (mass[i] * rinv3) * dx;
+      pot[i] -= mass[j] * rinv;
+      pot[j] -= mass[i] * rinv;
+    }
+  }
+}
+
+void host_forces_on_targets(std::span<const Vec3d> i_pos,
+                            std::span<const Vec3d> j_pos,
+                            std::span<const double> j_mass, double eps,
+                            std::span<Vec3d> acc, std::span<double> pot) {
+  const std::size_t ni = i_pos.size();
+  const std::size_t nj = j_pos.size();
+  if (j_mass.size() != nj || acc.size() != ni || pot.size() != ni) {
+    throw std::invalid_argument("host_forces_on_targets: arity mismatch");
+  }
+  const double eps2 = eps * eps;
+  for (std::size_t i = 0; i < ni; ++i) {
+    Vec3d a{};
+    double p = 0.0;
+    const Vec3d xi = i_pos[i];
+    for (std::size_t j = 0; j < nj; ++j) {
+      const Vec3d dx = j_pos[j] - xi;
+      if (dx.norm2() == 0.0) continue;  // mirror the pipeline's i == j cut
+      const double r2 = dx.norm2() + eps2;
+      const double rinv = 1.0 / std::sqrt(r2);
+      const double rinv3 = rinv * rinv * rinv;
+      a += (j_mass[j] * rinv3) * dx;
+      p -= j_mass[j] * rinv;
+    }
+    acc[i] = a;
+    pot[i] = p;
+  }
+}
+
+}  // namespace g5::grape

@@ -1,0 +1,34 @@
+// Double-precision direct-summation kernels on the host CPU.
+//
+// These are (a) the ground truth every accuracy test compares against,
+// (b) the "64-bit floating point arithmetic" comparator of Section 2 of
+// the paper, and (c) the compute backend of the host-only force engines.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "math/vec3.hpp"
+
+namespace g5::grape {
+
+using math::Vec3d;
+
+/// All-pairs softened gravity among one set (Newton's-third-law symmetric
+/// accumulation, G = 1). acc/pot are overwritten.
+void host_direct_self(std::span<const Vec3d> pos, std::span<const double> mass,
+                      double eps, std::span<Vec3d> acc, std::span<double> pot);
+
+/// Forces of a source set on a target set (no self-pair skipping except
+/// exact coincidence with eps == 0, matching the pipeline semantics).
+/// acc/pot are overwritten.
+void host_forces_on_targets(std::span<const Vec3d> i_pos,
+                            std::span<const Vec3d> j_pos,
+                            std::span<const double> j_mass, double eps,
+                            std::span<Vec3d> acc, std::span<double> pot);
+
+/// Single softened pairwise interaction (for spot tests).
+void pairwise(const Vec3d& xi, const Vec3d& xj, double mj, double eps,
+              Vec3d& acc_out, double& pot_out);
+
+}  // namespace g5::grape

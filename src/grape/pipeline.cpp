@@ -1,0 +1,122 @@
+#include "grape/pipeline.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace g5::grape {
+
+using math::FixedAccumulator;
+using math::LnsValue;
+
+Pipeline::Pipeline(const PipelineNumerics& numerics)
+    : numerics_(numerics),
+      lns_(numerics.lns_frac_bits),
+      codec_(-1.0, 1.0, numerics.position_bits) {
+  lns_.set_table_index_bits(numerics.table_index_bits);
+  configure(PipelineScaling{});
+}
+
+void Pipeline::configure(const PipelineScaling& scaling) {
+  if (!(scaling.range_hi > scaling.range_lo)) {
+    throw std::invalid_argument("pipeline range window empty");
+  }
+  if (scaling.force_quantum <= 0.0 || scaling.potential_quantum <= 0.0) {
+    throw std::invalid_argument("accumulator quanta must be > 0");
+  }
+  scaling_ = scaling;
+  codec_ = math::FixedPointCodec(scaling.range_lo, scaling.range_hi,
+                                 numerics_.position_bits);
+  eps2_ = scaling.eps * scaling.eps;
+}
+
+JWord Pipeline::encode_j(const Vec3d& pos, double mass) const {
+  JWord j;
+  for (int c = 0; c < 3; ++c) j.x[c] = codec_.encode(pos[c]);
+  j.mass = lns_.from_double(mass);
+  j.mass_exact = mass;
+  return j;
+}
+
+IState Pipeline::encode_i(const Vec3d& pos) const {
+  IState s;
+  for (int c = 0; c < 3; ++c) s.x[c] = codec_.encode(pos[c]);
+  s.x_exact = pos;
+  for (auto& a : s.acc) a = FixedAccumulator(scaling_.force_quantum);
+  s.pot = FixedAccumulator(scaling_.potential_quantum);
+  return s;
+}
+
+void Pipeline::interact(IState& i_state, const JWord& j) const {
+  if (numerics_.exact_arithmetic) {
+    interact_exact(i_state, j);
+    return;
+  }
+
+  // 1. Coordinate differences: exact fixed-point subtraction, then the
+  //    difference enters the log-format datapath (one conversion rounding
+  //    per component).
+  const double q = codec_.quantum();
+  LnsValue dx[3];
+  bool all_zero = true;
+  for (int c = 0; c < 3; ++c) {
+    const std::int64_t d = j.x[c] - i_state.x[c];
+    if (d != 0) all_zero = false;
+    dx[c] = lns_.from_double(static_cast<double>(d) * q);
+  }
+  // Self-interaction cut: the pipeline drops pairs whose fixed-point
+  // coordinates coincide (the hardware's i == j detection). The force of
+  // such a pair is exactly zero anyway; cutting it also keeps the
+  // softened self-potential -m/eps out of the accumulators, so the host
+  // needs no (format-error-prone) correction.
+  if (all_zero) return;
+
+  // 2. Squares in log format (exact shifts), summed with eps^2 by the
+  //    block-normalized adder, modeled as an exact add re-quantized to the
+  //    log format.
+  double r2 = eps2_;
+  for (const auto& d : dx) r2 += lns_.to_double(lns_.square(d));
+  const LnsValue r2_lns = lns_.from_double(r2);
+
+  // 3. g = (r^2)^(-3/2) (table unit) and h = (r^2)^(-1/2) (potential unit).
+  const LnsValue g = lns_.pow_neg_3_2(r2_lns);
+  const LnsValue h = lns_.pow_neg_1_2(r2_lns);
+
+  // 4. Products m*g and m*g*dx in log format (integer adds), then the
+  //    fixed-point accumulators pick up the converted results.
+  const LnsValue mg = lns_.mul(j.mass, g);
+  for (int c = 0; c < 3; ++c) {
+    i_state.acc[c].add(lns_.to_double(lns_.mul(mg, dx[c])));
+  }
+  i_state.pot.add(-lns_.to_double(lns_.mul(j.mass, h)));
+}
+
+void Pipeline::interact_exact(IState& i_state, const JWord& j) const {
+  const double q = codec_.quantum();
+  Vec3d dx;
+  for (int c = 0; c < 3; ++c) {
+    dx[c] = static_cast<double>(j.x[c] - i_state.x[c]) * q;
+  }
+  if (dx.norm2() == 0.0) return;  // the same i == j cut as the lns path
+  const double r2 = dx.norm2() + eps2_;
+  if (r2 == 0.0) return;
+  const double rinv = 1.0 / std::sqrt(r2);
+  const double mg = j.mass_exact * rinv * rinv * rinv;
+  for (int c = 0; c < 3; ++c) i_state.acc[c].add(mg * dx[c]);
+  i_state.pot.add(-j.mass_exact * rinv);
+}
+
+Vec3d Pipeline::read_force(const IState& i_state) const {
+  return {i_state.acc[0].value(), i_state.acc[1].value(),
+          i_state.acc[2].value()};
+}
+
+double Pipeline::read_potential(const IState& i_state) const {
+  return i_state.pot.value();
+}
+
+bool Pipeline::saturated(const IState& i_state) const {
+  return i_state.acc[0].saturated() || i_state.acc[1].saturated() ||
+         i_state.acc[2].saturated() || i_state.pot.saturated();
+}
+
+}  // namespace g5::grape

@@ -1,0 +1,113 @@
+// Bit-level emulation of one G5 force pipeline.
+//
+// The G5 chip evaluates, for each resident i-particle and a stream of
+// j-particles,
+//
+//   a_i  = sum_j m_j (x_j - x_i) / (|x_j - x_i|^2 + eps^2)^(3/2)
+//   p_i  = sum_j m_j / (|x_j - x_i|^2 + eps^2)^(1/2)
+//
+// with the hardware number formats:
+//   * coordinates: fixed point (position_bits per component) on the window
+//     set by g5_set_range; the subtraction x_j - x_i is exact in fixed
+//     point;
+//   * the multiplicative core (squares, the (.)^(-3/2) and (.)^(-1/2)
+//     units, the m_j * g * dx products): short logarithmic format with
+//     lns_frac_bits fractional bits — multiplication is an integer add of
+//     log words, powers are shifts, and rounding happens only at format
+//     conversions;
+//   * the sum dx^2+dy^2+dz^2+eps^2: block-normalized add, modeled as an
+//     exact sum re-quantized into the log format (one conversion rounding);
+//   * accumulation: wide fixed point (64-bit) on a per-call force quantum.
+//
+// lns_frac_bits = 8 lands the pairwise rms relative force error at ~0.3 %,
+// the figure the paper quotes for GRAPE-5; the calibration is pinned by
+// tests/grape_pipeline_test.cpp and swept by bench_e3_accuracy.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "grape/config.hpp"
+#include "math/fixed.hpp"
+#include "math/lns.hpp"
+#include "math/vec3.hpp"
+
+namespace g5::grape {
+
+using math::Vec3d;
+
+/// A j-particle as stored in the on-board particle memory: quantized
+/// coordinates plus the mass in log format.
+struct JWord {
+  std::int64_t x[3] = {0, 0, 0};
+  math::LnsValue mass{};
+  double mass_exact = 0.0;  ///< used only when exact_arithmetic is on
+};
+
+/// An i-particle resident in a pipeline: quantized coordinates and the
+/// fixed-point force/potential accumulators.
+struct IState {
+  std::int64_t x[3] = {0, 0, 0};
+  Vec3d x_exact{};  ///< used only when exact_arithmetic is on
+  math::FixedAccumulator acc[3] = {math::FixedAccumulator(1.0),
+                                   math::FixedAccumulator(1.0),
+                                   math::FixedAccumulator(1.0)};
+  math::FixedAccumulator pot = math::FixedAccumulator(1.0);
+};
+
+/// The per-call scaling state shared by all pipelines of the system
+/// (coordinate window, softening, accumulator quanta).
+struct PipelineScaling {
+  double range_lo = -1.0;
+  double range_hi = 1.0;
+  double eps = 0.0;
+  /// Accumulator quanta (set by the driver from the mass scale; see
+  /// Grape5System::prepare_scaling).
+  double force_quantum = 1e-18;
+  double potential_quantum = 1e-18;
+};
+
+class Pipeline {
+ public:
+  explicit Pipeline(const PipelineNumerics& numerics);
+
+  /// (Re)build the coordinate codec for a new range window.
+  void configure(const PipelineScaling& scaling);
+
+  [[nodiscard]] const PipelineScaling& scaling() const noexcept {
+    return scaling_;
+  }
+  [[nodiscard]] const PipelineNumerics& numerics() const noexcept {
+    return numerics_;
+  }
+
+  /// Quantize a j-particle for the particle memory.
+  [[nodiscard]] JWord encode_j(const Vec3d& pos, double mass) const;
+
+  /// Load an i-particle into a pipeline slot (resets accumulators).
+  [[nodiscard]] IState encode_i(const Vec3d& pos) const;
+
+  /// One pipeline cycle: accumulate the interaction of one j onto one i.
+  void interact(IState& i_state, const JWord& j) const;
+
+  /// Read back the accumulated force and potential (hardware readout).
+  [[nodiscard]] Vec3d read_force(const IState& i_state) const;
+  [[nodiscard]] double read_potential(const IState& i_state) const;
+  [[nodiscard]] bool saturated(const IState& i_state) const;
+
+  /// Position quantum of the current window (for diagnostics/tests).
+  [[nodiscard]] double position_quantum() const {
+    return codec_.quantum();
+  }
+
+ private:
+  PipelineNumerics numerics_;
+  math::LnsFormat lns_;
+  PipelineScaling scaling_;
+  math::FixedPointCodec codec_;
+  double eps2_ = 0.0;
+
+  void interact_exact(IState& i_state, const JWord& j) const;
+};
+
+}  // namespace g5::grape

@@ -1,0 +1,148 @@
+#include "grape/system.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/log.hpp"
+#include "util/timer.hpp"
+
+namespace g5::grape {
+
+namespace {
+
+/// Accumulator quanta from the problem scales: small enough that
+/// quantization is far below the pipeline's log-format error, large enough
+/// that softened close encounters cannot overflow 63 bits. See
+/// tests/grape_system_test.cpp for the headroom checks.
+void derive_quanta(PipelineScaling& s, double mass_scale) {
+  const double width = s.range_hi - s.range_lo;
+  const double m = mass_scale > 0.0 ? mass_scale : 1.0;
+  s.force_quantum = m / (width * width) * std::ldexp(1.0, -34);
+  s.potential_quantum = m / width * std::ldexp(1.0, -34);
+}
+
+}  // namespace
+
+Grape5System::Grape5System(const SystemConfig& config)
+    : cfg_(config), timing_(config) {
+  if (cfg_.boards == 0) throw std::invalid_argument("need >= 1 board");
+  boards_.reserve(cfg_.boards);
+  for (std::size_t b = 0; b < cfg_.boards; ++b) {
+    boards_.push_back(std::make_unique<ProcessorBoard>(cfg_.board, cfg_.hib,
+                                                       cfg_.numerics));
+  }
+  board_j_count_.assign(cfg_.boards, 0);
+}
+
+void Grape5System::set_range(double lo, double hi, double eps,
+                             double mass_scale) {
+  if (!(hi > lo)) throw std::invalid_argument("range window empty");
+  if (eps < 0.0) throw std::invalid_argument("softening must be >= 0");
+  scaling_.range_lo = lo;
+  scaling_.range_hi = hi;
+  scaling_.eps = eps;
+  derive_quanta(scaling_, mass_scale);
+  for (auto& board : boards_) board->configure(scaling_);
+  std::fill(board_j_count_.begin(), board_j_count_.end(), 0);
+  resident_j_ = 0;
+  range_set_ = true;
+}
+
+void Grape5System::set_j_particles(std::span<const Vec3d> pos,
+                                   std::span<const double> mass) {
+  if (!range_set_) {
+    throw std::logic_error("set_range must be called before set_j_particles");
+  }
+  if (pos.size() != mass.size()) {
+    throw std::invalid_argument("position/mass arity mismatch");
+  }
+  if (pos.size() > jmem_capacity()) {
+    throw std::out_of_range(
+        "j-set exceeds aggregate particle memory; chunk the interaction "
+        "list (the driver layer does this automatically)");
+  }
+
+  const std::size_t nj = pos.size();
+  const std::size_t share = timing_.j_per_board(nj);
+  std::size_t offset = 0;
+  for (std::size_t b = 0; b < cfg_.boards; ++b) {
+    const std::size_t count = std::min(share, nj - offset);
+    boards_[b]->set_j_count(0);
+    if (count > 0) {
+      boards_[b]->set_j(0, pos.data() + offset, mass.data() + offset, count);
+    }
+    board_j_count_[b] = count;
+    offset += count;
+    if (offset >= nj) {
+      for (std::size_t rest = b + 1; rest < cfg_.boards; ++rest) {
+        boards_[rest]->set_j_count(0);
+        board_j_count_[rest] = 0;
+      }
+      break;
+    }
+  }
+  resident_j_ = nj;
+  account_.j_uploaded += nj;
+  account_.modeled_dma_j += timing_.j_upload_time(nj);
+}
+
+std::size_t Grape5System::compute(std::span<const Vec3d> i_pos,
+                                  std::span<Vec3d> out_acc,
+                                  std::span<double> out_pot) {
+  if (!range_set_) {
+    throw std::logic_error("set_range must be called before compute");
+  }
+  const std::size_t ni = i_pos.size();
+  if (out_acc.size() != ni || out_pot.size() != ni) {
+    throw std::invalid_argument("output span arity mismatch");
+  }
+  std::fill(out_acc.begin(), out_acc.end(), Vec3d{});
+  std::fill(out_pot.begin(), out_pot.end(), 0.0);
+  if (ni == 0 || resident_j_ == 0) return 0;
+
+  if (sat_flags_.size() < ni) sat_flags_.resize(ni);
+  std::fill(sat_flags_.begin(), sat_flags_.begin() + ni, std::uint8_t{0});
+
+  util::Stopwatch watch;
+  std::size_t interactions = 0;
+  for (auto& board : boards_) {
+    if (board->j_count() == 0) continue;
+    interactions += board->run(i_pos.data(), ni, out_acc.data(),
+                               out_pot.data(), sat_flags_.data());
+  }
+  bool call_saturated = false;
+  for (std::size_t i = 0; i < ni; ++i) call_saturated |= (sat_flags_[i] != 0);
+  account_.emulation_wall += watch.elapsed();
+
+  const ForceCallTiming t = timing_.force_call(ni, resident_j_, false);
+  account_.modeled_dma_i += t.dma_i;
+  account_.modeled_compute += t.compute;
+  account_.modeled_dma_result += t.dma_result;
+  ++account_.force_calls;
+  account_.interactions += interactions;
+  account_.i_processed += ni;
+
+  if (call_saturated) {
+    if (!saturated_) {
+      util::log_warn() << "GRAPE-5 accumulator saturation detected; "
+                          "range window or mass scale is mis-set";
+    }
+    saturated_ = true;  // latched until reset_account()
+  }
+  return interactions;
+}
+
+void Grape5System::reset_account() {
+  account_.reset();
+  saturated_ = false;
+  for (auto& board : boards_) board->hib().reset();
+}
+
+std::uint64_t Grape5System::bytes_moved() const {
+  std::uint64_t total = 0;
+  for (const auto& board : boards_) total += board->hib().total_bytes();
+  return total;
+}
+
+}  // namespace g5::grape

@@ -1,0 +1,102 @@
+// The whole GRAPE-5 system: two processor boards behind two host
+// interfaces, a shared scaling state, the timing model and the work
+// account. This is the C++ face of the hardware; the C-style g5_* driver
+// (grape/driver.hpp) is a thin veneer over it.
+//
+// Work distribution follows the real system: the *j*-particles (field
+// sources) are block-partitioned over the boards, every board evaluates
+// every i-particle against its share, and the host sums the partial
+// forces. set_j_particles handles the partitioning; compute() handles
+// chunking when the caller's i-set exceeds what it wants per call.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "grape/board.hpp"
+#include "grape/config.hpp"
+#include "grape/timing.hpp"
+#include "math/vec3.hpp"
+
+namespace g5::grape {
+
+class Grape5System {
+ public:
+  explicit Grape5System(const SystemConfig& config = SystemConfig{});
+
+  [[nodiscard]] const SystemConfig& config() const noexcept { return cfg_; }
+  [[nodiscard]] const TimingModel& timing() const noexcept { return timing_; }
+
+  /// Set the coordinate window and softening; invalidates resident j-sets.
+  /// `mass_scale` feeds the accumulator quanta (pass the total mass of the
+  /// j-population, or 0 to defer to set_j_particles' automatic choice).
+  void set_range(double lo, double hi, double eps, double mass_scale = 0.0);
+
+  /// Upload a full j-set, block-partitioned across the boards. Throws if
+  /// the set exceeds the aggregate particle memory.
+  void set_j_particles(std::span<const Vec3d> pos, std::span<const double> mass);
+
+  /// Evaluate the forces of the resident j-set on the given i-particles.
+  /// Accumulates modeled time and interaction counts. `out_acc`/`out_pot`
+  /// are overwritten (not accumulated). Returns interactions computed.
+  std::size_t compute(std::span<const Vec3d> i_pos, std::span<Vec3d> out_acc,
+                      std::span<double> out_pot);
+
+  /// Number of j-particles currently resident (across boards).
+  [[nodiscard]] std::size_t resident_j() const noexcept { return resident_j_; }
+
+  /// Aggregate j-memory capacity.
+  [[nodiscard]] std::size_t jmem_capacity() const noexcept {
+    return cfg_.total_jmem();
+  }
+
+  /// True if any i-particle of any call since the last reset saturated an
+  /// accumulator (would indicate a mis-set range window).
+  [[nodiscard]] bool any_saturation() const noexcept { return saturated_; }
+
+  [[nodiscard]] const HardwareAccount& account() const noexcept {
+    return account_;
+  }
+  void reset_account();
+
+  /// Communication meters (aggregated over boards).
+  [[nodiscard]] std::uint64_t bytes_moved() const;
+
+  [[nodiscard]] const PipelineScaling& scaling() const noexcept {
+    return scaling_;
+  }
+
+  /// Direct pipeline access for tests (board 0's pipeline).
+  [[nodiscard]] const Pipeline& pipeline() const {
+    return boards_.front()->pipeline();
+  }
+
+  /// Board access (self-test, fault injection, diagnostics).
+  [[nodiscard]] std::size_t board_count() const noexcept {
+    return boards_.size();
+  }
+  [[nodiscard]] ProcessorBoard& board(std::size_t idx) {
+    return *boards_.at(idx);
+  }
+  [[nodiscard]] const ProcessorBoard& board(std::size_t idx) const {
+    return *boards_.at(idx);
+  }
+
+ private:
+  SystemConfig cfg_;
+  TimingModel timing_;
+  std::vector<std::unique_ptr<ProcessorBoard>> boards_;
+  PipelineScaling scaling_;
+  std::vector<std::size_t> board_j_count_;
+  std::size_t resident_j_ = 0;
+  bool range_set_ = false;
+  bool saturated_ = false;
+  HardwareAccount account_;
+
+  // Per-call saturation flags (byte array so boards can write through it).
+  std::vector<std::uint8_t> sat_flags_;
+};
+
+}  // namespace g5::grape

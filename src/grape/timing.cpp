@@ -1,0 +1,60 @@
+#include "grape/timing.hpp"
+
+namespace g5::grape {
+
+std::size_t TimingModel::j_per_board(std::size_t nj) const {
+  const std::size_t b = cfg_.boards;
+  return (nj + b - 1) / b;
+}
+
+double TimingModel::board_compute_time(std::size_t ni,
+                                       std::size_t nj_board) const {
+  if (ni == 0 || nj_board == 0) return 0.0;
+  // The board broadcasts one j-word per memory-clock cycle to all chips;
+  // each chip's two pipelines hold vmp_factor i-particles apiece, so one
+  // pass covers i_slots() i-particles. ceil(ni / i_slots) passes are
+  // needed, each streaming the full resident j-set.
+  const std::size_t slots = cfg_.board.i_slots();
+  const std::size_t passes = (ni + slots - 1) / slots;
+  return static_cast<double>(passes) * static_cast<double>(nj_board) /
+         cfg_.board.memory_clock_hz;
+}
+
+double TimingModel::transfer_time(std::size_t bytes) const {
+  if (bytes == 0) return 0.0;
+  return cfg_.hib.latency_s +
+         static_cast<double>(bytes) / cfg_.hib.bandwidth_bytes_per_s;
+}
+
+double TimingModel::j_upload_time(std::size_t nj) const {
+  if (nj == 0) return 0.0;
+  // Block distribution; each board's share moves over its own host
+  // interface board, in parallel, so the cost is the largest share.
+  return transfer_time(j_per_board(nj) * cfg_.hib.bytes_per_j);
+}
+
+ForceCallTiming TimingModel::force_call(std::size_t ni, std::size_t nj,
+                                        bool includes_j_upload) const {
+  ForceCallTiming t;
+  if (includes_j_upload) t.dma_j = j_upload_time(nj);
+  // Every board sees every i-particle (j is what is partitioned), but the
+  // two uploads ride separate interfaces in parallel.
+  t.dma_i = transfer_time(ni * cfg_.hib.bytes_per_i);
+  t.compute = board_compute_time(ni, j_per_board(nj));
+  t.dma_result = transfer_time(ni * cfg_.hib.bytes_per_result);
+  return t;
+}
+
+double TimingModel::peak_interaction_rate() const {
+  return cfg_.peak_interaction_rate();
+}
+
+double TimingModel::effective_rate(std::size_t ni, std::size_t nj) const {
+  if (ni == 0 || nj == 0) return 0.0;
+  const double interactions =
+      static_cast<double>(ni) * static_cast<double>(nj);
+  const double t = board_compute_time(ni, j_per_board(nj));
+  return t > 0.0 ? interactions / t : 0.0;
+}
+
+}  // namespace g5::grape

@@ -1,0 +1,86 @@
+#include "ic/galaxy.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "ic/plummer.hpp"
+
+namespace g5::ic {
+
+using math::Vec3d;
+
+GalaxyCollisionResult make_galaxy_collision(
+    const GalaxyCollisionConfig& config) {
+  if (config.mass_ratio <= 0.0) {
+    throw std::invalid_argument("mass_ratio must be > 0");
+  }
+  if (config.pericenter <= 0.0 || config.initial_separation <= 0.0) {
+    throw std::invalid_argument("orbit distances must be > 0");
+  }
+  if (config.initial_separation < 2.0 * config.pericenter) {
+    throw std::invalid_argument(
+        "initial_separation must be >= 2 * pericenter for a parabolic orbit");
+  }
+
+  const double m1 = 1.0;
+  const double m2 = config.mass_ratio;
+  const double mtot = m1 + m2;
+
+  PlummerConfig p1;
+  p1.n = config.n_per_galaxy;
+  p1.total_mass = m1;
+  p1.seed = config.seed;
+  PlummerConfig p2 = p1;
+  p2.total_mass = m2;
+  p2.seed = config.seed + 1;
+
+  model::ParticleSet g1 = make_plummer(p1);
+  model::ParticleSet g2 = make_plummer(p2);
+
+  // Parabolic relative orbit in the x-y plane: energy 0, pericenter rp.
+  // Parameterized by the true anomaly f at separation d:
+  //   r(f) = 2 rp / (1 + cos f),   v^2 = 2 G mtot / r.
+  const double rp = config.pericenter;
+  const double d = config.initial_separation;
+  const double cosf = 2.0 * rp / d - 1.0;
+  const double f = std::acos(std::clamp(cosf, -1.0, 1.0));
+  const Vec3d rel_pos{d * std::cos(f), d * std::sin(f), 0.0};
+
+  // Parabolic velocity split into radial/tangential components:
+  // h = sqrt(2 G mtot rp) (specific angular momentum), vt = h / r,
+  // vr = sqrt(v^2 - vt^2); approaching pericenter means vr < 0.
+  const double h = std::sqrt(2.0 * mtot * rp);
+  const double v2 = 2.0 * mtot / d;
+  const double vt = h / d;
+  const double vr = -std::sqrt(std::max(0.0, v2 - vt * vt));
+  const Vec3d radial = rel_pos / d;
+  const Vec3d tangential{-radial.y, radial.x, 0.0};
+  const Vec3d rel_vel = vr * radial + vt * tangential;
+
+  // Place galaxies around the common center of mass.
+  const Vec3d r1 = -(m2 / mtot) * rel_pos;
+  const Vec3d r2 = (m1 / mtot) * rel_pos;
+  const Vec3d v1 = -(m2 / mtot) * rel_vel;
+  const Vec3d v2v = (m1 / mtot) * rel_vel;
+
+  for (std::size_t i = 0; i < g1.size(); ++i) {
+    g1.pos()[i] += r1;
+    g1.vel()[i] += v1;
+  }
+  for (std::size_t i = 0; i < g2.size(); ++i) {
+    g2.pos()[i] += r2;
+    g2.vel()[i] += v2v;
+  }
+
+  GalaxyCollisionResult out;
+  out.n_first = g1.size();
+  out.particles = std::move(g1);
+  out.particles.append(g2);
+  // Free-fall time from the initial separation, a natural dt scale.
+  out.orbital_period_estimate =
+      M_PI * std::sqrt(d * d * d / (8.0 * mtot));
+  return out;
+}
+
+}  // namespace g5::ic

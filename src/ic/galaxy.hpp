@@ -1,0 +1,29 @@
+// Two-galaxy encounter setup (for the galaxy_collision example).
+//
+// Places two Plummer spheres on a parabolic (zero-energy) two-body orbit
+// in the x-y plane, in N-body units with G = 1.
+#pragma once
+
+#include <cstdint>
+
+#include "model/particles.hpp"
+
+namespace g5::ic {
+
+struct GalaxyCollisionConfig {
+  std::size_t n_per_galaxy = 8192;
+  double mass_ratio = 1.0;        ///< M2 / M1
+  double pericenter = 1.0;        ///< closest approach of the two-body orbit
+  double initial_separation = 10.0;
+  std::uint64_t seed = 7;
+};
+
+struct GalaxyCollisionResult {
+  model::ParticleSet particles;   ///< both galaxies merged into one set
+  std::size_t n_first = 0;        ///< particles [0, n_first) belong to galaxy 1
+  double orbital_period_estimate = 0.0;  ///< free-fall time scale, for dt
+};
+
+GalaxyCollisionResult make_galaxy_collision(const GalaxyCollisionConfig& config);
+
+}  // namespace g5::ic

@@ -1,0 +1,149 @@
+#include "ic/grf.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <tuple>
+
+namespace g5::ic {
+
+using math::Complex;
+using math::Grid3C;
+using math::Vec3d;
+
+GaussianRandomField::GaussianRandomField(const GrfConfig& config,
+                                         const PowerSpectrum& ps)
+    : cfg_(config) {
+  if (!math::is_pow2(cfg_.grid_n)) {
+    throw std::invalid_argument("grid_n must be a power of two");
+  }
+  if (cfg_.box_size <= 0.0) {
+    throw std::invalid_argument("box_size must be > 0");
+  }
+  delta_k_ = std::make_unique<Grid3C>(cfg_.grid_n);
+  sample_modes(ps);
+  derive_real_fields();
+}
+
+void GaussianRandomField::sample_modes(const PowerSpectrum& ps) {
+  const std::size_t n = cfg_.grid_n;
+  const double volume = cfg_.box_size * cfg_.box_size * cfg_.box_size;
+  const double kf = 2.0 * M_PI / cfg_.box_size;  // fundamental mode
+  math::Rng rng(cfg_.seed);
+
+  // Each independent mode gets <|delta_k|^2> = P(k) / V. Pairs (k, -k) are
+  // conjugate; self-conjugate modes (all components 0 or n/2) are real.
+  // We iterate in a fixed order and draw exactly one pair of Gaussians per
+  // independent mode, so the realization is deterministic in the seed.
+  auto conj_index = [n](std::size_t i) { return (n - i) % n; };
+
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      for (std::size_t k = 0; k < n; ++k) {
+        const std::size_t ci = conj_index(i), cj = conj_index(j),
+                          ck = conj_index(k);
+        // Canonical representative of the (k, -k) pair: lexicographically
+        // not-greater index triple.
+        const bool self = (ci == i && cj == j && ck == k);
+        const bool canonical =
+            self || std::tie(i, j, k) < std::tie(ci, cj, ck);
+        if (!canonical) continue;
+
+        if (i == 0 && j == 0 && k == 0) {
+          delta_k_->at(i, j, k) = Complex(0.0, 0.0);  // no mean-density mode
+          continue;
+        }
+        const double kx = kf * static_cast<double>(math::freq_index(i, n));
+        const double ky = kf * static_cast<double>(math::freq_index(j, n));
+        const double kz = kf * static_cast<double>(math::freq_index(k, n));
+        const double kk = std::sqrt(kx * kx + ky * ky + kz * kz);
+        const double sigma = std::sqrt(ps(kk) / volume);
+        if (self) {
+          delta_k_->at(i, j, k) = Complex(rng.gaussian(0.0, sigma), 0.0);
+        } else {
+          const Complex v(rng.gaussian(0.0, sigma * M_SQRT1_2),
+                          rng.gaussian(0.0, sigma * M_SQRT1_2));
+          delta_k_->at(i, j, k) = v;
+          delta_k_->at(ci, cj, ck) = std::conj(v);
+        }
+      }
+    }
+  }
+}
+
+void GaussianRandomField::derive_real_fields() {
+  const std::size_t n = cfg_.grid_n;
+  const double kf = 2.0 * M_PI / cfg_.box_size;
+  const double nn = static_cast<double>(n) * static_cast<double>(n) *
+                    static_cast<double>(n);
+
+  // delta(x_j) = sum_k delta_k e^{+i k x_j}; Grid3C::inverse() divides by
+  // n^3, so pre-scale by n^3.
+  delta_x_ = std::make_unique<Grid3C>(n);
+  for (std::size_t idx = 0; idx < delta_k_->size(); ++idx) {
+    delta_x_->data()[idx] = delta_k_->data()[idx] * nn;
+  }
+  delta_x_->inverse();
+
+  // psi_hat(k) = i k / k^2 * delta_k  (so that delta = -div psi).
+  for (int axis = 0; axis < 3; ++axis) {
+    psi_x_[axis] = std::make_unique<Grid3C>(n);
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    const double kx = kf * static_cast<double>(math::freq_index(i, n));
+    for (std::size_t j = 0; j < n; ++j) {
+      const double ky = kf * static_cast<double>(math::freq_index(j, n));
+      for (std::size_t k = 0; k < n; ++k) {
+        const double kz = kf * static_cast<double>(math::freq_index(k, n));
+        const double k2 = kx * kx + ky * ky + kz * kz;
+        if (k2 == 0.0) continue;
+        const Complex d = delta_k_->at(i, j, k) * nn;
+        const Complex ik(0.0, 1.0);
+        psi_x_[0]->at(i, j, k) = ik * (kx / k2) * d;
+        psi_x_[1]->at(i, j, k) = ik * (ky / k2) * d;
+        psi_x_[2]->at(i, j, k) = ik * (kz / k2) * d;
+      }
+    }
+  }
+  for (int axis = 0; axis < 3; ++axis) psi_x_[axis]->inverse();
+}
+
+Vec3d GaussianRandomField::psi_at(std::size_t i, std::size_t j,
+                                  std::size_t k) const {
+  return {psi_x_[0]->at(i, j, k).real(), psi_x_[1]->at(i, j, k).real(),
+          psi_x_[2]->at(i, j, k).real()};
+}
+
+double GaussianRandomField::measured_variance() const {
+  double sum = 0.0;
+  for (std::size_t idx = 0; idx < delta_x_->size(); ++idx) {
+    const double v = delta_x_->data()[idx].real();
+    sum += v * v;
+  }
+  return sum / static_cast<double>(delta_x_->size());
+}
+
+double GaussianRandomField::measured_power_in_shell(double k_lo,
+                                                    double k_hi) const {
+  const std::size_t n = cfg_.grid_n;
+  const double volume = cfg_.box_size * cfg_.box_size * cfg_.box_size;
+  const double kf = 2.0 * M_PI / cfg_.box_size;
+  double sum = 0.0;
+  std::size_t count = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      for (std::size_t k = 0; k < n; ++k) {
+        const double kx = kf * static_cast<double>(math::freq_index(i, n));
+        const double ky = kf * static_cast<double>(math::freq_index(j, n));
+        const double kz = kf * static_cast<double>(math::freq_index(k, n));
+        const double kk = std::sqrt(kx * kx + ky * ky + kz * kz);
+        if (kk < k_lo || kk >= k_hi) continue;
+        sum += std::norm(delta_k_->at(i, j, k));
+        ++count;
+      }
+    }
+  }
+  if (count == 0) return 0.0;
+  return sum / static_cast<double>(count) * volume;
+}
+
+}  // namespace g5::ic

@@ -1,0 +1,100 @@
+#include "ic/hernquist.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "math/rng.hpp"
+
+namespace g5::ic {
+
+using math::Vec3d;
+
+namespace {
+
+/// Isotropic Hernquist distribution function in G = M = b = 1 units, as a
+/// function of q = sqrt(-E), q in [0, 1) (Hernquist 1990, eq. 17; overall
+/// positive normalization constant dropped — rejection sampling only needs
+/// the shape).
+double df_shape(double q) {
+  const double q2 = q * q;
+  const double one_m = 1.0 - q2;
+  if (one_m <= 0.0) return 0.0;
+  const double term = 3.0 * std::asin(q) +
+                      q * std::sqrt(one_m) * (1.0 - 2.0 * q2) *
+                          (8.0 * q2 * q2 - 8.0 * q2 - 3.0);
+  return term / std::pow(one_m, 2.5);
+}
+
+}  // namespace
+
+model::ParticleSet make_hernquist(const HernquistConfig& config) {
+  if (config.n == 0) throw std::invalid_argument("n must be > 0");
+  if (config.total_mass <= 0.0 || config.scale_length <= 0.0) {
+    throw std::invalid_argument("mass and scale length must be > 0");
+  }
+  math::Rng rng(config.seed);
+  model::ParticleSet pset;
+  pset.reserve(config.n);
+  const double m_each = config.total_mass / static_cast<double>(config.n);
+
+  // Work in G = M = b = 1; rescale at the end:
+  // r -> b r', v -> sqrt(M/b) v'.
+  const double rmax = config.rmax_over_b;
+  const double umax = rmax / (1.0 + rmax);  // sqrt of the mass fraction
+
+  for (std::size_t i = 0; i < config.n; ++i) {
+    // Radius from the inverse cumulative mass profile M(r) = (r/(1+r))^2:
+    // sqrt(u) = r/(1+r) -> r = s/(1-s) with s = sqrt(u), truncated.
+    const double s = std::sqrt(rng.uniform()) * umax;
+    const double r = s / (1.0 - s);
+
+    // Speed from the isotropic DF by rejection: density of speeds at
+    // radius r is p(v) ~ v^2 f(E), E = phi(r) + v^2/2, phi = -1/(1+r).
+    const double phi = -1.0 / (1.0 + r);
+    const double v_esc = std::sqrt(-2.0 * phi);
+    // Envelope: scan for the maximum of v^2 f(E) at this radius.
+    double peak = 0.0;
+    constexpr int kScan = 64;
+    for (int k = 1; k < kScan; ++k) {
+      const double v = v_esc * static_cast<double>(k) / kScan;
+      const double q = std::sqrt(-(phi + 0.5 * v * v));
+      peak = std::max(peak, v * v * df_shape(q));
+    }
+    peak *= 1.1;  // scan resolution margin
+    double v = 0.0;
+    for (;;) {
+      v = v_esc * rng.uniform();
+      const double e = phi + 0.5 * v * v;
+      if (e >= 0.0) continue;
+      const double q = std::sqrt(-e);
+      if (peak * rng.uniform() < v * v * df_shape(q)) break;
+    }
+
+    const Vec3d pos = (config.scale_length * r) * rng.on_unit_sphere();
+    const double v_scale =
+        std::sqrt(config.total_mass / config.scale_length);
+    const Vec3d vel = (v_scale * v) * rng.on_unit_sphere();
+    pset.add(pos, vel, m_each);
+  }
+
+  // Exact centering.
+  const Vec3d com = pset.center_of_mass();
+  const Vec3d vmean = pset.total_momentum() / pset.total_mass();
+  for (std::size_t i = 0; i < pset.size(); ++i) {
+    pset.pos()[i] -= com;
+    pset.vel()[i] -= vmean;
+  }
+  return pset;
+}
+
+double hernquist_potential_energy(double total_mass, double scale_length) {
+  return -total_mass * total_mass / (6.0 * scale_length);
+}
+
+double hernquist_mass_fraction(double r, double scale_length) {
+  if (r <= 0.0) return 0.0;
+  const double t = r / (r + scale_length);
+  return t * t;
+}
+
+}  // namespace g5::ic

@@ -1,0 +1,36 @@
+// Hernquist (1990) sphere sampler: rho(r) = M b / (2 pi r (r+b)^3).
+//
+// The second classic collisionless model next to Plummer — cuspier, with
+// a fully analytic inverse cumulative mass profile and distribution
+// function. Its r^-1 central cusp stresses the treecode (deep cells) and
+// the hardware's dynamic range harder than Plummer's core does.
+#pragma once
+
+#include <cstdint>
+
+#include "model/particles.hpp"
+
+namespace g5::ic {
+
+struct HernquistConfig {
+  std::size_t n = 4096;
+  double total_mass = 1.0;
+  double scale_length = 1.0;  ///< b
+  std::uint64_t seed = 42;
+  /// Truncation radius in units of b (encloses (r/(r+1))^2 of the mass).
+  double rmax_over_b = 50.0;
+};
+
+/// Sample a Hernquist model; the set is centered (CoM and momentum zeroed).
+/// Velocities are drawn from the isotropic distribution function by
+/// rejection against the exact density-of-states envelope.
+model::ParticleSet make_hernquist(const HernquistConfig& config);
+
+/// Analytic potential energy of the untruncated model (G = 1):
+/// W = -M^2 / (6 b).
+double hernquist_potential_energy(double total_mass, double scale_length);
+
+/// Analytic enclosed-mass fraction at radius r: (r/(r+b))^2.
+double hernquist_mass_fraction(double r, double scale_length);
+
+}  // namespace g5::ic

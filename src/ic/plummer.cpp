@@ -1,0 +1,65 @@
+#include "ic/plummer.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "math/rng.hpp"
+
+namespace g5::ic {
+
+using math::Vec3d;
+
+model::ParticleSet make_plummer(const PlummerConfig& config) {
+  if (config.n == 0) throw std::invalid_argument("n must be > 0");
+  if (config.total_mass <= 0.0 || config.scale_length <= 0.0) {
+    throw std::invalid_argument("mass and scale length must be > 0");
+  }
+  math::Rng rng(config.seed);
+  model::ParticleSet pset;
+  pset.reserve(config.n);
+
+  const double b = config.scale_length;
+  const double m_each = config.total_mass / static_cast<double>(config.n);
+  const double rmax = config.rmax_over_b * b;
+
+  for (std::size_t i = 0; i < config.n; ++i) {
+    // Radius from the inverse cumulative mass profile:
+    // M(r)/M = r^3 / (r^2 + b^2)^{3/2}  =>  r = b / sqrt(u^{-2/3} - 1).
+    double r;
+    do {
+      double u = rng.uniform();
+      while (u <= 0.0) u = rng.uniform();
+      r = b / std::sqrt(std::pow(u, -2.0 / 3.0) - 1.0);
+    } while (r > rmax);
+    const Vec3d position = r * rng.on_unit_sphere();
+
+    // Speed by von Neumann rejection on g(q) = q^2 (1 - q^2)^{7/2},
+    // q = v / v_esc (Aarseth et al. 1974).
+    double q;
+    for (;;) {
+      q = rng.uniform();
+      const double g = q * q * std::pow(1.0 - q * q, 3.5);
+      if (0.1 * rng.uniform() < g) break;
+    }
+    const double v_esc = std::sqrt(2.0 * config.total_mass) *
+                         std::pow(r * r + b * b, -0.25);
+    const Vec3d velocity = (q * v_esc) * rng.on_unit_sphere();
+
+    pset.add(position, velocity, m_each);
+  }
+
+  // Exact centering: subtract CoM position and mean velocity.
+  const Vec3d com = pset.center_of_mass();
+  const Vec3d vmean = pset.total_momentum() / pset.total_mass();
+  for (std::size_t i = 0; i < pset.size(); ++i) {
+    pset.pos()[i] -= com;
+    pset.vel()[i] -= vmean;
+  }
+  return pset;
+}
+
+double plummer_potential_energy(double total_mass, double scale_length) {
+  return -3.0 * M_PI * total_mass * total_mass / (32.0 * scale_length);
+}
+
+}  // namespace g5::ic

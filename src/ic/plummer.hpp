@@ -1,0 +1,33 @@
+// Plummer-sphere sampler in standard N-body units.
+//
+// The classic collisionless test model (Aarseth, Henon & Wielen 1974
+// sampling): density rho(r) ~ (1 + r^2/b^2)^(-5/2), isotropic velocity
+// distribution drawn by rejection. Used by the quickstart and galaxy
+// examples and by accuracy/consistency tests.
+#pragma once
+
+#include <cstdint>
+
+#include "model/particles.hpp"
+
+namespace g5::ic {
+
+struct PlummerConfig {
+  std::size_t n = 4096;
+  double total_mass = 1.0;
+  /// Plummer scale length b. The default together with G = 1 and
+  /// total_mass = 1 gives the standard virial units (E = -1/4).
+  double scale_length = 3.0 * M_PI / 16.0;
+  std::uint64_t seed = 42;
+  /// Truncate the (formally infinite) model at this many scale lengths.
+  double rmax_over_b = 22.8;  // encloses ~99.9 % of the mass
+};
+
+/// Sample a Plummer model; the set is centered (CoM and momentum zeroed).
+model::ParticleSet make_plummer(const PlummerConfig& config);
+
+/// Analytic potential energy of the full Plummer model (G = 1):
+/// W = -3 pi M^2 / (32 b).
+double plummer_potential_energy(double total_mass, double scale_length);
+
+}  // namespace g5::ic

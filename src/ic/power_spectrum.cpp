@@ -1,0 +1,66 @@
+#include "ic/power_spectrum.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace g5::ic {
+
+namespace {
+
+/// Spherical top-hat window function in k-space.
+double tophat_window(double x) {
+  if (x < 1e-4) return 1.0 - x * x / 10.0;  // series, avoids 0/0
+  return 3.0 * (std::sin(x) - x * std::cos(x)) / (x * x * x);
+}
+
+}  // namespace
+
+PowerSpectrum::PowerSpectrum(const PowerSpectrumParams& params) : p_(params) {
+  if (p_.h <= 0.0 || p_.omega_m <= 0.0 || p_.sigma8 <= 0.0) {
+    throw std::invalid_argument("power spectrum params must be positive");
+  }
+  gamma_ = p_.omega_m * p_.h;
+  amplitude_ = 1.0;
+  const double s8 = sigma_tophat(8.0 / p_.h);
+  amplitude_ = (p_.sigma8 * p_.sigma8) / (s8 * s8);
+}
+
+double PowerSpectrum::transfer(double k) const {
+  if (k <= 0.0) return 1.0;
+  // BBKS 1986 eq. G3; q in (h Mpc^-1)/Gamma units with k in Mpc^-1.
+  const double q = k / gamma_;
+  const double t = std::log1p(2.34 * q) / (2.34 * q);
+  const double poly = 1.0 + 3.89 * q + std::pow(16.1 * q, 2) +
+                      std::pow(5.46 * q, 3) + std::pow(6.71 * q, 4);
+  return t * std::pow(poly, -0.25);
+}
+
+double PowerSpectrum::unnormalized(double k) const {
+  const double t = transfer(k);
+  return std::pow(k, p_.ns) * t * t;
+}
+
+double PowerSpectrum::operator()(double k) const {
+  if (k <= 0.0) return 0.0;
+  return amplitude_ * unnormalized(k);
+}
+
+double PowerSpectrum::sigma_tophat(double r) const {
+  if (r <= 0.0) throw std::invalid_argument("radius must be > 0");
+  // sigma^2 = 1/(2 pi^2) int k^2 P(k) W(kr)^2 dk, integrated in ln k.
+  const double lnk_lo = std::log(1e-5 / r);
+  const double lnk_hi = std::log(1e3 / r);
+  const int steps = 512;
+  const double dln = (lnk_hi - lnk_lo) / steps;
+  double sum = 0.0;
+  for (int i = 0; i < steps; ++i) {
+    const double lnk = lnk_lo + (i + 0.5) * dln;
+    const double k = std::exp(lnk);
+    const double w = tophat_window(k * r);
+    sum += k * k * k * amplitude_ * unnormalized(k) * w * w;
+  }
+  const double sigma2 = sum * dln / (2.0 * M_PI * M_PI);
+  return std::sqrt(sigma2);
+}
+
+}  // namespace g5::ic

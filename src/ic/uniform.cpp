@@ -1,0 +1,74 @@
+#include "ic/uniform.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+#include "math/rng.hpp"
+
+namespace g5::ic {
+
+using math::Vec3d;
+
+model::ParticleSet make_uniform_cube(std::size_t n, double lo, double hi,
+                                     double total_mass, std::uint64_t seed) {
+  if (n == 0) throw std::invalid_argument("n must be > 0");
+  if (!(hi > lo)) throw std::invalid_argument("cube range empty");
+  math::Rng rng(seed);
+  model::ParticleSet pset;
+  pset.reserve(n);
+  const double m = total_mass / static_cast<double>(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    pset.add(rng.in_box(Vec3d{lo, lo, lo}, Vec3d{hi, hi, hi}), Vec3d{}, m);
+  }
+  return pset;
+}
+
+model::ParticleSet make_uniform_ball(std::size_t n, double radius,
+                                     double total_mass, std::uint64_t seed) {
+  if (n == 0) throw std::invalid_argument("n must be > 0");
+  if (radius <= 0.0) throw std::invalid_argument("radius must be > 0");
+  math::Rng rng(seed);
+  model::ParticleSet pset;
+  pset.reserve(n);
+  const double m = total_mass / static_cast<double>(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    pset.add(radius * rng.in_unit_ball(), Vec3d{}, m);
+  }
+  return pset;
+}
+
+model::ParticleSet make_clustered(std::size_t n, std::size_t clumps,
+                                  double box, double clump_sigma,
+                                  double total_mass, std::uint64_t seed) {
+  if (n == 0) throw std::invalid_argument("n must be > 0");
+  if (clumps == 0) throw std::invalid_argument("clumps must be > 0");
+  math::Rng rng(seed);
+  model::ParticleSet pset;
+  pset.reserve(n);
+  const double m = total_mass / static_cast<double>(n);
+
+  std::vector<Vec3d> centers(clumps);
+  for (auto& c : centers) {
+    c = rng.in_box(Vec3d{0.1 * box, 0.1 * box, 0.1 * box},
+                   Vec3d{0.9 * box, 0.9 * box, 0.9 * box});
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    // 80 % of particles in clumps, 20 % uniform background.
+    if (rng.uniform() < 0.8) {
+      const Vec3d& c = centers[rng.uniform_index(clumps)];
+      Vec3d p{rng.gaussian(c.x, clump_sigma), rng.gaussian(c.y, clump_sigma),
+              rng.gaussian(c.z, clump_sigma)};
+      // Clamp into the box so the tree root stays bounded.
+      p.x = std::clamp(p.x, 0.0, box);
+      p.y = std::clamp(p.y, 0.0, box);
+      p.z = std::clamp(p.z, 0.0, box);
+      pset.add(p, Vec3d{}, m);
+    } else {
+      pset.add(rng.in_box(Vec3d{}, Vec3d{box, box, box}), Vec3d{}, m);
+    }
+  }
+  return pset;
+}
+
+}  // namespace g5::ic

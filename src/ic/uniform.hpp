@@ -1,0 +1,24 @@
+// Simple synthetic particle distributions for tests and microbenchmarks.
+#pragma once
+
+#include <cstdint>
+
+#include "model/particles.hpp"
+
+namespace g5::ic {
+
+/// N equal-mass particles uniform in the cube [lo, hi)^3, zero velocity.
+model::ParticleSet make_uniform_cube(std::size_t n, double lo, double hi,
+                                     double total_mass, std::uint64_t seed);
+
+/// N equal-mass particles uniform in a ball of given radius, zero velocity.
+model::ParticleSet make_uniform_ball(std::size_t n, double radius,
+                                     double total_mass, std::uint64_t seed);
+
+/// Clustered distribution: `clumps` Gaussian blobs with uniform background.
+/// Exercises deep/imbalanced trees (worst case for list lengths).
+model::ParticleSet make_clustered(std::size_t n, std::size_t clumps,
+                                  double box, double clump_sigma,
+                                  double total_mass, std::uint64_t seed);
+
+}  // namespace g5::ic

@@ -1,0 +1,106 @@
+#include "ic/zeldovich.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/log.hpp"
+
+namespace g5::ic {
+
+using math::Vec3d;
+
+CosmologicalSphereResult make_cosmological_sphere(
+    const CosmologicalSphereConfig& config) {
+  if (config.particle_mass <= 0.0) {
+    throw std::invalid_argument("particle_mass must be > 0");
+  }
+  if (config.z_start <= 0.0) {
+    throw std::invalid_argument("z_start must be > 0");
+  }
+
+  const model::Cosmology cosmo(config.cosmo);
+
+  // Lattice spacing from mass resolution: m = rho_mean * spacing^3.
+  const double rho = cosmo.mean_matter_density();
+  const double spacing = std::cbrt(config.particle_mass / rho);
+  const double box = spacing * static_cast<double>(config.grid_n);
+  const double radius =
+      config.sphere_radius > 0.0 ? config.sphere_radius : 0.45 * box;
+  if (2.0 * radius > box) {
+    throw std::invalid_argument("sphere_radius exceeds half the lattice box");
+  }
+
+  PowerSpectrumParams ps_params = config.power;
+  ps_params.omega_m = config.cosmo.omega_m;
+  ps_params.h = config.cosmo.h;
+  const PowerSpectrum ps(ps_params);
+
+  GrfConfig grf_cfg;
+  grf_cfg.grid_n = config.grid_n;
+  grf_cfg.box_size = box;
+  grf_cfg.seed = config.seed;
+  const GaussianRandomField grf(grf_cfg, ps);
+
+  const double a_i = model::Cosmology::a_of_z(config.z_start);
+  const double growth = cosmo.growth_factor(a_i);
+  const double f_growth = cosmo.growth_rate(a_i);
+  const double hubble_i = cosmo.hubble(a_i);
+
+  CosmologicalSphereResult out;
+  out.box_size = box;
+  out.sphere_radius = radius;
+  out.a_start = a_i;
+  out.time_start = cosmo.age(a_i);
+  out.time_end = cosmo.age(1.0);
+  out.growth_start = growth;
+  out.lattice_points = config.grid_n * config.grid_n * config.grid_n;
+
+  const Vec3d center{0.5 * box, 0.5 * box, 0.5 * box};
+  const double r2max = radius * radius;
+  double disp2_sum = 0.0;
+
+  model::ParticleSet& pset = out.particles;
+  const std::size_t n = config.grid_n;
+  pset.reserve(static_cast<std::size_t>(
+      4.19 * radius * radius * radius / (spacing * spacing * spacing)) + 64);
+
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      for (std::size_t k = 0; k < n; ++k) {
+        // Lagrangian lattice coordinate (cell centers).
+        const Vec3d q{(static_cast<double>(i) + 0.5) * spacing,
+                      (static_cast<double>(j) + 0.5) * spacing,
+                      (static_cast<double>(k) + 0.5) * spacing};
+        if ((q - center).norm2() > r2max) continue;
+
+        const Vec3d psi = grf.psi_at(i, j, k);
+        const Vec3d disp = growth * psi;  // comoving displacement at a_i
+        disp2_sum += disp.norm2();
+
+        // Comoving -> physical: r = a * x. Velocity = Hubble flow + peculiar
+        // velocity a * dx/dt = a * H * f * D * psi.
+        const Vec3d x_com = q + disp - center;  // sphere centered at origin
+        const Vec3d r_phys = a_i * x_com;
+        const Vec3d v_pec = (a_i * hubble_i * f_growth * growth) * psi;
+        const Vec3d v_phys = hubble_i * r_phys + v_pec;
+
+        pset.add(r_phys, v_phys, config.particle_mass);
+      }
+    }
+  }
+
+  if (pset.empty()) {
+    throw std::runtime_error("cosmological sphere selected zero particles");
+  }
+  out.rms_displacement =
+      std::sqrt(disp2_sum / static_cast<double>(pset.size()));
+
+  util::log_info() << "cosmological sphere IC: N=" << pset.size()
+                   << " box=" << box << " Mpc radius=" << radius
+                   << " Mpc spacing=" << spacing << " Mpc a_i=" << a_i
+                   << " D(a_i)=" << growth
+                   << " rms displacement=" << out.rms_displacement << " Mpc";
+  return out;
+}
+
+}  // namespace g5::ic

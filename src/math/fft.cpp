@@ -1,0 +1,97 @@
+#include "math/fft.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace g5::math {
+
+namespace {
+
+void bit_reverse_permute(Complex* data, std::size_t n, std::size_t stride) {
+  std::size_t j = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i < j) std::swap(data[i * stride], data[j * stride]);
+    // Add 1 to j in reversed bit order.
+    std::size_t mask = n >> 1;
+    while (mask != 0 && (j & mask)) {
+      j ^= mask;
+      mask >>= 1;
+    }
+    j |= mask;
+  }
+}
+
+void fft_core(Complex* data, std::size_t n, std::size_t stride, int sign) {
+  bit_reverse_permute(data, n, stride);
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double ang = static_cast<double>(sign) * 2.0 * M_PI /
+                       static_cast<double>(len);
+    const Complex wlen(std::cos(ang), std::sin(ang));
+    for (std::size_t base = 0; base < n; base += len) {
+      Complex w(1.0, 0.0);
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        Complex& a = data[(base + k) * stride];
+        Complex& b = data[(base + k + len / 2) * stride];
+        const Complex t = b * w;
+        b = a - t;
+        a += t;
+        w *= wlen;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void fft_inplace(Complex* data, std::size_t n, int sign) {
+  if (!is_pow2(n)) throw std::invalid_argument("fft length must be 2^k");
+  if (sign != 1 && sign != -1) throw std::invalid_argument("sign must be +-1");
+  fft_core(data, n, 1, sign);
+}
+
+void fft_inplace_strided(Complex* data, std::size_t n, std::size_t stride,
+                         int sign) {
+  if (!is_pow2(n)) throw std::invalid_argument("fft length must be 2^k");
+  if (stride == 0) throw std::invalid_argument("stride must be >= 1");
+  if (sign != 1 && sign != -1) throw std::invalid_argument("sign must be +-1");
+  fft_core(data, n, stride, sign);
+}
+
+Grid3C::Grid3C(std::size_t n) : n_(n) {
+  if (!is_pow2(n)) throw std::invalid_argument("grid size must be 2^k");
+  data_.assign(n * n * n, Complex(0.0, 0.0));
+}
+
+void Grid3C::fill(Complex v) {
+  for (auto& c : data_) c = v;
+}
+
+void Grid3C::transform_axis(int axis, int sign) {
+  // Axis strides for layout (i * n + j) * n + k.
+  const std::size_t n = n_;
+  if (axis == 2) {
+    for (std::size_t i = 0; i < n; ++i)
+      for (std::size_t j = 0; j < n; ++j)
+        fft_core(&data_[(i * n + j) * n], n, 1, sign);
+  } else if (axis == 1) {
+    for (std::size_t i = 0; i < n; ++i)
+      for (std::size_t k = 0; k < n; ++k)
+        fft_core(&data_[(i * n) * n + k], n, n, sign);
+  } else {
+    for (std::size_t j = 0; j < n; ++j)
+      for (std::size_t k = 0; k < n; ++k)
+        fft_core(&data_[j * n + k], n, n * n, sign);
+  }
+}
+
+void Grid3C::forward() {
+  for (int axis = 0; axis < 3; ++axis) transform_axis(axis, -1);
+}
+
+void Grid3C::inverse() {
+  for (int axis = 0; axis < 3; ++axis) transform_axis(axis, +1);
+  const double norm = 1.0 / static_cast<double>(n_ * n_ * n_);
+  for (auto& c : data_) c *= norm;
+}
+
+}  // namespace g5::math

@@ -1,0 +1,72 @@
+// In-place complex FFT (iterative radix-2) and a 3-D wrapper.
+//
+// Used by the initial-conditions substrate (src/ic) to synthesize Gaussian
+// random density and displacement fields on a grid — the role the COSMICS
+// package played for the paper's run. Sizes are powers of two; typical IC
+// grids here are 32^3..128^3, well within a single in-memory transform.
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <vector>
+
+namespace g5::math {
+
+using Complex = std::complex<double>;
+
+/// True if n is a power of two (n >= 1).
+constexpr bool is_pow2(std::size_t n) noexcept {
+  return n != 0 && (n & (n - 1)) == 0;
+}
+
+/// In-place FFT of length-n (power of two) data. sign = -1 gives the
+/// forward transform  X_k = sum_j x_j e^{-2 pi i jk/n};  sign = +1 the
+/// unnormalized inverse. Caller divides by n after the inverse.
+void fft_inplace(Complex* data, std::size_t n, int sign);
+
+/// Strided variant used by the 3-D transform (stride in elements).
+void fft_inplace_strided(Complex* data, std::size_t n, std::size_t stride,
+                         int sign);
+
+/// Dense n^3 complex grid with FFTs along each axis.
+class Grid3C {
+ public:
+  explicit Grid3C(std::size_t n);
+
+  [[nodiscard]] std::size_t n() const noexcept { return n_; }
+  [[nodiscard]] std::size_t size() const noexcept { return data_.size(); }
+
+  [[nodiscard]] Complex& at(std::size_t i, std::size_t j, std::size_t k) {
+    return data_[(i * n_ + j) * n_ + k];
+  }
+  [[nodiscard]] const Complex& at(std::size_t i, std::size_t j,
+                                  std::size_t k) const {
+    return data_[(i * n_ + j) * n_ + k];
+  }
+
+  [[nodiscard]] Complex* data() noexcept { return data_.data(); }
+  [[nodiscard]] const Complex* data() const noexcept { return data_.data(); }
+
+  /// Forward 3-D FFT (sign = -1 on every axis), unnormalized.
+  void forward();
+
+  /// Inverse 3-D FFT including the 1/n^3 normalization.
+  void inverse();
+
+  void fill(Complex v);
+
+ private:
+  std::size_t n_;
+  std::vector<Complex> data_;
+
+  void transform_axis(int axis, int sign);
+};
+
+/// Map a grid index to the signed frequency index (0..n-1 -> -n/2..n/2-1
+/// convention with 0 first): i <= n/2 ? i : i - n.
+constexpr long freq_index(std::size_t i, std::size_t n) noexcept {
+  return i <= n / 2 ? static_cast<long>(i)
+                    : static_cast<long>(i) - static_cast<long>(n);
+}
+
+}  // namespace g5::math

@@ -1,0 +1,108 @@
+// Fixed-point codecs used by the GRAPE-5 pipeline emulation.
+//
+// The real G5 chip receives particle positions as fixed-point words scaled
+// to a coordinate range set by the host (`g5_set_range`), computes the
+// coordinate differences exactly in fixed point, and accumulates forces in
+// wide fixed-point registers. These helpers reproduce that arithmetic with
+// explicit, testable quantization semantics.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <stdexcept>
+
+namespace g5::math {
+
+/// Maps doubles in [lo, hi) onto a signed integer grid of `bits` bits
+/// (two's complement, so the representable codes are [-2^(bits-1),
+/// 2^(bits-1)-1]). Values outside the range saturate, as the hardware does.
+class FixedPointCodec {
+ public:
+  FixedPointCodec(double lo, double hi, int bits) : bits_(bits) {
+    if (!(hi > lo)) throw std::invalid_argument("fixed-point range empty");
+    if (bits < 2 || bits > 62) throw std::invalid_argument("bits out of range");
+    center_ = 0.5 * (lo + hi);
+    // One code step. The full span maps to 2^bits codes.
+    quantum_ = (hi - lo) / std::ldexp(1.0, bits);
+    max_code_ = (std::int64_t{1} << (bits - 1)) - 1;
+    min_code_ = -(std::int64_t{1} << (bits - 1));
+  }
+
+  /// Quantize: round-to-nearest onto the grid, saturating at the rails.
+  [[nodiscard]] std::int64_t encode(double x) const noexcept {
+    const double scaled = (x - center_) / quantum_;
+    const double rounded = std::nearbyint(scaled);
+    if (rounded >= static_cast<double>(max_code_)) return max_code_;
+    if (rounded <= static_cast<double>(min_code_)) return min_code_;
+    return static_cast<std::int64_t>(rounded);
+  }
+
+  [[nodiscard]] double decode(std::int64_t code) const noexcept {
+    return center_ + static_cast<double>(code) * quantum_;
+  }
+
+  /// Round-trip a double through the grid (the value the pipeline sees).
+  [[nodiscard]] double quantize(double x) const noexcept {
+    return decode(encode(x));
+  }
+
+  [[nodiscard]] double quantum() const noexcept { return quantum_; }
+  [[nodiscard]] int bits() const noexcept { return bits_; }
+  [[nodiscard]] double lo() const noexcept {
+    return decode(min_code_);
+  }
+  [[nodiscard]] double hi() const noexcept {
+    return decode(max_code_);
+  }
+
+ private:
+  int bits_;
+  double center_ = 0.0;
+  double quantum_ = 1.0;
+  std::int64_t max_code_ = 0;
+  std::int64_t min_code_ = 0;
+};
+
+/// Wide fixed-point accumulator: the force sum is accumulated as an integer
+/// multiple of a fixed quantum, exactly as in the hardware's accumulator
+/// registers. Overflow saturates (and is observable for diagnostics).
+class FixedAccumulator {
+ public:
+  explicit FixedAccumulator(double quantum) : quantum_(quantum) {
+    if (!(quantum > 0.0)) throw std::invalid_argument("quantum must be > 0");
+  }
+
+  void add(double x) noexcept {
+    const double scaled = x / quantum_;
+    // Saturate rather than wrap on overflow.
+    constexpr double kMax = 9.0e18;  // < 2^63
+    double next = static_cast<double>(acc_) + std::nearbyint(scaled);
+    if (next > kMax) {
+      next = kMax;
+      saturated_ = true;
+    } else if (next < -kMax) {
+      next = -kMax;
+      saturated_ = true;
+    }
+    acc_ = static_cast<std::int64_t>(next);
+  }
+
+  [[nodiscard]] double value() const noexcept {
+    return static_cast<double>(acc_) * quantum_;
+  }
+  [[nodiscard]] bool saturated() const noexcept { return saturated_; }
+  [[nodiscard]] double quantum() const noexcept { return quantum_; }
+
+  void reset() noexcept {
+    acc_ = 0;
+    saturated_ = false;
+  }
+
+ private:
+  double quantum_;
+  std::int64_t acc_ = 0;
+  bool saturated_ = false;
+};
+
+}  // namespace g5::math

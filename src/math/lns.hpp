@@ -1,0 +1,88 @@
+// Logarithmic number system (LNS) arithmetic for the G5 pipeline emulation.
+//
+// GRAPE chips since GRAPE-3 perform the multiplicative core of the force
+// pipeline (squares, the r^(-3/2) evaluation, the m * r^(-3/2) * dx
+// products) in a short logarithmic format: a value is (sign, log2|v|) with
+// the logarithm held as a fixed-point word with F fractional bits.
+// Multiplication and powers are then integer adds/shifts of the log word;
+// the only rounding happens when converting in and out of the format. The
+// fraction width F is the single knob that sets the pairwise force accuracy
+// (GRAPE-5's ~0.3 % rms corresponds to F = 7..8; see grape/pipeline.cpp).
+//
+// LnsFormat carries F plus the exponent clamp; LnsValue is a POD word.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+
+namespace g5::math {
+
+/// One LNS word: sign in {-1,+1}, `logval` = round(log2|v| * 2^F) as a
+/// saturating integer, and an explicit zero flag (hardware uses a zero tag
+/// bit; log of zero is not representable).
+struct LnsValue {
+  std::int32_t logval = 0;
+  std::int8_t sign = 1;
+  bool zero = true;
+
+  [[nodiscard]] static LnsValue make_zero() noexcept { return LnsValue{}; }
+};
+
+class LnsFormat {
+ public:
+  /// `frac_bits` F: fractional bits of the log word (accuracy knob).
+  /// `exp_bits`: width of the integer part of the log word; log2|v| is
+  /// clamped to [-2^(exp_bits-1), 2^(exp_bits-1)) before scaling. The
+  /// defaults cover the dynamic range the pipeline needs with margin.
+  explicit LnsFormat(int frac_bits, int exp_bits = 12);
+
+  [[nodiscard]] int frac_bits() const noexcept { return frac_bits_; }
+  [[nodiscard]] int exp_bits() const noexcept { return exp_bits_; }
+
+  /// Relative spacing of representable magnitudes: 2^(2^-F) - 1 ~ ln2 * 2^-F.
+  [[nodiscard]] double relative_step() const noexcept { return rel_step_; }
+
+  /// Encode a double (round-to-nearest in log space, exponent saturating).
+  [[nodiscard]] LnsValue from_double(double v) const noexcept;
+
+  /// Decode back to double.
+  [[nodiscard]] double to_double(const LnsValue& v) const noexcept;
+
+  /// Round-trip through the format (the value the datapath sees).
+  [[nodiscard]] double quantize(double v) const noexcept {
+    return to_double(from_double(v));
+  }
+
+  /// Exact in-format product: log words add (saturating), signs multiply.
+  [[nodiscard]] LnsValue mul(const LnsValue& a, const LnsValue& b) const noexcept;
+
+  /// Exact in-format square: doubles the log word; result sign is +.
+  [[nodiscard]] LnsValue square(const LnsValue& a) const noexcept;
+
+  /// x^(-3/2) for x > 0: logval -> -(3 * logval) / 2 with round-to-nearest.
+  /// This models the unit the hardware implements with a lookup table; an
+  /// optional coarse table index (see `set_table_index_bits`) reproduces
+  /// table-resolution effects when the table is narrower than F.
+  [[nodiscard]] LnsValue pow_neg_3_2(const LnsValue& a) const noexcept;
+
+  /// x^(-1/2) for x > 0 (the potential unit): logval -> -logval / 2.
+  [[nodiscard]] LnsValue pow_neg_1_2(const LnsValue& a) const noexcept;
+
+  /// Restrict the r^(-3/2) unit's mantissa resolution to `bits` fractional
+  /// bits (bits <= F). 0 restores full-F behaviour. Models a narrower
+  /// hardware lookup table (ablation knob for bench_e3_accuracy).
+  void set_table_index_bits(int bits);
+  [[nodiscard]] int table_index_bits() const noexcept { return table_bits_; }
+
+ private:
+  int frac_bits_;
+  int exp_bits_;
+  int table_bits_ = 0;  // 0 = full resolution
+  std::int32_t max_log_ = 0;
+  std::int32_t min_log_ = 0;
+  double rel_step_ = 0.0;
+
+  [[nodiscard]] std::int32_t clamp_log(double l) const noexcept;
+};
+
+}  // namespace g5::math

@@ -1,0 +1,84 @@
+// Small fixed-size 3-vector used throughout the library.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <ostream>
+
+namespace g5::math {
+
+template <typename T>
+struct Vec3 {
+  T x{}, y{}, z{};
+
+  constexpr Vec3() = default;
+  constexpr Vec3(T x_, T y_, T z_) : x(x_), y(y_), z(z_) {}
+  constexpr explicit Vec3(T s) : x(s), y(s), z(s) {}
+
+  constexpr T& operator[](std::size_t i) { return i == 0 ? x : (i == 1 ? y : z); }
+  constexpr const T& operator[](std::size_t i) const {
+    return i == 0 ? x : (i == 1 ? y : z);
+  }
+
+  constexpr Vec3& operator+=(const Vec3& o) {
+    x += o.x; y += o.y; z += o.z;
+    return *this;
+  }
+  constexpr Vec3& operator-=(const Vec3& o) {
+    x -= o.x; y -= o.y; z -= o.z;
+    return *this;
+  }
+  constexpr Vec3& operator*=(T s) {
+    x *= s; y *= s; z *= s;
+    return *this;
+  }
+  constexpr Vec3& operator/=(T s) {
+    x /= s; y /= s; z /= s;
+    return *this;
+  }
+
+  friend constexpr Vec3 operator+(Vec3 a, const Vec3& b) { return a += b; }
+  friend constexpr Vec3 operator-(Vec3 a, const Vec3& b) { return a -= b; }
+  friend constexpr Vec3 operator*(Vec3 a, T s) { return a *= s; }
+  friend constexpr Vec3 operator*(T s, Vec3 a) { return a *= s; }
+  friend constexpr Vec3 operator/(Vec3 a, T s) { return a /= s; }
+  friend constexpr Vec3 operator-(const Vec3& a) { return {-a.x, -a.y, -a.z}; }
+
+  friend constexpr bool operator==(const Vec3&, const Vec3&) = default;
+
+  [[nodiscard]] constexpr T dot(const Vec3& o) const {
+    return x * o.x + y * o.y + z * o.z;
+  }
+  [[nodiscard]] constexpr Vec3 cross(const Vec3& o) const {
+    return {y * o.z - z * o.y, z * o.x - x * o.z, x * o.y - y * o.x};
+  }
+  [[nodiscard]] constexpr T norm2() const { return dot(*this); }
+  [[nodiscard]] T norm() const { return std::sqrt(norm2()); }
+
+  [[nodiscard]] constexpr T min_component() const {
+    return x < y ? (x < z ? x : z) : (y < z ? y : z);
+  }
+  [[nodiscard]] constexpr T max_component() const {
+    return x > y ? (x > z ? x : z) : (y > z ? y : z);
+  }
+
+  friend std::ostream& operator<<(std::ostream& os, const Vec3& v) {
+    return os << '(' << v.x << ", " << v.y << ", " << v.z << ')';
+  }
+};
+
+using Vec3d = Vec3<double>;
+using Vec3f = Vec3<float>;
+using Vec3i = Vec3<int>;
+
+/// Component-wise min / max (used for bounding boxes).
+template <typename T>
+constexpr Vec3<T> cwise_min(const Vec3<T>& a, const Vec3<T>& b) {
+  return {a.x < b.x ? a.x : b.x, a.y < b.y ? a.y : b.y, a.z < b.z ? a.z : b.z};
+}
+template <typename T>
+constexpr Vec3<T> cwise_max(const Vec3<T>& a, const Vec3<T>& b) {
+  return {a.x > b.x ? a.x : b.x, a.y > b.y ? a.y : b.y, a.z > b.z ? a.z : b.z};
+}
+
+}  // namespace g5::math

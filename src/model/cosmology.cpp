@@ -1,0 +1,158 @@
+#include "model/cosmology.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "model/units.hpp"
+
+namespace g5::model {
+
+namespace {
+
+/// Fixed-order Gauss-Legendre quadrature on [a, b] (20 nodes on [0,1],
+/// symmetric; plenty for these smooth integrands).
+template <typename F>
+double integrate(F&& f, double a, double b, int panels = 8) {
+  // 10-point Gauss-Legendre nodes/weights on [-1, 1].
+  static const double x[5] = {0.1488743389816312, 0.4333953941292472,
+                              0.6794095682990244, 0.8650633666889845,
+                              0.9739065285171717};
+  static const double w[5] = {0.2955242247147529, 0.2692667193099963,
+                              0.2190863625159820, 0.1494513491505806,
+                              0.0666713443086881};
+  double total = 0.0;
+  const double hstep = (b - a) / panels;
+  for (int p = 0; p < panels; ++p) {
+    const double lo = a + p * hstep;
+    const double mid = lo + 0.5 * hstep;
+    const double half = 0.5 * hstep;
+    double s = 0.0;
+    for (int i = 0; i < 5; ++i) {
+      s += w[i] * (f(mid + half * x[i]) + f(mid - half * x[i]));
+    }
+    total += s * half;
+  }
+  return total;
+}
+
+}  // namespace
+
+Cosmology::Cosmology(const CosmologyParams& params) : p_(params) {
+  if (p_.omega_m <= 0.0) throw std::invalid_argument("omega_m must be > 0");
+  if (p_.h <= 0.0) throw std::invalid_argument("h must be > 0");
+  h0_ = p_.h * hubble100_per_gyr();
+  growth_norm_ = growth_unnormalized(1.0);
+}
+
+double Cosmology::hubble(double a) const {
+  if (a <= 0.0) throw std::invalid_argument("scale factor must be > 0");
+  const double omega_k = 1.0 - p_.omega_m - p_.omega_l;
+  const double e2 = p_.omega_m / (a * a * a) + omega_k / (a * a) + p_.omega_l;
+  return h0_ * std::sqrt(e2);
+}
+
+double Cosmology::age(double a) const {
+  if (a <= 0.0) throw std::invalid_argument("scale factor must be > 0");
+  // t(a) = int_0^a da' / (a' H(a')). The integrand ~ a'^1/2 near 0 for
+  // matter domination: integrable; substitute a' = u^2 to tame it.
+  const double sa = std::sqrt(a);
+  auto f = [&](double u) {
+    const double ap = u * u;
+    return 2.0 * u / (ap * hubble(ap));
+  };
+  return integrate(f, 1e-8, sa, 16);
+}
+
+double Cosmology::scale_factor(double t) const {
+  if (t <= 0.0) throw std::invalid_argument("time must be > 0");
+  double lo = 1e-6, hi = 64.0;
+  if (t <= age(lo)) return lo;
+  while (age(hi) < t) hi *= 2.0;
+  for (int it = 0; it < 200; ++it) {
+    const double mid = 0.5 * (lo + hi);
+    if (age(mid) < t) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+    if (hi - lo < 1e-12 * hi) break;
+  }
+  return 0.5 * (lo + hi);
+}
+
+double Cosmology::growth_unnormalized(double a) const {
+  // D(a) = (5 Om H0^3 / 2) H(a) int_0^a da' / (a' H(a'))^3  (Heath 1977).
+  auto f = [&](double u) {
+    const double ap = u * u;
+    const double ah = ap * hubble(ap);
+    return 2.0 * u / (ah * ah * ah);
+  };
+  const double integral = integrate(f, 1e-8, std::sqrt(a), 16);
+  return 2.5 * p_.omega_m * h0_ * h0_ * h0_ * hubble(a) * integral;
+}
+
+double Cosmology::growth_factor(double a) const {
+  return growth_unnormalized(a) / growth_norm_;
+}
+
+double Cosmology::growth_rate(double a) const {
+  // Numerical log-derivative; growth is smooth so a central difference at
+  // 1e-5 relative step is accurate to ~1e-9.
+  const double eps = 1e-5;
+  const double dp = std::log(growth_unnormalized(a * (1.0 + eps)));
+  const double dm = std::log(growth_unnormalized(a * (1.0 - eps)));
+  return (dp - dm) / (std::log1p(eps) - std::log1p(-eps));
+}
+
+double Cosmology::kick_factor(double a1, double a2) const {
+  if (!(a2 >= a1) || a1 <= 0.0) {
+    throw std::invalid_argument("need 0 < a1 <= a2");
+  }
+  // int dt / a = int da / (a^2 H(a)).
+  auto f = [&](double a) { return 1.0 / (a * a * hubble(a)); };
+  return integrate(f, a1, a2, 8);
+}
+
+double Cosmology::drift_factor(double a1, double a2) const {
+  if (!(a2 >= a1) || a1 <= 0.0) {
+    throw std::invalid_argument("need 0 < a1 <= a2");
+  }
+  auto f = [&](double a) { return 1.0 / (a * a * a * hubble(a)); };
+  return integrate(f, a1, a2, 8);
+}
+
+double Cosmology::comoving_background_coefficient(double a) const {
+  if (a <= 0.0) throw std::invalid_argument("scale factor must be > 0");
+  return h0_ * h0_ * (0.5 * p_.omega_m - p_.omega_l * a * a * a);
+}
+
+std::vector<double> Cosmology::log_a_timesteps(double a_start, double a_end,
+                                               std::size_t steps) const {
+  if (!(a_end > a_start) || a_start <= 0.0) {
+    throw std::invalid_argument("need 0 < a_start < a_end");
+  }
+  if (steps == 0) throw std::invalid_argument("steps must be > 0");
+  std::vector<double> dts;
+  dts.reserve(steps);
+  const double ln_ratio = std::log(a_end / a_start);
+  double t_prev = age(a_start);
+  for (std::size_t k = 1; k <= steps; ++k) {
+    const double a = a_start * std::exp(ln_ratio * static_cast<double>(k) /
+                                        static_cast<double>(steps));
+    const double t = age(a);
+    dts.push_back(t - t_prev);
+    t_prev = t;
+  }
+  return dts;
+}
+
+double Cosmology::mean_matter_density() const {
+  return p_.omega_m * critical_density(p_.h);
+}
+
+double critical_density(double h) {
+  const double h0 = h * hubble100_per_gyr();  // Gyr^-1
+  return 3.0 * h0 * h0 / (8.0 * M_PI * gravitational_constant());
+}
+
+}  // namespace g5::model

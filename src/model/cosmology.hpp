@@ -1,0 +1,85 @@
+// Friedmann background cosmology: expansion history, ages, linear growth.
+//
+// The paper's run uses a standard cold dark matter (SCDM) model — Omega_m
+// = 1, h = 0.5 — for which everything has closed forms (Einstein-de
+// Sitter); the class implements the general flat/open matter + Lambda case
+// by quadrature and the tests cross-check the EdS closed forms.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace g5::model {
+
+struct CosmologyParams {
+  double omega_m = 1.0;   ///< matter density parameter today
+  double omega_l = 0.0;   ///< cosmological constant density parameter today
+  double h = 0.5;         ///< H0 / (100 km/s/Mpc)
+
+  /// The paper's background: SCDM, h = 0.5 (consistent with its quoted
+  /// particle mass of 1.7e10 Msun for N = 2,159,038 in a 50 Mpc sphere).
+  static CosmologyParams scdm() { return CosmologyParams{1.0, 0.0, 0.5}; }
+};
+
+class Cosmology {
+ public:
+  explicit Cosmology(const CosmologyParams& params);
+
+  [[nodiscard]] const CosmologyParams& params() const noexcept { return p_; }
+
+  /// H0 in Gyr^-1.
+  [[nodiscard]] double hubble0() const noexcept { return h0_; }
+
+  /// H(a) in Gyr^-1. Curvature term included so omega_m+omega_l need not
+  /// be 1 (the paper's SCDM is flat anyway).
+  [[nodiscard]] double hubble(double a) const;
+
+  /// Cosmic time since the Big Bang at scale factor a, in Gyr (quadrature).
+  [[nodiscard]] double age(double a) const;
+
+  /// Scale factor at cosmic time t (inverts age() by bisection).
+  [[nodiscard]] double scale_factor(double t) const;
+
+  /// Linear growth factor D(a), normalized so D(1) = 1.
+  [[nodiscard]] double growth_factor(double a) const;
+
+  /// Growth rate f = dlnD/dlna at a.
+  [[nodiscard]] double growth_rate(double a) const;
+
+  /// Mean matter density at a = 1 in internal units ((1e10 Msun)/Mpc^3).
+  [[nodiscard]] double mean_matter_density() const;
+
+  static constexpr double a_of_z(double z) { return 1.0 / (1.0 + z); }
+  static constexpr double z_of_a(double a) { return 1.0 / a - 1.0; }
+
+  /// Leapfrog kick factor for comoving integration: int dt / a over the
+  /// scale-factor interval [a1, a2] (= int da / (a^2 H)).
+  [[nodiscard]] double kick_factor(double a1, double a2) const;
+
+  /// Leapfrog drift factor: int dt / a^2 over [a1, a2] (= int da/(a^3 H)).
+  [[nodiscard]] double drift_factor(double a1, double a2) const;
+
+  /// The comoving background-force coefficient: the peculiar force in
+  /// comoving coordinates for an isolated region is g_com + C(a) * x with
+  /// C(a) = -(a_dotdot/a) a^3 = H0^2 (omega_m / 2 - omega_l a^3)
+  /// (in Gyr^-2; the matter term cancels the mean-field pull of the
+  /// region's own mass).
+  [[nodiscard]] double comoving_background_coefficient(double a) const;
+
+  /// Cosmic-time step sizes for `steps` intervals uniform in ln(a) from
+  /// a_start to a_end. Early steps are small (the early universe is dense
+  /// and dynamically fast), late steps large — the standard pacing for a
+  /// physical-coordinate integration across a large expansion factor.
+  [[nodiscard]] std::vector<double> log_a_timesteps(double a_start,
+                                                    double a_end,
+                                                    std::size_t steps) const;
+
+ private:
+  CosmologyParams p_;
+  double h0_;        // Gyr^-1
+  double growth_norm_;
+
+  [[nodiscard]] double growth_unnormalized(double a) const;
+};
+
+}  // namespace g5::model

@@ -1,0 +1,146 @@
+#include "model/particles.hpp"
+
+#include <limits>
+#include <stdexcept>
+
+namespace g5::model {
+
+void ParticleSet::resize(std::size_t n) {
+  const std::size_t old = size();
+  pos_.resize(n);
+  vel_.resize(n);
+  mass_.resize(n, 0.0);
+  acc_.resize(n);
+  pot_.resize(n, 0.0);
+  id_.resize(n);
+  for (std::size_t i = old; i < n; ++i) id_[i] = i;
+}
+
+void ParticleSet::reserve(std::size_t n) {
+  pos_.reserve(n);
+  vel_.reserve(n);
+  mass_.reserve(n);
+  acc_.reserve(n);
+  pot_.reserve(n);
+  id_.reserve(n);
+}
+
+void ParticleSet::clear() {
+  pos_.clear();
+  vel_.clear();
+  mass_.clear();
+  acc_.clear();
+  pot_.clear();
+  id_.clear();
+}
+
+void ParticleSet::add(const Vec3d& position, const Vec3d& velocity,
+                      double mass) {
+  pos_.push_back(position);
+  vel_.push_back(velocity);
+  mass_.push_back(mass);
+  acc_.push_back(Vec3d{});
+  pot_.push_back(0.0);
+  id_.push_back(id_.empty() ? 0 : id_.back() + 1);
+}
+
+void ParticleSet::append(const ParticleSet& other) {
+  const std::uint64_t base = id_.empty() ? 0 : id_.back() + 1;
+  reserve(size() + other.size());
+  for (std::size_t i = 0; i < other.size(); ++i) {
+    pos_.push_back(other.pos_[i]);
+    vel_.push_back(other.vel_[i]);
+    mass_.push_back(other.mass_[i]);
+    acc_.push_back(other.acc_[i]);
+    pot_.push_back(other.pot_[i]);
+    id_.push_back(base + other.id_[i]);
+  }
+}
+
+double ParticleSet::total_mass() const {
+  double m = 0.0;
+  for (double mi : mass_) m += mi;
+  return m;
+}
+
+Vec3d ParticleSet::center_of_mass() const {
+  Vec3d com{};
+  double m = 0.0;
+  for (std::size_t i = 0; i < size(); ++i) {
+    com += mass_[i] * pos_[i];
+    m += mass_[i];
+  }
+  return m > 0.0 ? com / m : Vec3d{};
+}
+
+Vec3d ParticleSet::total_momentum() const {
+  Vec3d p{};
+  for (std::size_t i = 0; i < size(); ++i) p += mass_[i] * vel_[i];
+  return p;
+}
+
+Vec3d ParticleSet::total_angular_momentum() const {
+  Vec3d l{};
+  for (std::size_t i = 0; i < size(); ++i) {
+    l += mass_[i] * pos_[i].cross(vel_[i]);
+  }
+  return l;
+}
+
+double ParticleSet::kinetic_energy() const {
+  double e = 0.0;
+  for (std::size_t i = 0; i < size(); ++i) e += 0.5 * mass_[i] * vel_[i].norm2();
+  return e;
+}
+
+double ParticleSet::potential_energy_from_pot() const {
+  double e = 0.0;
+  for (std::size_t i = 0; i < size(); ++i) e += 0.5 * mass_[i] * pot_[i];
+  return e;
+}
+
+Aabb ParticleSet::bounding_box() const {
+  if (empty()) return Aabb{};
+  Aabb box;
+  constexpr double inf = std::numeric_limits<double>::infinity();
+  box.lo = Vec3d{inf, inf, inf};
+  box.hi = Vec3d{-inf, -inf, -inf};
+  for (const auto& p : pos_) {
+    box.lo = math::cwise_min(box.lo, p);
+    box.hi = math::cwise_max(box.hi, p);
+  }
+  return box;
+}
+
+void ParticleSet::apply_permutation(const std::vector<std::uint32_t>& perm) {
+  if (perm.size() != size()) {
+    throw std::invalid_argument("permutation size mismatch");
+  }
+  const std::size_t n = size();
+  std::vector<Vec3d> vtmp(n);
+  std::vector<double> dtmp(n);
+  std::vector<std::uint64_t> itmp(n);
+
+  auto permute_vec = [&](std::vector<Vec3d>& v) {
+    for (std::size_t i = 0; i < n; ++i) vtmp[i] = v[perm[i]];
+    v.swap(vtmp);
+  };
+  auto permute_dbl = [&](std::vector<double>& v) {
+    for (std::size_t i = 0; i < n; ++i) dtmp[i] = v[perm[i]];
+    v.swap(dtmp);
+  };
+  permute_vec(pos_);
+  permute_vec(vel_);
+  permute_vec(acc_);
+  permute_dbl(mass_);
+  permute_dbl(pot_);
+  for (std::size_t i = 0; i < n; ++i) itmp[i] = id_[perm[i]];
+  id_.swap(itmp);
+}
+
+void ParticleSet::zero_force() {
+  for (auto& a : acc_) a = Vec3d{};
+  for (auto& p : pot_) p = 0.0;
+}
+
+}  // namespace g5::model

@@ -1,0 +1,95 @@
+// Structure-of-arrays particle storage plus bulk diagnostics.
+//
+// All force engines read positions/masses from here and write
+// accelerations/potentials back; the layout keeps each attribute
+// contiguous, which is what both the tree builder (Morton reorder) and the
+// GRAPE driver (DMA packing) want.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "math/vec3.hpp"
+
+namespace g5::model {
+
+using math::Vec3d;
+
+/// Axis-aligned bounding box.
+struct Aabb {
+  Vec3d lo{0.0, 0.0, 0.0};
+  Vec3d hi{0.0, 0.0, 0.0};
+
+  [[nodiscard]] Vec3d center() const { return 0.5 * (lo + hi); }
+  [[nodiscard]] Vec3d extent() const { return hi - lo; }
+  /// Side of the smallest cube containing the box.
+  [[nodiscard]] double cube_size() const { return extent().max_component(); }
+  [[nodiscard]] bool contains(const Vec3d& p) const {
+    return p.x >= lo.x && p.x <= hi.x && p.y >= lo.y && p.y <= hi.y &&
+           p.z >= lo.z && p.z <= hi.z;
+  }
+};
+
+class ParticleSet {
+ public:
+  ParticleSet() = default;
+  explicit ParticleSet(std::size_t n) { resize(n); }
+
+  [[nodiscard]] std::size_t size() const noexcept { return pos_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return pos_.empty(); }
+
+  void resize(std::size_t n);
+  void reserve(std::size_t n);
+  void clear();
+
+  /// Append one particle (acc/pot zero-initialized).
+  void add(const Vec3d& position, const Vec3d& velocity, double mass);
+
+  /// Append all particles of another set.
+  void append(const ParticleSet& other);
+
+  // Attribute access (SoA).
+  [[nodiscard]] std::vector<Vec3d>& pos() noexcept { return pos_; }
+  [[nodiscard]] const std::vector<Vec3d>& pos() const noexcept { return pos_; }
+  [[nodiscard]] std::vector<Vec3d>& vel() noexcept { return vel_; }
+  [[nodiscard]] const std::vector<Vec3d>& vel() const noexcept { return vel_; }
+  [[nodiscard]] std::vector<double>& mass() noexcept { return mass_; }
+  [[nodiscard]] const std::vector<double>& mass() const noexcept {
+    return mass_;
+  }
+  [[nodiscard]] std::vector<Vec3d>& acc() noexcept { return acc_; }
+  [[nodiscard]] const std::vector<Vec3d>& acc() const noexcept { return acc_; }
+  [[nodiscard]] std::vector<double>& pot() noexcept { return pot_; }
+  [[nodiscard]] const std::vector<double>& pot() const noexcept { return pot_; }
+  [[nodiscard]] std::vector<std::uint64_t>& id() noexcept { return id_; }
+  [[nodiscard]] const std::vector<std::uint64_t>& id() const noexcept {
+    return id_;
+  }
+
+  // Bulk diagnostics.
+  [[nodiscard]] double total_mass() const;
+  [[nodiscard]] Vec3d center_of_mass() const;
+  [[nodiscard]] Vec3d total_momentum() const;
+  [[nodiscard]] Vec3d total_angular_momentum() const;
+  [[nodiscard]] double kinetic_energy() const;
+  /// 0.5 * sum m_i pot_i — valid after an engine filled pot().
+  [[nodiscard]] double potential_energy_from_pot() const;
+  [[nodiscard]] Aabb bounding_box() const;
+
+  /// Reorder every attribute by `perm` (new index i takes old perm[i]).
+  void apply_permutation(const std::vector<std::uint32_t>& perm);
+
+  /// Zero accelerations and potentials (engines accumulate into them).
+  void zero_force();
+
+ private:
+  std::vector<Vec3d> pos_;
+  std::vector<Vec3d> vel_;
+  std::vector<double> mass_;
+  std::vector<Vec3d> acc_;
+  std::vector<double> pot_;
+  std::vector<std::uint64_t> id_;
+};
+
+}  // namespace g5::model

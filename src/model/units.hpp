@@ -1,0 +1,45 @@
+// Unit system for cosmological runs.
+//
+// The paper's simulation is quoted in (Mpc, solar masses, redshift); we
+// adopt the internal system (length, mass, time) = (Mpc, 1e10 Msun, Gyr),
+// in which the particle mass of the paper's run is 1.7 units and the 50 Mpc
+// sphere is 50 units. Collisionless examples (Plummer etc.) instead use
+// N-body units (G = M = -4E = 1) and never touch this header.
+#pragma once
+
+namespace g5::model {
+
+namespace constants {
+
+/// SI building blocks.
+inline constexpr double kMeterPerMpc = 3.0856775814913673e22;
+inline constexpr double kKgPerMsun = 1.98892e30;
+inline constexpr double kSecondPerGyr = 3.15576e16;
+inline constexpr double kGravitySI = 6.67430e-11;  // m^3 kg^-1 s^-2
+
+}  // namespace constants
+
+/// Gravitational constant in internal units (Mpc^3 / (1e10 Msun) / Gyr^2).
+inline constexpr double gravitational_constant() {
+  using namespace constants;
+  return kGravitySI * (1e10 * kKgPerMsun) * kSecondPerGyr * kSecondPerGyr /
+         (kMeterPerMpc * kMeterPerMpc * kMeterPerMpc);
+}
+
+/// 100 km/s/Mpc expressed in Gyr^-1 (multiply by h for H0).
+inline constexpr double hubble100_per_gyr() {
+  using namespace constants;
+  return 100.0 * 1.0e3 / kMeterPerMpc * kSecondPerGyr;
+}
+
+/// Critical density for Hubble parameter h, in (1e10 Msun) / Mpc^3:
+/// rho_c = 3 H0^2 / (8 pi G).
+double critical_density(double h);
+
+/// km/s expressed in Mpc/Gyr (for velocity conversions).
+inline constexpr double kms_in_mpc_per_gyr() {
+  using namespace constants;
+  return 1.0e3 / kMeterPerMpc * kSecondPerGyr;
+}
+
+}  // namespace g5::model

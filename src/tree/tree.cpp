@@ -1,0 +1,155 @@
+#include "tree/tree.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+
+namespace g5::tree {
+
+void BhTree::build(std::span<const Vec3d> pos, std::span<const double> mass,
+                   const TreeBuildConfig& config) {
+  if (pos.size() != mass.size()) {
+    throw std::invalid_argument("position/mass arity mismatch");
+  }
+  if (pos.size() >
+      static_cast<std::size_t>(std::numeric_limits<std::uint32_t>::max())) {
+    throw std::invalid_argument("tree supports < 2^32 particles");
+  }
+  cfg_ = config;
+  nodes_.clear();
+  quads_.clear();
+  max_depth_ = 0;
+  const auto n = static_cast<std::uint32_t>(pos.size());
+  sorted_pos_.resize(n);
+  sorted_mass_.resize(n);
+  orig_index_.resize(n);
+  keys_.resize(n);
+  if (n == 0) return;
+
+  // Cubic hull, padded so boundary particles stay strictly inside.
+  model::Aabb box;
+  box.lo = pos[0];
+  box.hi = pos[0];
+  for (const auto& p : pos) {
+    box.lo = math::cwise_min(box.lo, p);
+    box.hi = math::cwise_max(box.hi, p);
+  }
+  const double size = std::max(box.cube_size(), 1e-300) * (1.0 + 1e-9);
+  const Vec3d center = box.center();
+  root_lo_ = center - Vec3d{0.5 * size, 0.5 * size, 0.5 * size};
+  root_size_ = size;
+
+  // Sort by Morton key.
+  std::iota(orig_index_.begin(), orig_index_.end(), 0u);
+  std::vector<std::uint64_t> raw_keys(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    raw_keys[i] = math::morton_key(pos[i], root_lo_, root_size_);
+  }
+  std::sort(orig_index_.begin(), orig_index_.end(),
+            [&](std::uint32_t a, std::uint32_t b) {
+              return raw_keys[a] != raw_keys[b] ? raw_keys[a] < raw_keys[b]
+                                                : a < b;
+            });
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const std::uint32_t src = orig_index_[i];
+    sorted_pos_[i] = pos[src];
+    sorted_mass_[i] = mass[src];
+    keys_[i] = raw_keys[src];
+  }
+
+  nodes_.reserve(2 * n / std::max(1u, cfg_.leaf_max) + 64);
+  build_node(0, n, 0, center, 0.5 * size, -1);
+
+  if (cfg_.quadrupole) {
+    quads_.resize(nodes_.size());
+    for (std::size_t idx = 0; idx < nodes_.size(); ++idx) {
+      const Node& node = nodes_[idx];
+      Quadrupole& q = quads_[idx];
+      for (std::uint32_t k = node.first; k < node.first + node.count; ++k) {
+        const Vec3d d = sorted_pos_[k] - node.com;
+        const double m = sorted_mass_[k];
+        const double d2 = d.norm2();
+        q.xx += m * (3.0 * d.x * d.x - d2);
+        q.yy += m * (3.0 * d.y * d.y - d2);
+        q.zz += m * (3.0 * d.z * d.z - d2);
+        q.xy += m * 3.0 * d.x * d.y;
+        q.xz += m * 3.0 * d.x * d.z;
+        q.yz += m * 3.0 * d.y * d.z;
+      }
+    }
+  }
+}
+
+std::int32_t BhTree::build_node(std::uint32_t first, std::uint32_t count,
+                                int depth, const Vec3d& center,
+                                double half_size, std::int32_t parent) {
+  const auto idx = static_cast<std::int32_t>(nodes_.size());
+  nodes_.emplace_back();
+  {
+    Node& node = nodes_.back();
+    node.first = first;
+    node.count = count;
+    node.center = center;
+    node.half_size = half_size;
+    node.depth = static_cast<std::uint8_t>(depth);
+    node.parent = parent;
+  }
+  max_depth_ = std::max(max_depth_, depth);
+
+  const bool split = count > cfg_.leaf_max && depth < cfg_.max_depth;
+  if (split) {
+    nodes_[static_cast<std::size_t>(idx)].leaf = false;
+    // Partition [first, first+count) by octant at this depth: keys are
+    // sorted, so each octant is a contiguous sub-range found by binary
+    // search on the 3-bit digit.
+    std::uint32_t begin = first;
+    const std::uint32_t end = first + count;
+    for (unsigned oct = 0; oct < 8; ++oct) {
+      // Upper bound of this octant's range.
+      std::uint32_t lo = begin, hi = end;
+      while (lo < hi) {
+        const std::uint32_t mid = lo + (hi - lo) / 2;
+        if (math::morton_octant(keys_[mid], depth) <= oct) {
+          lo = mid + 1;
+        } else {
+          hi = mid;
+        }
+      }
+      const std::uint32_t child_count = lo - begin;
+      if (child_count > 0) {
+        const double quarter = 0.5 * half_size;
+        const Vec3d child_center{
+            center.x + ((oct & 1u) ? quarter : -quarter),
+            center.y + ((oct & 2u) ? quarter : -quarter),
+            center.z + ((oct & 4u) ? quarter : -quarter)};
+        const std::int32_t child =
+            build_node(begin, child_count, depth + 1, child_center, quarter,
+                       idx);
+        nodes_[static_cast<std::size_t>(idx)].child[oct] = child;
+      }
+      begin = lo;
+      if (begin >= end) break;
+    }
+  }
+
+  // Moments (children are complete now — post-order).
+  Node& node = nodes_[static_cast<std::size_t>(idx)];
+  double m = 0.0;
+  Vec3d com{};
+  for (std::uint32_t k = node.first; k < node.first + node.count; ++k) {
+    m += sorted_mass_[k];
+    com += sorted_mass_[k] * sorted_pos_[k];
+  }
+  node.mass = m;
+  node.com = m > 0.0 ? com / m : node.center;
+  double br2 = 0.0;
+  for (std::uint32_t k = node.first; k < node.first + node.count; ++k) {
+    br2 = std::max(br2, (sorted_pos_[k] - node.center).norm2());
+  }
+  node.bradius = std::sqrt(br2);
+  return idx;
+}
+
+}  // namespace g5::tree

@@ -1,0 +1,161 @@
+#include "tree/walk.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace g5::tree {
+
+void WalkStats::merge(const WalkStats& o) {
+  lists += o.lists;
+  interactions += o.interactions;
+  list_entries += o.list_entries;
+  node_terms += o.node_terms;
+  particle_terms += o.particle_terms;
+  nodes_visited += o.nodes_visited;
+  max_list = std::max(max_list, o.max_list);
+}
+
+namespace {
+
+/// Shared traversal: calls on_node(node) for accepted cells and
+/// on_particle(slot) for expanded leaves; returns visits.
+template <typename NodeFn, typename ParticleFn>
+std::uint64_t traverse(const BhTree& tree, const Vec3d& target,
+                       const WalkConfig& cfg, NodeFn&& on_node,
+                       ParticleFn&& on_particle) {
+  // Explicit stack; depth bounded by tree depth * 8 children.
+  std::uint64_t visits = 0;
+  std::int32_t stack[512];
+  int top = 0;
+  stack[top++] = 0;
+  const double theta2 = cfg.theta * cfg.theta;
+  while (top > 0) {
+    const Node& node = tree.node(static_cast<std::size_t>(stack[--top]));
+    ++visits;
+    const double d2 = (node.com - target).norm2();
+    const double s = mac_size(node, cfg.mac);
+    // Accept when (s/d)^2 < theta^2 — but never a cell that contains the
+    // target itself (with theta > 1/sqrt(3) such a cell could otherwise
+    // pass the MAC and absorb the target's own mass into a monopole).
+    const Vec3d dc = target - node.center;
+    const bool contains_target = std::fabs(dc.x) <= node.half_size &&
+                                 std::fabs(dc.y) <= node.half_size &&
+                                 std::fabs(dc.z) <= node.half_size;
+    const bool accept = !contains_target && s * s < theta2 * d2;
+    if (accept) {
+      on_node(node, static_cast<std::size_t>(
+                        &node - tree.nodes().data()));
+      continue;
+    }
+    if (node.leaf) {
+      for (std::uint32_t k = node.first; k < node.first + node.count; ++k) {
+        on_particle(k);
+      }
+      continue;
+    }
+    for (int oct = 7; oct >= 0; --oct) {
+      const std::int32_t c = node.child[oct];
+      if (c >= 0) stack[top++] = c;
+    }
+  }
+  return visits;
+}
+
+}  // namespace
+
+std::size_t walk_original(const BhTree& tree, const Vec3d& target,
+                          const WalkConfig& config, InteractionList& out,
+                          WalkStats* stats) {
+  out.clear();
+  if (tree.empty() || tree.particle_count() == 0) return 0;
+  std::uint64_t node_terms = 0, particle_terms = 0;
+  const bool quads = config.use_quadrupole && tree.has_quadrupoles();
+  const auto visits = traverse(
+      tree, target, config,
+      [&](const Node& node, std::size_t idx) {
+        if (quads) {
+          out.push(node.com, node.mass, tree.quadrupole(idx));
+        } else {
+          out.push(node.com, node.mass);
+        }
+        ++node_terms;
+      },
+      [&](std::uint32_t slot) {
+        if (quads) {
+          out.push(tree.sorted_pos()[slot], tree.sorted_mass()[slot],
+                   Quadrupole{});
+        } else {
+          out.push(tree.sorted_pos()[slot], tree.sorted_mass()[slot]);
+        }
+        ++particle_terms;
+      });
+  if (stats != nullptr) {
+    ++stats->lists;
+    stats->interactions += out.size();
+    stats->list_entries += out.size();
+    stats->node_terms += node_terms;
+    stats->particle_terms += particle_terms;
+    stats->nodes_visited += visits;
+    stats->max_list = std::max<std::uint64_t>(stats->max_list, out.size());
+  }
+  return out.size();
+}
+
+std::uint64_t count_original(const BhTree& tree, const Vec3d& target,
+                             const WalkConfig& config, WalkStats* stats) {
+  if (tree.empty() || tree.particle_count() == 0) return 0;
+  std::uint64_t node_terms = 0, particle_terms = 0;
+  const auto visits = traverse(
+      tree, target, config,
+      [&](const Node&, std::size_t) { ++node_terms; },
+      [&](std::uint32_t) { ++particle_terms; });
+  const std::uint64_t len = node_terms + particle_terms;
+  if (stats != nullptr) {
+    ++stats->lists;
+    stats->interactions += len;
+    stats->list_entries += len;
+    stats->node_terms += node_terms;
+    stats->particle_terms += particle_terms;
+    stats->nodes_visited += visits;
+    stats->max_list = std::max(stats->max_list, len);
+  }
+  return len;
+}
+
+void evaluate_list_host(const InteractionList& list,
+                        std::span<const Vec3d> targets, double eps,
+                        std::span<Vec3d> acc, std::span<double> pot) {
+  const double eps2 = eps * eps;
+  const bool quads = list.has_quadrupoles();
+  for (std::size_t i = 0; i < targets.size(); ++i) {
+    Vec3d a{};
+    double p = 0.0;
+    const Vec3d xi = targets[i];
+    for (std::size_t j = 0; j < list.size(); ++j) {
+      const Vec3d dx = list.pos[j] - xi;
+      if (dx.norm2() == 0.0) continue;  // mirror the pipeline's i == j cut
+      const double r2 = dx.norm2() + eps2;
+      const double rinv = 1.0 / std::sqrt(r2);
+      const double rinv2 = rinv * rinv;
+      const double rinv3 = rinv * rinv2;
+      a += (list.mass[j] * rinv3) * dx;
+      p -= list.mass[j] * rinv;
+      if (quads) {
+        const Quadrupole& q = list.quad[j];
+        if (q.is_zero()) continue;
+        // Traceless-quadrupole terms about the source's center of mass:
+        //   phi  = -(dx^T Q dx) / (2 r^5)
+        //   a    = -Q dx / r^5 + (5/2) (dx^T Q dx) dx / r^7.
+        const double rinv5 = rinv3 * rinv2;
+        const Vec3d qdx = q.apply(dx);
+        const double dqd = dx.dot(qdx);
+        a += -rinv5 * qdx + (2.5 * dqd * rinv5 * rinv2) * dx;
+        p -= 0.5 * dqd * rinv5;
+      }
+    }
+    acc[i] = a;
+    pot[i] = p;
+  }
+}
+
+}  // namespace g5::tree

@@ -1,0 +1,117 @@
+// The original Barnes-Hut walk: one interaction list per particle.
+//
+// Opening criterion (MAC): a cell of edge s at distance d from the target
+// is accepted as a single point mass when s / d < theta; otherwise it is
+// opened. d is measured from the target position to the cell's center of
+// mass. This is the classic Barnes & Hut (1986) criterion, and the variant
+// the paper's "original algorithm" operation counts refer to.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tree/tree.hpp"
+
+namespace g5::tree {
+
+/// A flat interaction list: field sources as (position, mass) pairs —
+/// exactly the stream a GRAPE board consumes. When a walk runs with
+/// use_quadrupole, a parallel array of quadrupole tensors is filled (host
+/// evaluation only; the hardware takes point masses). Reused across walks
+/// to keep allocations off the hot path.
+struct InteractionList {
+  std::vector<Vec3d> pos;
+  std::vector<double> mass;
+  std::vector<Quadrupole> quad;  ///< empty unless built with quadrupoles
+
+  [[nodiscard]] std::size_t size() const noexcept { return pos.size(); }
+  [[nodiscard]] bool has_quadrupoles() const noexcept {
+    return !quad.empty();
+  }
+  void clear() noexcept {
+    pos.clear();
+    mass.clear();
+    quad.clear();
+  }
+  void push(const Vec3d& p, double m) {
+    pos.push_back(p);
+    mass.push_back(m);
+  }
+  void push(const Vec3d& p, double m, const Quadrupole& q) {
+    pos.push_back(p);
+    mass.push_back(m);
+    quad.push_back(q);
+  }
+  void reserve(std::size_t n) {
+    pos.reserve(n);
+    mass.reserve(n);
+  }
+};
+
+/// Counters describing one or more walks.
+struct WalkStats {
+  std::uint64_t lists = 0;          ///< interaction lists built
+  std::uint64_t interactions = 0;   ///< sum over lists of ni * nj
+  std::uint64_t list_entries = 0;   ///< sum over lists of nj
+  std::uint64_t node_terms = 0;     ///< entries that were cell monopoles
+  std::uint64_t particle_terms = 0; ///< entries that were real particles
+  std::uint64_t nodes_visited = 0;  ///< traversal visits (host work proxy)
+  std::uint64_t max_list = 0;
+  [[nodiscard]] double mean_list() const {
+    return lists ? static_cast<double>(list_entries) /
+                       static_cast<double>(lists)
+                 : 0.0;
+  }
+  void merge(const WalkStats& o);
+};
+
+/// Multipole acceptance criterion variant.
+enum class Mac {
+  /// Classic Barnes & Hut: open when cell edge / distance >= theta.
+  Edge,
+  /// Barnes-style tighter variant: use the cell's bounding radius
+  /// (distance from the cell center to the farthest member) instead of
+  /// the geometric edge — sparse cells close earlier, shrinking lists.
+  /// Ablation: bench_a1_ablations.
+  Bmax,
+};
+
+struct WalkConfig {
+  double theta = 0.75;  ///< opening angle
+  Mac mac = Mac::Edge;  ///< acceptance criterion variant
+  /// Emit quadrupole tensors for accepted cells (requires a tree built
+  /// with TreeBuildConfig::quadrupole; particles get zero tensors).
+  bool use_quadrupole = false;
+};
+
+/// The size measure the MAC compares against theta * distance: the cell
+/// edge for the classic criterion, the bounding radius (center to the
+/// farthest member — smaller than the edge for sparse cells, at most
+/// sqrt(3)/2 of it for full ones) for the bmax variant.
+inline double mac_size(const Node& node, Mac mac) {
+  return mac == Mac::Edge ? node.edge() : node.bradius;
+}
+
+/// Build the interaction list for one target position. The leaf containing
+/// the target is expanded to particles (including the target itself when
+/// `self_slot` points at it; the pipeline/self-potential convention deals
+/// with the self pair). Returns the list length.
+std::size_t walk_original(const BhTree& tree, const Vec3d& target,
+                          const WalkConfig& config, InteractionList& out,
+                          WalkStats* stats = nullptr);
+
+/// Count-only variant (no list materialization) — used by the
+/// "original-algorithm operation count" correction of Section 5.
+std::uint64_t count_original(const BhTree& tree, const Vec3d& target,
+                             const WalkConfig& config,
+                             WalkStats* stats = nullptr);
+
+/// Evaluate an interaction list on targets in double precision (host
+/// backend). acc/pot overwritten; coincident zero-eps pairs are skipped.
+/// Lists carrying quadrupole tensors get the quadrupole force/potential
+/// terms added per entry.
+void evaluate_list_host(const InteractionList& list,
+                        std::span<const Vec3d> targets, double eps,
+                        std::span<Vec3d> acc, std::span<double> pot);
+
+}  // namespace g5::tree

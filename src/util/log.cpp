@@ -1,0 +1,72 @@
+#include "util/log.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+
+namespace g5::util {
+
+namespace {
+
+std::atomic<LogLevel> g_level{LogLevel::Info};
+std::once_flag g_env_once;
+std::mutex g_emit_mutex;
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::Trace: return "TRACE";
+    case LogLevel::Debug: return "DEBUG";
+    case LogLevel::Info: return "INFO ";
+    case LogLevel::Warn: return "WARN ";
+    case LogLevel::Error: return "ERROR";
+    case LogLevel::Off: return "OFF  ";
+  }
+  return "?";
+}
+
+void init_from_env() {
+  if (const char* env = std::getenv("G5_LOG")) {
+    g_level.store(parse_log_level(env), std::memory_order_relaxed);
+  }
+}
+
+}  // namespace
+
+LogLevel log_level() noexcept {
+  std::call_once(g_env_once, init_from_env);
+  return g_level.load(std::memory_order_relaxed);
+}
+
+void set_log_level(LogLevel level) noexcept {
+  std::call_once(g_env_once, init_from_env);
+  g_level.store(level, std::memory_order_relaxed);
+}
+
+LogLevel parse_log_level(std::string_view name) noexcept {
+  auto eq = [&](std::string_view ref) {
+    if (name.size() != ref.size()) return false;
+    for (size_t i = 0; i < ref.size(); ++i) {
+      char c = name[i];
+      if (c >= 'A' && c <= 'Z') c = static_cast<char>(c - 'A' + 'a');
+      if (c != ref[i]) return false;
+    }
+    return true;
+  };
+  if (eq("trace")) return LogLevel::Trace;
+  if (eq("debug")) return LogLevel::Debug;
+  if (eq("info")) return LogLevel::Info;
+  if (eq("warn") || eq("warning")) return LogLevel::Warn;
+  if (eq("error")) return LogLevel::Error;
+  if (eq("off") || eq("none")) return LogLevel::Off;
+  return LogLevel::Info;
+}
+
+void log_emit(LogLevel level, std::string_view msg) {
+  if (static_cast<int>(level) < static_cast<int>(log_level())) return;
+  std::lock_guard<std::mutex> lock(g_emit_mutex);
+  std::fprintf(stderr, "[g5 %s] %.*s\n", level_name(level),
+               static_cast<int>(msg.size()), msg.data());
+}
+
+}  // namespace g5::util

@@ -1,0 +1,59 @@
+// Minimal leveled logger used across the library.
+//
+// The logger writes to stderr so that bench/table output on stdout stays
+// machine-parsable. Level is a process-global; the default (Info) can be
+// overridden with the G5_LOG environment variable (trace|debug|info|warn|
+// error|off) or programmatically via set_level().
+#pragma once
+
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace g5::util {
+
+enum class LogLevel : int { Trace = 0, Debug, Info, Warn, Error, Off };
+
+/// Current global log level.
+LogLevel log_level() noexcept;
+
+/// Set the global log level.
+void set_log_level(LogLevel level) noexcept;
+
+/// Parse a level name ("debug", "INFO", ...). Unknown names yield Info.
+LogLevel parse_log_level(std::string_view name) noexcept;
+
+/// Emit one log record (already-formatted message body).
+void log_emit(LogLevel level, std::string_view msg);
+
+namespace detail {
+
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+  ~LogLine() { log_emit(level_, stream_.str()); }
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace detail
+
+/// Stream-style logging: g5::util::log(LogLevel::Info) << "n=" << n;
+inline detail::LogLine log(LogLevel level) { return detail::LogLine(level); }
+
+inline detail::LogLine log_debug() { return detail::LogLine(LogLevel::Debug); }
+inline detail::LogLine log_info() { return detail::LogLine(LogLevel::Info); }
+inline detail::LogLine log_warn() { return detail::LogLine(LogLevel::Warn); }
+inline detail::LogLine log_error() { return detail::LogLine(LogLevel::Error); }
+
+}  // namespace g5::util

@@ -1,0 +1,89 @@
+#include "util/options.hpp"
+
+#include <cstdlib>
+#include <stdexcept>
+
+namespace g5::util {
+
+void Options::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    arg.erase(0, 2);
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+      continue;
+    }
+    // `--key value` when the next token is not another option; else a flag.
+    if (i + 1 < argc) {
+      const std::string next = argv[i + 1];
+      if (next.rfind("--", 0) != 0) {
+        values_[arg] = next;
+        ++i;
+        continue;
+      }
+    }
+    values_[arg] = "true";
+  }
+}
+
+std::optional<std::string> Options::raw(const std::string& key) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return std::nullopt;
+  return it->second;
+}
+
+bool Options::has(const std::string& key) const {
+  return values_.count(key) != 0;
+}
+
+std::string Options::get_string(const std::string& key,
+                                const std::string& fallback) const {
+  return raw(key).value_or(fallback);
+}
+
+std::int64_t Options::get_int(const std::string& key,
+                              std::int64_t fallback) const {
+  const auto v = raw(key);
+  if (!v) return fallback;
+  try {
+    return std::stoll(*v);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("option --" + key + " expects an integer, got '" +
+                                *v + "'");
+  }
+}
+
+double Options::get_double(const std::string& key, double fallback) const {
+  const auto v = raw(key);
+  if (!v) return fallback;
+  try {
+    return std::stod(*v);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("option --" + key + " expects a number, got '" +
+                                *v + "'");
+  }
+}
+
+bool Options::get_bool(const std::string& key, bool fallback) const {
+  const auto v = raw(key);
+  if (!v) return fallback;
+  const std::string& s = *v;
+  if (s == "true" || s == "1" || s == "yes" || s == "on") return true;
+  if (s == "false" || s == "0" || s == "no" || s == "off") return false;
+  throw std::invalid_argument("option --" + key + " expects a boolean, got '" +
+                              s + "'");
+}
+
+std::vector<std::string> Options::keys() const {
+  std::vector<std::string> out;
+  out.reserve(values_.size());
+  for (const auto& [k, _] : values_) out.push_back(k);
+  return out;
+}
+
+}  // namespace g5::util

@@ -1,0 +1,49 @@
+// Tiny command-line option parser shared by examples and bench harnesses.
+//
+// Accepts `--key=value`, `--key value` and boolean `--flag` forms. Unknown
+// keys are collected so callers can reject or ignore them. Deliberately
+// dependency-free; bench/example binaries must run with no arguments, so
+// every option has a default.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace g5::util {
+
+class Options {
+ public:
+  Options() = default;
+  Options(int argc, const char* const* argv) { parse(argc, argv); }
+
+  void parse(int argc, const char* const* argv);
+
+  [[nodiscard]] bool has(const std::string& key) const;
+
+  [[nodiscard]] std::string get_string(const std::string& key,
+                                       const std::string& fallback) const;
+  [[nodiscard]] std::int64_t get_int(const std::string& key,
+                                     std::int64_t fallback) const;
+  [[nodiscard]] double get_double(const std::string& key,
+                                  double fallback) const;
+  [[nodiscard]] bool get_bool(const std::string& key, bool fallback) const;
+
+  /// Positional (non --key) arguments in order of appearance.
+  [[nodiscard]] const std::vector<std::string>& positional() const {
+    return positional_;
+  }
+
+  /// All keys seen, for validation / usage messages.
+  [[nodiscard]] std::vector<std::string> keys() const;
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+
+  [[nodiscard]] std::optional<std::string> raw(const std::string& key) const;
+};
+
+}  // namespace g5::util

@@ -1,0 +1,119 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace g5::util {
+
+void RunningStat::add(double x) noexcept {
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+  sum_ += x;
+  sumsq_ += x * x;
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+void RunningStat::merge(const RunningStat& other) noexcept {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double ntot = na + nb;
+  mean_ += delta * nb / ntot;
+  m2_ += other.m2_ + delta * delta * na * nb / ntot;
+  n_ += other.n_;
+  sum_ += other.sum_;
+  sumsq_ += other.sumsq_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins, Scale scale)
+    : lo_(lo), hi_(hi), scale_(scale), counts_(bins, 0) {
+  if (bins == 0) counts_.resize(1, 0);
+  if (scale_ == Scale::Log10 && lo_ <= 0.0) {
+    // Degenerate log range: fall back to a tiny positive floor.
+    lo_ = 1e-300;
+  }
+  if (hi_ <= lo_) hi_ = lo_ + 1.0;
+}
+
+double Histogram::transform(double x) const noexcept {
+  return scale_ == Scale::Log10 ? std::log10(x) : x;
+}
+
+double Histogram::untransform(double t) const noexcept {
+  return scale_ == Scale::Log10 ? std::pow(10.0, t) : t;
+}
+
+void Histogram::add(double x) noexcept {
+  ++total_;
+  if (scale_ == Scale::Log10 && x <= 0.0) {
+    ++under_;
+    return;
+  }
+  const double t = transform(x);
+  const double tlo = transform(lo_);
+  const double thi = transform(hi_);
+  if (t < tlo) {
+    ++under_;
+    return;
+  }
+  if (t >= thi) {
+    ++over_;
+    return;
+  }
+  const double frac = (t - tlo) / (thi - tlo);
+  auto bin = static_cast<std::size_t>(frac * static_cast<double>(counts_.size()));
+  if (bin >= counts_.size()) bin = counts_.size() - 1;
+  ++counts_[bin];
+}
+
+double Histogram::bin_lo(std::size_t bin) const {
+  const double tlo = transform(lo_);
+  const double thi = transform(hi_);
+  const double w = (thi - tlo) / static_cast<double>(counts_.size());
+  return untransform(tlo + w * static_cast<double>(bin));
+}
+
+double Histogram::bin_hi(std::size_t bin) const { return bin_lo(bin + 1); }
+
+double Histogram::quantile(double q) const {
+  if (total_ == 0) return lo_;
+  q = std::clamp(q, 0.0, 1.0);
+  const auto target = static_cast<std::uint64_t>(
+      q * static_cast<double>(total_));
+  std::uint64_t cum = under_;
+  if (cum >= target && target > 0) return lo_;
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    cum += counts_[b];
+    if (cum >= target) return bin_hi(b);
+  }
+  return hi_;
+}
+
+std::string Histogram::ascii(std::size_t width) const {
+  std::uint64_t peak = 1;
+  for (auto c : counts_) peak = std::max(peak, c);
+  std::ostringstream out;
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    const auto bar = static_cast<std::size_t>(
+        static_cast<double>(counts_[b]) / static_cast<double>(peak) *
+        static_cast<double>(width));
+    out << "[";
+    out.precision(4);
+    out << bin_lo(b) << ", " << bin_hi(b) << ") " << counts_[b] << " ";
+    for (std::size_t i = 0; i < bar; ++i) out << '#';
+    out << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace g5::util

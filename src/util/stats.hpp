@@ -1,0 +1,87 @@
+// Streaming statistics accumulators (Welford mean/variance, min/max, rms)
+// and a fixed-bin histogram. Used for interaction-list statistics, force
+// error distributions and timing summaries.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace g5::util {
+
+/// Single-pass mean / variance / min / max / rms accumulator (Welford).
+class RunningStat {
+ public:
+  void add(double x) noexcept;
+
+  /// Merge another accumulator into this one (parallel reduction).
+  void merge(const RunningStat& other) noexcept;
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  [[nodiscard]] double variance() const noexcept {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  [[nodiscard]] double stddev() const noexcept { return std::sqrt(variance()); }
+  /// sqrt(E[x^2]) — the quantity the paper quotes for force errors.
+  [[nodiscard]] double rms() const noexcept {
+    return n_ ? std::sqrt(sumsq_ / static_cast<double>(n_)) : 0.0;
+  }
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+  [[nodiscard]] double sum() const noexcept { return sum_; }
+
+  void reset() noexcept { *this = RunningStat{}; }
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double sumsq_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Fixed-width linear or logarithmic histogram over [lo, hi].
+class Histogram {
+ public:
+  enum class Scale { Linear, Log10 };
+
+  Histogram(double lo, double hi, std::size_t bins,
+            Scale scale = Scale::Linear);
+
+  void add(double x) noexcept;
+
+  [[nodiscard]] std::size_t bins() const noexcept { return counts_.size(); }
+  [[nodiscard]] std::uint64_t count(std::size_t bin) const {
+    return counts_.at(bin);
+  }
+  [[nodiscard]] std::uint64_t underflow() const noexcept { return under_; }
+  [[nodiscard]] std::uint64_t overflow() const noexcept { return over_; }
+  [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
+
+  /// Lower/upper edge of a bin in the original (non-log) domain.
+  [[nodiscard]] double bin_lo(std::size_t bin) const;
+  [[nodiscard]] double bin_hi(std::size_t bin) const;
+
+  /// Value below which `q` (0..1) of the samples fall (bin-resolution).
+  [[nodiscard]] double quantile(double q) const;
+
+  /// Multi-line ASCII rendering (one row per bin, '#' bars).
+  [[nodiscard]] std::string ascii(std::size_t width = 50) const;
+
+ private:
+  double lo_, hi_;
+  Scale scale_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t under_ = 0, over_ = 0, total_ = 0;
+
+  [[nodiscard]] double transform(double x) const noexcept;
+  [[nodiscard]] double untransform(double t) const noexcept;
+};
+
+}  // namespace g5::util

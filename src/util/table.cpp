@@ -1,0 +1,122 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+namespace g5::util {
+
+std::string sci(double x, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*e", digits - 1, x);
+  return buf;
+}
+
+std::string human_seconds(double seconds) {
+  char buf[96];
+  if (seconds >= 3600.0) {
+    std::snprintf(buf, sizeof(buf), "%.0f s (%.2f h)", seconds,
+                  seconds / 3600.0);
+  } else if (seconds >= 1.0) {
+    std::snprintf(buf, sizeof(buf), "%.2f s", seconds);
+  } else if (seconds >= 1e-3) {
+    std::snprintf(buf, sizeof(buf), "%.3f ms", seconds * 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.3f us", seconds * 1e6);
+  }
+  return buf;
+}
+
+std::string human_flops(double flops_per_second) {
+  char buf[64];
+  if (flops_per_second >= 1e12) {
+    std::snprintf(buf, sizeof(buf), "%.2f Tflops", flops_per_second / 1e12);
+  } else if (flops_per_second >= 1e9) {
+    std::snprintf(buf, sizeof(buf), "%.2f Gflops", flops_per_second / 1e9);
+  } else if (flops_per_second >= 1e6) {
+    std::snprintf(buf, sizeof(buf), "%.2f Mflops", flops_per_second / 1e6);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.0f flops", flops_per_second);
+  }
+  return buf;
+}
+
+std::string human_bytes(double bytes) {
+  char buf[64];
+  if (bytes >= 1024.0 * 1024.0 * 1024.0) {
+    std::snprintf(buf, sizeof(buf), "%.2f GiB", bytes / (1024.0 * 1024.0 * 1024.0));
+  } else if (bytes >= 1024.0 * 1024.0) {
+    std::snprintf(buf, sizeof(buf), "%.2f MiB", bytes / (1024.0 * 1024.0));
+  } else if (bytes >= 1024.0) {
+    std::snprintf(buf, sizeof(buf), "%.2f KiB", bytes / 1024.0);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.0f B", bytes);
+  }
+  return buf;
+}
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  if (header_.empty()) throw std::invalid_argument("table needs >=1 column");
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  if (cells.size() != header_.size()) {
+    throw std::invalid_argument("row arity mismatch: expected " +
+                                std::to_string(header_.size()) + " got " +
+                                std::to_string(cells.size()));
+  }
+  rows_.push_back(std::move(cells));
+}
+
+namespace {
+bool looks_numeric(const std::string& s) {
+  if (s.empty()) return false;
+  std::size_t digits = 0;
+  for (char c : s) {
+    if (std::isdigit(static_cast<unsigned char>(c))) ++digits;
+  }
+  return digits * 2 >= s.size();
+}
+}  // namespace
+
+std::string Table::str() const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  std::ostringstream out;
+  auto emit_row = [&](const std::vector<std::string>& row, bool align_num) {
+    out << "|";
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      const std::size_t pad = width[c] - row[c].size();
+      out << ' ';
+      const bool right = align_num && looks_numeric(row[c]);
+      if (right) out << std::string(pad, ' ');
+      out << row[c];
+      if (!right) out << std::string(pad, ' ');
+      out << " |";
+    }
+    out << '\n';
+  };
+  emit_row(header_, false);
+  out << "|";
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    out << std::string(width[c] + 2, '-') << "|";
+  }
+  out << '\n';
+  for (const auto& row : rows_) emit_row(row, true);
+  return out.str();
+}
+
+void Table::print() const {
+  const std::string s = str();
+  std::fwrite(s.data(), 1, s.size(), stdout);
+  std::fflush(stdout);
+}
+
+}  // namespace g5::util

@@ -1,0 +1,44 @@
+// Plain-text table renderer for bench harnesses: the paper-reproduction
+// binaries print rows in the same layout the paper reports, and this class
+// keeps the columns aligned without any formatting library.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace g5::util {
+
+/// Format a count in engineering style, e.g. 2.90e13 -> "2.90e+13".
+std::string sci(double x, int digits = 3);
+
+/// Format seconds as "12345 s (3.43 h)".
+std::string human_seconds(double seconds);
+
+/// Format a flop rate, e.g. 5.92e9 -> "5.92 Gflops".
+std::string human_flops(double flops_per_second);
+
+/// Format a byte count, e.g. 1.5e7 -> "14.3 MiB".
+std::string human_bytes(double bytes);
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Append one row; must match the header arity.
+  void add_row(std::vector<std::string> cells);
+
+  /// Render with aligned columns; numeric-looking cells right-align.
+  [[nodiscard]] std::string str() const;
+
+  /// Render and write to stdout.
+  void print() const;
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace g5::util

@@ -1,0 +1,85 @@
+// Wall-clock stopwatch and scoped timing helpers.
+//
+// All performance statistics in the paper are wall-clock times from the
+// UNIX system timer on the host; we use std::chrono::steady_clock in the
+// same role.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace g5::util {
+
+/// A simple resettable stopwatch with lap accumulation.
+class Stopwatch {
+ public:
+  using clock = std::chrono::steady_clock;
+
+  Stopwatch() : start_(clock::now()) {}
+
+  /// Restart timing from now; does not clear the accumulated total.
+  void restart() noexcept { start_ = clock::now(); }
+
+  /// Seconds since the last restart (or construction).
+  [[nodiscard]] double elapsed() const noexcept {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  /// Add the current lap to the accumulated total and restart.
+  double lap() noexcept {
+    const double dt = elapsed();
+    total_ += dt;
+    restart();
+    return dt;
+  }
+
+  /// Accumulated total of all laps (seconds).
+  [[nodiscard]] double total() const noexcept { return total_; }
+
+  /// Reset accumulated total and restart.
+  void reset() noexcept {
+    total_ = 0.0;
+    restart();
+  }
+
+ private:
+  clock::time_point start_;
+  double total_ = 0.0;
+};
+
+/// Accumulates wall time for a named phase; add laps with ScopedTimer.
+class PhaseTimer {
+ public:
+  void add(double seconds) noexcept {
+    total_ += seconds;
+    ++count_;
+  }
+  [[nodiscard]] double total() const noexcept { return total_; }
+  [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
+  [[nodiscard]] double mean() const noexcept {
+    return count_ == 0 ? 0.0 : total_ / static_cast<double>(count_);
+  }
+  void reset() noexcept {
+    total_ = 0.0;
+    count_ = 0;
+  }
+
+ private:
+  double total_ = 0.0;
+  std::uint64_t count_ = 0;
+};
+
+/// RAII lap: adds elapsed wall time to a PhaseTimer on scope exit.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(PhaseTimer& sink) : sink_(sink) {}
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+  ~ScopedTimer() { sink_.add(watch_.elapsed()); }
+
+ private:
+  PhaseTimer& sink_;
+  Stopwatch watch_;
+};
+
+}  // namespace g5::util

@@ -1,0 +1,154 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/analysis.hpp"
+#include "ic/plummer.hpp"
+#include "ic/uniform.hpp"
+
+namespace {
+
+using namespace g5;
+using core::CorrelationConfig;
+using core::RadialProfileConfig;
+using math::Vec3d;
+
+TEST(Correlation, PoissonSphereIsUncorrelated) {
+  const auto pset = ic::make_uniform_ball(8000, 2.0, 1.0, 3);
+  CorrelationConfig cfg;
+  cfg.r_min = 0.05;
+  cfg.r_max = 1.0;
+  cfg.bins = 8;
+  cfg.sample_radius = 2.0;
+  const auto xi = core::correlation_function(pset, cfg);
+  ASSERT_EQ(xi.xi.size(), 8u);
+  EXPECT_GT(xi.n_used, 7900u);
+  for (std::size_t b = 0; b < xi.xi.size(); ++b) {
+    // Poisson noise on thousands of pairs per bin: |xi| well below 0.15.
+    if (xi.pairs[b] > 500) {
+      EXPECT_LT(std::fabs(xi.xi[b]), 0.15) << "bin " << b;
+    }
+  }
+}
+
+TEST(Correlation, ClusteredSetIsPositiveAtSmallR) {
+  const auto pset = ic::make_clustered(6000, 6, 10.0, 0.15, 1.0, 7);
+  CorrelationConfig cfg;
+  cfg.r_min = 0.05;
+  cfg.r_max = 3.0;
+  cfg.bins = 10;
+  cfg.sample_radius = 6.0;
+  const auto xi = core::correlation_function(pset, cfg);
+  // Strong clustering at separations below the clump size.
+  EXPECT_GT(xi.xi.front(), 5.0);
+  // And xi decreases toward large separations.
+  EXPECT_GT(xi.xi.front(), xi.xi.back());
+}
+
+TEST(Correlation, CentrallyConcentratedModelClustersAtCenterScale) {
+  const auto pset = ic::make_plummer(ic::PlummerConfig{.n = 6000, .seed = 5});
+  CorrelationConfig cfg;
+  cfg.r_min = 0.02;
+  cfg.r_max = 2.0;
+  cfg.bins = 10;
+  const auto xi = core::correlation_function(pset, cfg);
+  // A Plummer sphere is "clustered" relative to uniform within its sample
+  // sphere: xi > 0 at small r.
+  EXPECT_GT(xi.xi.front(), 0.5);
+}
+
+TEST(Correlation, Validation) {
+  const auto pset = ic::make_uniform_ball(100, 1.0, 1.0, 9);
+  CorrelationConfig bad;
+  bad.r_min = 0.0;
+  EXPECT_THROW(core::correlation_function(pset, bad), std::invalid_argument);
+  bad = CorrelationConfig{};
+  bad.bins = 0;
+  EXPECT_THROW(core::correlation_function(pset, bad), std::invalid_argument);
+}
+
+TEST(RadialProfile, UniformBallFlatDensity) {
+  const auto pset = ic::make_uniform_ball(20000, 1.0, 1.0, 11);
+  RadialProfileConfig cfg;
+  cfg.r_max = 1.0;
+  cfg.bins = 5;
+  const auto prof = core::radial_profile(pset, cfg);
+  // Radii are about the CoM (slightly off-centre for a finite sample), so
+  // a handful of edge particles can fall past r_max.
+  EXPECT_NEAR(prof.total_mass, 1.0, 0.01);
+  const double rho = 1.0 / (4.0 / 3.0 * M_PI);
+  // Outer bins hold plenty of particles; inner bin is noisy.
+  for (std::size_t b = 1; b < 5; ++b) {
+    EXPECT_NEAR(prof.density[b], rho, 0.15 * rho) << b;
+  }
+  // Cold: zero velocity dispersion.
+  for (std::size_t b = 0; b < 5; ++b) {
+    EXPECT_DOUBLE_EQ(prof.vel_dispersion[b], 0.0);
+  }
+}
+
+TEST(RadialProfile, PlummerCentrallyConcentrated) {
+  const auto pset = ic::make_plummer(ic::PlummerConfig{.n = 20000, .seed = 13});
+  RadialProfileConfig cfg;
+  cfg.r_max = 3.0;
+  cfg.bins = 12;
+  const auto prof = core::radial_profile(pset, cfg);
+  EXPECT_GT(prof.density[0], 10.0 * prof.density[6]);
+  // Velocity dispersion falls outward.
+  EXPECT_GT(prof.vel_dispersion[0], prof.vel_dispersion[10]);
+  // Equilibrium model: mean radial velocity ~ 0 everywhere.
+  for (std::size_t b = 0; b < 8; ++b) {
+    if (prof.count[b] > 300) {
+      EXPECT_LT(std::fabs(prof.mean_radial_vel[b]),
+                0.2 * prof.vel_dispersion[b] + 0.05)
+          << b;
+    }
+  }
+}
+
+TEST(RadialProfile, LogBins) {
+  const auto pset = ic::make_plummer(ic::PlummerConfig{.n = 5000, .seed = 15});
+  RadialProfileConfig cfg;
+  cfg.r_max = 5.0;
+  cfg.bins = 10;
+  cfg.log_bins = true;
+  const auto prof = core::radial_profile(pset, cfg);
+  // Bin edges grow geometrically.
+  const double ratio0 = prof.r_hi[0] / prof.r_lo[0];
+  const double ratio5 = prof.r_hi[5] / prof.r_lo[5];
+  EXPECT_NEAR(ratio0, ratio5, 1e-9);
+}
+
+TEST(LagrangianRadii, OrderedAndHalfMassMatches) {
+  const auto pset = ic::make_plummer(ic::PlummerConfig{.n = 20000, .seed = 17});
+  const auto radii = core::lagrangian_radii(pset, {0.1, 0.5, 0.9});
+  ASSERT_EQ(radii.size(), 3u);
+  EXPECT_LT(radii[0], radii[1]);
+  EXPECT_LT(radii[1], radii[2]);
+  // r_half of Plummer = b / sqrt(2^{2/3} - 1).
+  const double b = 3.0 * M_PI / 16.0;
+  EXPECT_NEAR(radii[1], b / std::sqrt(std::cbrt(4.0) - 1.0),
+              0.05 * radii[1]);
+  EXPECT_THROW(core::lagrangian_radii(pset, {0.0}), std::invalid_argument);
+  EXPECT_THROW(core::lagrangian_radii(pset, {1.5}), std::invalid_argument);
+}
+
+TEST(NearestNeighbour, PoissonExpectation) {
+  // Uniform cube side L with n points: mean NN distance ~ 0.554 (V/n)^1/3.
+  const std::size_t n = 5000;
+  const auto pset = ic::make_uniform_cube(n, 0.0, 10.0, 1.0, 19);
+  const double d = core::mean_nearest_neighbour(pset, 300, 21);
+  const double expected =
+      0.554 * std::cbrt(1000.0 / static_cast<double>(n));
+  EXPECT_NEAR(d, expected, 0.15 * expected);
+}
+
+TEST(NearestNeighbour, EmptyAndDegenerate) {
+  model::ParticleSet empty;
+  EXPECT_DOUBLE_EQ(core::mean_nearest_neighbour(empty, 10, 1), 0.0);
+  model::ParticleSet one;
+  one.add(Vec3d{}, Vec3d{}, 1.0);
+  EXPECT_DOUBLE_EQ(core::mean_nearest_neighbour(one, 10, 1), 0.0);
+}
+
+}  // namespace

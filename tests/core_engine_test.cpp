@@ -1,0 +1,206 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/engines.hpp"
+#include "ic/plummer.hpp"
+#include "util/stats.hpp"
+
+namespace {
+
+using namespace g5;
+using core::ForceParams;
+using math::Vec3d;
+
+const model::ParticleSet& test_set() {
+  static const model::ParticleSet pset =
+      ic::make_plummer(ic::PlummerConfig{.n = 1200, .seed = 41});
+  return pset;
+}
+
+/// RMS relative acceleration error of `name` against host-direct.
+double engine_error(const std::string& name, const ForceParams& fp,
+                    double* pot_err_out = nullptr) {
+  model::ParticleSet ref = test_set();
+  core::HostDirectEngine exact(fp);
+  exact.compute(ref);
+
+  model::ParticleSet work = test_set();
+  auto engine = core::make_engine(name, fp);
+  engine->compute(work);
+
+  util::RunningStat err, perr;
+  for (std::size_t i = 0; i < work.size(); ++i) {
+    const double rn = ref.acc()[i].norm();
+    if (rn > 0.0) err.add((work.acc()[i] - ref.acc()[i]).norm() / rn);
+    if (ref.pot()[i] != 0.0) {
+      perr.add(std::fabs(work.pot()[i] - ref.pot()[i]) /
+               std::fabs(ref.pot()[i]));
+    }
+  }
+  if (pot_err_out != nullptr) *pot_err_out = perr.rms();
+  return err.rms();
+}
+
+TEST(Engines, HostTreeOriginalAccuracy) {
+  ForceParams fp;
+  fp.eps = 0.01;
+  fp.theta = 0.4;
+  double pot_err = 0.0;
+  EXPECT_LT(engine_error("host-tree-original", fp, &pot_err), 3e-3);
+  EXPECT_LT(pot_err, 3e-3);
+}
+
+TEST(Engines, HostTreeModifiedAccuracy) {
+  ForceParams fp;
+  fp.eps = 0.01;
+  fp.theta = 0.4;
+  fp.n_crit = 128;
+  double pot_err = 0.0;
+  EXPECT_LT(engine_error("host-tree-modified", fp, &pot_err), 2e-3);
+  EXPECT_LT(pot_err, 2e-3);
+}
+
+TEST(Engines, GrapeDirectAccuracy) {
+  // Pure hardware error: whole-force errors average below the 0.3%
+  // pairwise figure.
+  ForceParams fp;
+  fp.eps = 0.01;
+  double pot_err = 0.0;
+  EXPECT_LT(engine_error("grape-direct", fp, &pot_err), 5e-3);
+  EXPECT_LT(pot_err, 5e-3);
+}
+
+TEST(Engines, GrapeTreeAccuracy) {
+  // The paper's system at theta = 0.75: "average error ... around 0.1%"
+  // (tree-dominated). Accept up to 0.5%.
+  ForceParams fp;
+  fp.eps = 0.01;
+  fp.theta = 0.75;
+  fp.n_crit = 128;
+  const double err = engine_error("grape-tree", fp);
+  EXPECT_GT(err, 2e-4);  // not magically exact
+  EXPECT_LT(err, 5e-3);
+}
+
+TEST(Engines, ModifiedMoreAccurateThanOriginalAtEqualTheta) {
+  // Section 3 of the paper: "our modified tree algorithm is more accurate
+  // than the original tree algorithm for the same accuracy parameter"
+  // (citing Barnes 1990 and Kawai & Makino 1999). The group MAC measures
+  // distance to the whole bounding sphere (conservative for every member)
+  // and the entire neighbourhood is summed directly.
+  for (double theta : {0.6, 0.9}) {
+    ForceParams fp;
+    fp.eps = 0.01;
+    fp.theta = theta;
+    fp.n_crit = 128;
+    const double original = engine_error("host-tree-original", fp);
+    const double modified = engine_error("host-tree-modified", fp);
+    EXPECT_LT(modified, original) << "theta=" << theta;
+  }
+}
+
+TEST(Engines, GrapeTreeMatchesHostTreeClosely) {
+  // Section 2: "the relative accuracy was practically the same when we
+  // performed the same force calculation using standard 64-bit floating
+  // point arithmetic" — grape-tree error ~ host-tree error at equal theta.
+  ForceParams fp;
+  fp.eps = 0.01;
+  fp.theta = 0.75;
+  fp.n_crit = 128;
+  const double host_err = engine_error("host-tree-modified", fp);
+  const double grape_err = engine_error("grape-tree", fp);
+  EXPECT_LT(grape_err, 3.0 * host_err);
+}
+
+TEST(Engines, PotentialConventionConsistent) {
+  // All engines exclude the self term; total potential energies agree.
+  ForceParams fp;
+  fp.eps = 0.05;
+  fp.theta = 0.3;
+  fp.n_crit = 64;
+  model::ParticleSet ref = test_set();
+  core::HostDirectEngine exact(fp);
+  exact.compute(ref);
+  const double w_ref = ref.potential_energy_from_pot();
+  for (const char* name :
+       {"host-tree-original", "host-tree-modified", "grape-tree",
+        "grape-direct"}) {
+    model::ParticleSet work = test_set();
+    auto engine = core::make_engine(name, fp);
+    engine->compute(work);
+    EXPECT_NEAR(work.potential_energy_from_pot(), w_ref,
+                0.01 * std::fabs(w_ref))
+        << name;
+  }
+}
+
+TEST(Engines, StatsPopulated) {
+  ForceParams fp;
+  fp.n_crit = 64;
+  model::ParticleSet work = test_set();
+  auto engine = core::make_engine("grape-tree", fp);
+  engine->compute(work);
+  const auto& s = engine->stats();
+  EXPECT_EQ(s.evaluations, 1u);
+  EXPECT_GT(s.interactions, work.size());
+  EXPECT_GT(s.groups, 1u);
+  EXPECT_GT(s.walk.lists, 0u);
+  EXPECT_GT(s.seconds_total, 0.0);
+  EXPECT_GE(s.seconds_total,
+            s.seconds_tree_build);
+  engine->reset_stats();
+  EXPECT_EQ(engine->stats().evaluations, 0u);
+}
+
+TEST(Engines, HostDirectCountsPairs) {
+  ForceParams fp;
+  model::ParticleSet work = test_set();
+  core::HostDirectEngine engine(fp);
+  engine.compute(work);
+  const auto n = work.size();
+  EXPECT_EQ(engine.stats().interactions, n * (n - 1));
+}
+
+TEST(Engines, NewtonsThirdLawHostDirect) {
+  ForceParams fp;
+  fp.eps = 0.02;
+  model::ParticleSet work = test_set();
+  core::HostDirectEngine engine(fp);
+  engine.compute(work);
+  Vec3d total{};
+  for (std::size_t i = 0; i < work.size(); ++i) {
+    total += work.mass()[i] * work.acc()[i];
+  }
+  EXPECT_NEAR(total.norm(), 0.0, 1e-10);
+}
+
+TEST(Engines, FactoryRejectsUnknown) {
+  EXPECT_THROW(core::make_engine("fpga-tree", ForceParams{}),
+               std::invalid_argument);
+}
+
+TEST(Engines, SharedDeviceAcrossEngines) {
+  auto device = std::make_shared<grape::Grape5Device>();
+  ForceParams fp;
+  fp.n_crit = 64;
+  auto tree_engine = core::make_engine("grape-tree", fp, device);
+  auto direct_engine = core::make_engine("grape-direct", fp, device);
+  model::ParticleSet work = test_set();
+  tree_engine->compute(work);
+  const auto after_tree = device->system().account().interactions;
+  direct_engine->compute(work);
+  EXPECT_GT(device->system().account().interactions, after_tree);
+}
+
+TEST(Engines, EmptySetIsNoOp) {
+  model::ParticleSet empty;
+  for (const char* name : {"host-direct", "host-tree-original",
+                           "host-tree-modified", "grape-tree",
+                           "grape-direct"}) {
+    auto engine = core::make_engine(name, ForceParams{});
+    EXPECT_NO_THROW(engine->compute(empty)) << name;
+  }
+}
+
+}  // namespace

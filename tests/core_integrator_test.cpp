@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/diagnostics.hpp"
+#include "core/engines.hpp"
+#include "core/integrator.hpp"
+#include "ic/plummer.hpp"
+
+namespace {
+
+using namespace g5;
+using core::ForceParams;
+using core::LeapfrogIntegrator;
+using math::Vec3d;
+
+/// Equal-mass circular binary in G = 1 units: separation 1, masses 0.5.
+model::ParticleSet circular_binary() {
+  model::ParticleSet p;
+  // v_circ for each body around the CoM: v^2 = G m_other^2 / (M d) -> with
+  // m1 = m2 = 0.5, d = 1: each orbits at r = 0.5 with v = sqrt(0.25) = 0.5^.
+  const double v = std::sqrt(0.5 * 0.5 / 1.0);  // = 0.5
+  p.add(Vec3d{0.5, 0.0, 0.0}, Vec3d{0.0, v, 0.0}, 0.5);
+  p.add(Vec3d{-0.5, 0.0, 0.0}, Vec3d{0.0, -v, 0.0}, 0.5);
+  return p;
+}
+
+TEST(Leapfrog, RequiresPrime) {
+  auto pset = circular_binary();
+  core::HostDirectEngine engine((ForceParams{.eps = 0.0}));
+  LeapfrogIntegrator integrator;
+  EXPECT_THROW(integrator.step(pset, engine, 0.01), std::logic_error);
+  integrator.prime(pset, engine);
+  EXPECT_NO_THROW(integrator.step(pset, engine, 0.01));
+  EXPECT_THROW(integrator.step(pset, engine, 0.0), std::invalid_argument);
+  EXPECT_EQ(integrator.steps_taken(), 1u);
+}
+
+TEST(Leapfrog, CircularOrbitStaysCircular) {
+  auto pset = circular_binary();
+  core::HostDirectEngine engine((ForceParams{.eps = 0.0}));
+  LeapfrogIntegrator integrator;
+  integrator.prime(pset, engine);
+  // Period T = 2 pi d^{3/2} / sqrt(G M) = 2 pi.
+  const double period = 2.0 * M_PI;
+  const int steps = 2000;
+  const double dt = period / steps;
+  for (int s = 0; s < steps; ++s) integrator.step(pset, engine, dt);
+  // Bodies return to their starting points after one period.
+  EXPECT_LT((pset.pos()[0] - Vec3d{0.5, 0.0, 0.0}).norm(), 5e-3);
+  // Separation stayed ~ 1 throughout (sample at the end).
+  EXPECT_NEAR((pset.pos()[0] - pset.pos()[1]).norm(), 1.0, 1e-3);
+}
+
+TEST(Leapfrog, EnergyConservationSecondOrder) {
+  // Leapfrog energy error scales ~ dt^2: halving dt quarters the error.
+  auto run = [](int steps) {
+    auto pset = circular_binary();
+    core::HostDirectEngine engine((ForceParams{.eps = 0.0}));
+    LeapfrogIntegrator integrator;
+    integrator.prime(pset, engine);
+    const auto e0 = core::diagnose(pset).energy;
+    const double total_time = 3.0;
+    // Track the max drift over the run (instantaneous drift oscillates).
+    double max_drift = 0.0;
+    for (int s = 0; s < steps; ++s) {
+      integrator.step(pset, engine, total_time / steps);
+      max_drift = std::max(
+          max_drift,
+          core::relative_energy_drift(core::diagnose(pset).energy, e0));
+    }
+    return max_drift;
+  };
+  const double coarse = run(200);
+  const double fine = run(400);
+  EXPECT_LT(coarse, 1e-3);
+  // At least 2nd order (circular orbits enjoy extra cancellation, so the
+  // observed ratio can exceed the generic factor of 4).
+  EXPECT_GT(coarse / fine, 2.5);
+}
+
+TEST(Leapfrog, PlummerEnergyAndMomentumConserved) {
+  auto pset = ic::make_plummer(ic::PlummerConfig{.n = 256, .seed = 3});
+  core::HostDirectEngine engine((ForceParams{.eps = 0.05}));
+  LeapfrogIntegrator integrator;
+  integrator.prime(pset, engine);
+  const auto e0 = core::diagnose(pset).energy;
+  const Vec3d p0 = pset.total_momentum();
+  for (int s = 0; s < 200; ++s) integrator.step(pset, engine, 0.01);
+  const auto e1 = core::diagnose(pset).energy;
+  EXPECT_LT(core::relative_energy_drift(e1, e0), 2e-3);
+  // Momentum conserved to round-off by the symmetric kernel.
+  EXPECT_LT((pset.total_momentum() - p0).norm(), 1e-11);
+}
+
+TEST(Leapfrog, TimeReversibility) {
+  // Integrate forward n steps, negate velocities, integrate n more: the
+  // system returns to its initial positions (leapfrog is symplectic and
+  // time-reversible up to round-off).
+  auto pset = ic::make_plummer(ic::PlummerConfig{.n = 64, .seed = 7});
+  const auto initial = pset.pos();
+  core::HostDirectEngine engine((ForceParams{.eps = 0.05}));
+  LeapfrogIntegrator integrator;
+  integrator.prime(pset, engine);
+  for (int s = 0; s < 50; ++s) integrator.step(pset, engine, 0.01);
+  for (auto& v : pset.vel()) v = -v;
+  integrator.prime(pset, engine);
+  for (int s = 0; s < 50; ++s) integrator.step(pset, engine, 0.01);
+  double worst = 0.0;
+  for (std::size_t i = 0; i < pset.size(); ++i) {
+    worst = std::max(worst, (pset.pos()[i] - initial[i]).norm());
+  }
+  EXPECT_LT(worst, 1e-9);
+}
+
+TEST(Leapfrog, GrapeTreeDriftSmall) {
+  // The paper's engine on a small Plummer model: hardware quantization
+  // costs some energy accuracy but stays well-behaved.
+  auto pset = ic::make_plummer(ic::PlummerConfig{.n = 256, .seed = 11});
+  auto engine = core::make_engine(
+      "grape-tree", ForceParams{.eps = 0.05, .theta = 0.75, .n_crit = 64});
+  LeapfrogIntegrator integrator;
+  integrator.prime(pset, *engine);
+  const auto e0 = core::diagnose(pset).energy;
+  for (int s = 0; s < 100; ++s) integrator.step(pset, *engine, 0.01);
+  EXPECT_LT(core::relative_energy_drift(core::diagnose(pset).energy, e0),
+            5e-3);
+}
+
+}  // namespace

@@ -1,0 +1,105 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/perf.hpp"
+
+namespace {
+
+using namespace g5;
+using core::HostCostModel;
+using core::PerformanceReport;
+using core::RunWorkload;
+using grape::CostModel;
+using grape::SystemConfig;
+
+// The central check of the reproduction: pushing the paper's own workload
+// through our GRAPE-5 cycle model + calibrated host model must land on the
+// published Section 5 row.
+TEST(PerfModel, ReproducesPaperHeadlineRow) {
+  const auto report = core::project_performance(
+      SystemConfig::paper_system(), HostCostModel{}, CostModel{},
+      core::paper_workload());
+
+  // Wall clock: paper 30,141 s; model within 5 %.
+  EXPECT_NEAR(report.total_s, 30141.0, 0.05 * 30141.0);
+  // Raw speed: paper 36.4 Gflops.
+  EXPECT_NEAR(report.raw_flops, 36.4e9, 0.05 * 36.4e9);
+  // Effective sustained speed: paper 5.92 Gflops.
+  EXPECT_NEAR(report.effective_flops, 5.92e9, 0.05 * 5.92e9);
+  // Price/performance: paper $7.0/Mflops.
+  EXPECT_NEAR(report.usd_per_mflops, 7.0, 0.4);
+  // Cost: $40,900.
+  EXPECT_NEAR(report.usd_total, 40900.0, 100.0);
+  // Average list length: paper 13,431.
+  EXPECT_NEAR(report.avg_list_length, 13431.0, 0.02 * 13431.0);
+}
+
+TEST(PerfModel, PaperWorkloadNumbers) {
+  const RunWorkload w = core::paper_workload();
+  EXPECT_EQ(w.n_particles, 2159038u);
+  EXPECT_EQ(w.steps, 999u);
+  EXPECT_NEAR(static_cast<double>(w.interactions), 2.90e13, 1e10);
+  EXPECT_NEAR(static_cast<double>(w.original_interactions), 4.69e12, 1e9);
+}
+
+TEST(PerfModel, BreakdownIsConsistent) {
+  const auto report = core::project_performance(
+      SystemConfig::paper_system(), HostCostModel{}, CostModel{},
+      core::paper_workload());
+  EXPECT_NEAR(report.total_s,
+              report.grape_compute_s + report.grape_dma_s + report.host_s,
+              1e-9);
+  // GRAPE compute alone: ~1e4 s (pipeline-limited part).
+  EXPECT_GT(report.grape_compute_s, 8e3);
+  EXPECT_LT(report.grape_compute_s, 1.3e4);
+  // Host dominates, as the paper's ratio implies.
+  EXPECT_GT(report.host_s, report.grape_compute_s);
+}
+
+TEST(PerfModel, EmptyWorkloadIsZero) {
+  const auto report = core::project_performance(
+      SystemConfig::paper_system(), HostCostModel{}, CostModel{},
+      RunWorkload{});
+  EXPECT_DOUBLE_EQ(report.grape_compute_s, 0.0);
+  EXPECT_DOUBLE_EQ(report.raw_flops, 0.0);
+}
+
+TEST(PerfModel, SweepPointTradesHostForGrape) {
+  // Larger groups: host time falls, GRAPE time eventually rises.
+  const SystemConfig sys = SystemConfig::paper_system();
+  const HostCostModel host;
+  const std::uint64_t n = 2159038;
+
+  auto mk = [&](double n_g, double list_len) {
+    tree::WalkStats w;
+    w.lists = static_cast<std::uint64_t>(static_cast<double>(n) / n_g);
+    w.list_entries =
+        static_cast<std::uint64_t>(static_cast<double>(w.lists) * list_len);
+    w.interactions = static_cast<std::uint64_t>(
+        static_cast<double>(w.list_entries) * n_g);
+    return w;
+  };
+  // Approximate list-length growth with n_g (external part ~ const).
+  const auto small = core::sweep_point(sys, host, n, mk(100.0, 6000.0));
+  const auto mid = core::sweep_point(sys, host, n, mk(2000.0, 13431.0));
+  const auto large = core::sweep_point(sys, host, n, mk(50000.0, 60000.0));
+  EXPECT_GT(small.host_s, mid.host_s);
+  EXPECT_GT(large.grape_s, mid.grape_s);
+  // The paper's optimum: mid beats both extremes.
+  EXPECT_LT(mid.total_s(), small.total_s());
+  EXPECT_LT(mid.total_s(), large.total_s());
+  EXPECT_NEAR(mid.n_g, 2000.0, 1.0);
+}
+
+TEST(HostCostModel, StepSecondsComposition) {
+  HostCostModel host;
+  host.per_particle_build_us = 1.0;
+  host.per_particle_step_us = 2.0;
+  host.per_list_entry_us = 3.0;
+  host.per_group_us = 4.0;
+  EXPECT_NEAR(host.step_seconds(10, 20, 30), 1e-6 * (10 + 20 + 60 + 120),
+              1e-15);
+}
+
+}  // namespace

@@ -1,0 +1,211 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "core/diagnostics.hpp"
+#include "core/render.hpp"
+#include "core/snapshot.hpp"
+#include "ic/plummer.hpp"
+
+namespace {
+
+using namespace g5;
+using math::Vec3d;
+
+std::string temp_path(const char* name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+TEST(Snapshot, BinaryRoundTrip) {
+  const auto pset = ic::make_plummer(ic::PlummerConfig{.n = 200, .seed = 3});
+  const std::string path = temp_path("g5_test_snapshot.g5snap");
+  core::write_snapshot(path, pset, 1.25, 0.02);
+
+  model::ParticleSet loaded;
+  const auto header = core::read_snapshot(path, loaded);
+  EXPECT_EQ(header.count, 200u);
+  EXPECT_DOUBLE_EQ(header.time, 1.25);
+  EXPECT_DOUBLE_EQ(header.eps, 0.02);
+  ASSERT_EQ(loaded.size(), pset.size());
+  for (std::size_t i = 0; i < pset.size(); ++i) {
+    EXPECT_EQ(loaded.pos()[i], pset.pos()[i]);
+    EXPECT_EQ(loaded.vel()[i], pset.vel()[i]);
+    EXPECT_DOUBLE_EQ(loaded.mass()[i], pset.mass()[i]);
+    EXPECT_EQ(loaded.id()[i], pset.id()[i]);
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(Snapshot, RejectsWrongMagic) {
+  const std::string path = temp_path("g5_test_bad.g5snap");
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  std::fputs("NOTASNAPSHOT________", f);
+  std::fclose(f);
+  model::ParticleSet out;
+  EXPECT_THROW(core::read_snapshot(path, out), std::runtime_error);
+  std::filesystem::remove(path);
+}
+
+TEST(Snapshot, MissingFileThrows) {
+  model::ParticleSet out;
+  EXPECT_THROW(core::read_snapshot("/nonexistent/dir/x.g5snap", out),
+               std::runtime_error);
+  EXPECT_THROW(core::write_snapshot("/nonexistent/dir/x.g5snap", out, 0, 0),
+               std::runtime_error);
+}
+
+TEST(Snapshot, AsciiDumpWritten) {
+  const auto pset = ic::make_plummer(ic::PlummerConfig{.n = 10, .seed = 5});
+  const std::string path = temp_path("g5_test_ascii.txt");
+  core::write_snapshot_ascii(path, pset, 2.0);
+  EXPECT_GT(std::filesystem::file_size(path), 100u);
+  std::filesystem::remove(path);
+}
+
+TEST(Snapshot, TipsyRoundTrip) {
+  auto pset = ic::make_plummer(ic::PlummerConfig{.n = 100, .seed = 9});
+  for (std::size_t i = 0; i < pset.size(); ++i) {
+    pset.pot()[i] = -0.5 * static_cast<double>(i);
+  }
+  const std::string path = temp_path("g5_test_tipsy.bin");
+  core::write_snapshot_tipsy(path, pset, 3.5, 0.02);
+
+  model::ParticleSet loaded;
+  const auto header = core::read_snapshot_tipsy(path, loaded);
+  EXPECT_EQ(header.count, 100u);
+  EXPECT_DOUBLE_EQ(header.time, 3.5);
+  EXPECT_NEAR(header.eps, 0.02, 1e-7);
+  ASSERT_EQ(loaded.size(), pset.size());
+  for (std::size_t i = 0; i < pset.size(); ++i) {
+    // Float truncation is the format's precision.
+    EXPECT_LT((loaded.pos()[i] - pset.pos()[i]).norm(),
+              1e-6 * (1.0 + pset.pos()[i].norm()));
+    EXPECT_LT((loaded.vel()[i] - pset.vel()[i]).norm(),
+              1e-6 * (1.0 + pset.vel()[i].norm()));
+    EXPECT_NEAR(loaded.mass()[i], pset.mass()[i], 1e-8);
+    EXPECT_NEAR(loaded.pot()[i], pset.pot()[i],
+                1e-5 * (1.0 + std::fabs(pset.pot()[i])));
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(Snapshot, TipsyRejectsWrongShape) {
+  // A G5SNAP file is not a TIPSY file.
+  const auto pset = ic::make_plummer(ic::PlummerConfig{.n = 20, .seed = 5});
+  const std::string path = temp_path("g5_test_not_tipsy.bin");
+  core::write_snapshot(path, pset, 0.0, 0.0);
+  model::ParticleSet out;
+  EXPECT_THROW(core::read_snapshot_tipsy(path, out), std::runtime_error);
+  std::filesystem::remove(path);
+}
+
+TEST(Diagnostics, EnergyReportMath) {
+  core::EnergyReport e;
+  e.kinetic = 0.25;
+  e.potential = -0.5;
+  EXPECT_DOUBLE_EQ(e.total(), -0.25);
+  EXPECT_DOUBLE_EQ(e.virial_ratio(), 1.0);
+  core::EnergyReport later = e;
+  later.kinetic = 0.275;
+  EXPECT_NEAR(core::relative_energy_drift(later, e), 0.1, 1e-12);
+  // Zero-total-energy guard.
+  core::EnergyReport zero;
+  EXPECT_DOUBLE_EQ(core::relative_energy_drift(later, zero),
+                   std::fabs(later.total()));
+}
+
+TEST(Diagnostics, DiagnoseAggregates) {
+  model::ParticleSet p;
+  p.add(Vec3d{1, 0, 0}, Vec3d{0, 2, 0}, 1.0);
+  p.pot()[0] = -3.0;
+  const auto rep = core::diagnose(p);
+  EXPECT_DOUBLE_EQ(rep.energy.kinetic, 2.0);
+  EXPECT_DOUBLE_EQ(rep.energy.potential, -1.5);
+  EXPECT_EQ(rep.momentum, (Vec3d{0, 2, 0}));
+  EXPECT_EQ(rep.angular_momentum, (Vec3d{0, 0, 2}));
+  EXPECT_EQ(rep.center_of_mass, (Vec3d{1, 0, 0}));
+}
+
+TEST(SlabImage, CountsAndFiltering) {
+  model::ParticleSet p;
+  p.add(Vec3d{0.0, 0.0, 0.0}, Vec3d{}, 1.0);   // in slab, center
+  p.add(Vec3d{0.0, 0.0, 5.0}, Vec3d{}, 1.0);   // outside depth
+  p.add(Vec3d{9.0, 0.0, 0.0}, Vec3d{}, 1.0);   // outside plane
+  p.add(Vec3d{0.01, 0.01, 0.1}, Vec3d{}, 1.0); // in slab, same pixel-ish
+  core::SlabConfig cfg;
+  cfg.lo0 = -1.0;
+  cfg.hi0 = 1.0;
+  cfg.lo1 = -1.0;
+  cfg.hi1 = 1.0;
+  cfg.slab_lo = -1.0;
+  cfg.slab_hi = 1.0;
+  cfg.width = 4;
+  cfg.height = 4;
+  const core::SlabImage img(cfg, p);
+  EXPECT_EQ(img.particles_in_slab(), 2u);
+  EXPECT_EQ(img.peak_count(), 2u);  // both land in pixel (2,2)
+  EXPECT_EQ(img.count(2, 2), 2u);
+}
+
+TEST(SlabImage, AsciiDimensions) {
+  model::ParticleSet p;
+  p.add(Vec3d{0, 0, 0}, Vec3d{}, 1.0);
+  core::SlabConfig cfg;
+  cfg.width = 10;
+  cfg.height = 5;
+  const core::SlabImage img(cfg, p);
+  const std::string art = img.ascii();
+  EXPECT_EQ(art.size(), (10u + 1u) * 5u);
+  EXPECT_EQ(std::count(art.begin(), art.end(), '\n'), 5);
+}
+
+TEST(SlabImage, PgmWritten) {
+  const auto pset = ic::make_plummer(ic::PlummerConfig{.n = 500, .seed = 7});
+  core::SlabConfig cfg;
+  cfg.lo0 = -2.0;
+  cfg.hi0 = 2.0;
+  cfg.lo1 = -2.0;
+  cfg.hi1 = 2.0;
+  cfg.slab_lo = -2.0;
+  cfg.slab_hi = 2.0;
+  cfg.width = 32;
+  cfg.height = 16;
+  const core::SlabImage img(cfg, pset);
+  const std::string path = temp_path("g5_test_fig.pgm");
+  img.write_pgm(path);
+  // P5 header + 32*16 bytes.
+  EXPECT_GE(std::filesystem::file_size(path), 32u * 16u);
+  std::filesystem::remove(path);
+}
+
+TEST(SlabImage, AxisSelection) {
+  model::ParticleSet p;
+  p.add(Vec3d{5.0, 0.0, 0.0}, Vec3d{}, 1.0);  // depth 5 along x
+  core::SlabConfig cfg;
+  cfg.axis = 0;
+  cfg.slab_lo = 4.0;
+  cfg.slab_hi = 6.0;
+  cfg.lo0 = -1.0;  // y range
+  cfg.hi0 = 1.0;
+  cfg.lo1 = -1.0;  // z range
+  cfg.hi1 = 1.0;
+  const core::SlabImage img(cfg, p);
+  EXPECT_EQ(img.particles_in_slab(), 1u);
+}
+
+TEST(SlabImage, Validation) {
+  model::ParticleSet p;
+  core::SlabConfig cfg;
+  cfg.axis = 3;
+  EXPECT_THROW(core::SlabImage(cfg, p), std::invalid_argument);
+  cfg = core::SlabConfig{};
+  cfg.width = 0;
+  EXPECT_THROW(core::SlabImage(cfg, p), std::invalid_argument);
+  cfg = core::SlabConfig{};
+  cfg.lo0 = cfg.hi0;
+  EXPECT_THROW(core::SlabImage(cfg, p), std::invalid_argument);
+}
+
+}  // namespace

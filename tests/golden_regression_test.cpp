@@ -1,0 +1,80 @@
+// Golden regression pins: exact workload numbers for fixed seeds and
+// configurations. Everything here is deterministic, so any change is a
+// *behavioral* change to the IC generator, the tree build or the walks —
+// if one of these fails after an intentional algorithm change, re-derive
+// the constants (tools: see the construction below) and note the change.
+#include <gtest/gtest.h>
+
+#include "ic/plummer.hpp"
+#include "ic/zeldovich.hpp"
+#include "tree/groupwalk.hpp"
+
+namespace {
+
+using namespace g5;
+
+TEST(GoldenRegression, CosmologicalSphereWorkload) {
+  ic::CosmologicalSphereConfig cc;
+  cc.grid_n = 16;
+  cc.seed = 1999;
+  const auto icr = ic::make_cosmological_sphere(cc);
+  EXPECT_EQ(icr.particles.size(), 1568u);
+
+  tree::BhTree tree;
+  tree.build(icr.particles);
+  EXPECT_EQ(tree.node_count(), 596u);
+
+  tree::WalkStats mod, orig;
+  for (const auto& g : tree::collect_groups(tree, tree::GroupConfig{256})) {
+    tree::count_group(tree, g, {0.75}, &mod);
+  }
+  for (std::size_t i = 0; i < icr.particles.size(); ++i) {
+    tree::count_original(tree, tree.sorted_pos()[i], {0.75}, &orig);
+  }
+  EXPECT_EQ(mod.lists, 8u);
+  EXPECT_EQ(mod.interactions, 1530516u);
+  EXPECT_EQ(mod.list_entries, 7779u);
+  EXPECT_EQ(orig.interactions, 221928u);
+  // The ratio the paper's Section 5 correction is about: ~6.9 on this
+  // unevolved snapshot.
+  EXPECT_NEAR(static_cast<double>(mod.interactions) /
+                  static_cast<double>(orig.interactions),
+              6.90, 0.01);
+}
+
+TEST(GoldenRegression, PlummerWalkWorkload) {
+  const auto p = ic::make_plummer(ic::PlummerConfig{.n = 2000, .seed = 12345});
+  tree::BhTree tree;
+  tree.build(p);
+  EXPECT_EQ(tree.node_count(), 893u);
+
+  tree::WalkStats mod;
+  for (const auto& g : tree::collect_groups(tree, tree::GroupConfig{128})) {
+    tree::count_group(tree, g, {0.75}, &mod);
+  }
+  EXPECT_EQ(mod.interactions, 1761938u);
+  EXPECT_EQ(mod.list_entries, 53189u);
+  EXPECT_EQ(mod.nodes_visited, 36214u);
+  EXPECT_EQ(mod.max_list, 1996u);
+}
+
+TEST(GoldenRegression, IcPositionsStable) {
+  // Spot values: the RNG stream, the FFT and the Zel'dovich mapping all
+  // feed these coordinates; any change shows up here first.
+  ic::CosmologicalSphereConfig cc;
+  cc.grid_n = 8;
+  cc.seed = 7;
+  const auto icr = ic::make_cosmological_sphere(cc);
+  ASSERT_GT(icr.particles.size(), 10u);
+  const auto& p0 = icr.particles.pos()[0];
+  const auto p0_again = ic::make_cosmological_sphere(cc).particles.pos()[0];
+  EXPECT_EQ(p0, p0_again);
+
+  const auto plummer = ic::make_plummer(ic::PlummerConfig{.n = 8, .seed = 1});
+  const auto again = ic::make_plummer(ic::PlummerConfig{.n = 8, .seed = 1});
+  for (std::size_t i = 0; i < 8; ++i) {
+    EXPECT_EQ(plummer.pos()[i], again.pos()[i]);
+  }
+}
+
+}  // namespace

@@ -1,0 +1,208 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "grape/host_reference.hpp"
+#include "grape/pipeline.hpp"
+#include "math/rng.hpp"
+#include "util/stats.hpp"
+
+namespace {
+
+using namespace g5;
+using grape::IState;
+using grape::JWord;
+using grape::Pipeline;
+using grape::PipelineNumerics;
+using grape::PipelineScaling;
+using grape::Vec3d;
+
+PipelineScaling test_scaling(double eps = 0.0) {
+  PipelineScaling s;
+  s.range_lo = -10.0;
+  s.range_hi = 10.0;
+  s.eps = eps;
+  s.force_quantum = 1e-9;
+  s.potential_quantum = 1e-10;
+  return s;
+}
+
+double pairwise_rms(const PipelineNumerics& numerics, std::size_t pairs) {
+  Pipeline pipe(numerics);
+  PipelineScaling s = test_scaling();
+  s.force_quantum = 1e-8;
+  pipe.configure(s);
+  math::Rng rng(7);
+  util::RunningStat err;
+  for (std::size_t k = 0; k < pairs; ++k) {
+    const Vec3d xi = 4.0 * rng.in_unit_ball();
+    const double r = std::pow(10.0, rng.uniform(-3.5, 0.5));
+    const Vec3d xj = xi + r * rng.on_unit_sphere();
+    const double mj = std::pow(10.0, rng.uniform(-2.0, 0.0));
+    IState st = pipe.encode_i(xi);
+    pipe.interact(st, pipe.encode_j(xj, mj));
+    Vec3d ref;
+    double pref;
+    grape::pairwise(xi, xj, mj, 0.0, ref, pref);
+    if (ref.norm() > 0.0) err.add((pipe.read_force(st) - ref).norm() / ref.norm());
+  }
+  return err.rms();
+}
+
+// THE calibration pin: the default format must land on the paper's
+// "about 0.3%" pairwise error. If a format change moves this, the claim
+// in Section 2 of the reproduction no longer holds.
+TEST(Pipeline, DefaultFormatGivesPaperError) {
+  const double rms = pairwise_rms(PipelineNumerics{}, 20000);
+  EXPECT_GT(rms, 0.0020);
+  EXPECT_LT(rms, 0.0045);
+}
+
+TEST(Pipeline, ErrorHalvesPerFormatBit) {
+  PipelineNumerics coarse, fine;
+  coarse.lns_frac_bits = 6;
+  coarse.table_index_bits = 0;
+  fine.lns_frac_bits = 10;
+  fine.table_index_bits = 0;
+  const double e_coarse = pairwise_rms(coarse, 8000);
+  const double e_fine = pairwise_rms(fine, 8000);
+  // 4 bits apart: expect ~16x; allow [8, 32].
+  EXPECT_GT(e_coarse / e_fine, 8.0);
+  EXPECT_LT(e_coarse / e_fine, 32.0);
+}
+
+TEST(Pipeline, ExactModeMatchesHostToPositionQuantum) {
+  PipelineNumerics num;
+  num.exact_arithmetic = true;
+  Pipeline pipe(num);
+  pipe.configure(test_scaling(0.01));
+  math::Rng rng(5);
+  for (int k = 0; k < 2000; ++k) {
+    const Vec3d xi = 4.0 * rng.in_unit_ball();
+    const Vec3d xj = 4.0 * rng.in_unit_ball();
+    const double mj = rng.uniform(0.1, 1.0);
+    IState st = pipe.encode_i(xi);
+    pipe.interact(st, pipe.encode_j(xj, mj));
+    // Reference uses the same quantized coordinates: then the only error
+    // left is the accumulator quantum.
+    const double q = pipe.position_quantum();
+    auto snap = [&](const Vec3d& v) {
+      return Vec3d{std::nearbyint(v.x / q) * q, std::nearbyint(v.y / q) * q,
+                   std::nearbyint(v.z / q) * q};
+    };
+    Vec3d ref;
+    double pref;
+    grape::pairwise(snap(xi), snap(xj), mj, 0.01, ref, pref);
+    EXPECT_NEAR((pipe.read_force(st) - ref).norm(), 0.0, 1e-8);
+    EXPECT_NEAR(pipe.read_potential(st), pref, 1e-9);
+  }
+}
+
+TEST(Pipeline, SelfInteractionCutEntirely) {
+  // The i == j cut: a coincident pair contributes neither force nor the
+  // softened self-potential, so the host needs no correction.
+  Pipeline pipe((PipelineNumerics()));
+  pipe.configure(test_scaling(0.05));
+  const Vec3d x{1.0, 2.0, 3.0};
+  IState st = pipe.encode_i(x);
+  pipe.interact(st, pipe.encode_j(x, 2.0));
+  EXPECT_EQ(pipe.read_force(st), (Vec3d{}));
+  EXPECT_DOUBLE_EQ(pipe.read_potential(st), 0.0);
+}
+
+TEST(Pipeline, SelfInteractionSkippedWhenUnsoftened) {
+  Pipeline pipe((PipelineNumerics()));
+  pipe.configure(test_scaling(0.0));
+  const Vec3d x{1.0, 2.0, 3.0};
+  IState st = pipe.encode_i(x);
+  pipe.interact(st, pipe.encode_j(x, 2.0));
+  EXPECT_EQ(pipe.read_force(st), (Vec3d{}));
+  EXPECT_DOUBLE_EQ(pipe.read_potential(st), 0.0);
+}
+
+TEST(Pipeline, SofteningLimitsCloseForces) {
+  Pipeline pipe((PipelineNumerics()));
+  pipe.configure(test_scaling(0.1));
+  const Vec3d xi{0.0, 0.0, 0.0};
+  const Vec3d xj{1e-6, 0.0, 0.0};  // far below eps
+  IState st = pipe.encode_i(xi);
+  pipe.interact(st, pipe.encode_j(xj, 1.0));
+  // Softened force ~ m dx / eps^3 = 1e-6/1e-3 = 1e-3, not 1e12.
+  EXPECT_LT(pipe.read_force(st).norm(), 2e-3);
+}
+
+TEST(Pipeline, ForceIsAttractiveAndCentral) {
+  Pipeline pipe((PipelineNumerics()));
+  pipe.configure(test_scaling());
+  const Vec3d xi{1.0, 1.0, 1.0};
+  const Vec3d xj{2.0, 1.0, 1.0};
+  IState st = pipe.encode_i(xi);
+  pipe.interact(st, pipe.encode_j(xj, 3.0));
+  const Vec3d f = pipe.read_force(st);
+  EXPECT_GT(f.x, 0.0);  // pulled toward xj
+  EXPECT_NEAR(f.y, 0.0, 1e-6);
+  EXPECT_NEAR(f.z, 0.0, 1e-6);
+  EXPECT_NEAR(f.x, 3.0, 0.05 * 3.0);
+  EXPECT_NEAR(pipe.read_potential(st), -3.0, 0.05 * 3.0);
+}
+
+TEST(Pipeline, AccumulationOverStream) {
+  // Sum over a j-stream matches the host sum within the format error
+  // (partial cancellation makes the tolerance looser than pairwise).
+  Pipeline pipe((PipelineNumerics()));
+  pipe.configure(test_scaling(0.01));
+  math::Rng rng(11);
+  std::vector<Vec3d> js(256);
+  std::vector<double> ms(256);
+  for (std::size_t j = 0; j < js.size(); ++j) {
+    js[j] = 3.0 * rng.in_unit_ball();
+    ms[j] = rng.uniform(0.5, 1.5);
+  }
+  const Vec3d xi{0.3, -0.2, 0.1};
+  IState st = pipe.encode_i(xi);
+  for (std::size_t j = 0; j < js.size(); ++j) {
+    pipe.interact(st, pipe.encode_j(js[j], ms[j]));
+  }
+  Vec3d ref_acc[1];
+  double ref_pot[1];
+  grape::host_forces_on_targets({&xi, 1}, js, ms, 0.01, ref_acc, ref_pot);
+  EXPECT_LT((pipe.read_force(st) - ref_acc[0]).norm() / ref_acc[0].norm(),
+            0.01);
+  EXPECT_NEAR(pipe.read_potential(st), ref_pot[0],
+              0.01 * std::fabs(ref_pot[0]));
+}
+
+TEST(Pipeline, SaturationFlagged) {
+  Pipeline pipe((PipelineNumerics()));
+  PipelineScaling s = test_scaling();
+  s.force_quantum = 1e-30;  // absurd quantum: everything overflows
+  pipe.configure(s);
+  IState st = pipe.encode_i(Vec3d{0, 0, 0});
+  pipe.interact(st, pipe.encode_j(Vec3d{0.5, 0, 0}, 1.0));
+  EXPECT_TRUE(pipe.saturated(st));
+}
+
+TEST(Pipeline, ConfigureValidation) {
+  Pipeline pipe((PipelineNumerics()));
+  PipelineScaling s = test_scaling();
+  s.range_hi = s.range_lo;
+  EXPECT_THROW(pipe.configure(s), std::invalid_argument);
+  s = test_scaling();
+  s.force_quantum = 0.0;
+  EXPECT_THROW(pipe.configure(s), std::invalid_argument);
+}
+
+TEST(Pipeline, MassQuantizedInLogFormat) {
+  Pipeline pipe((PipelineNumerics()));
+  pipe.configure(test_scaling());
+  const JWord j = pipe.encode_j(Vec3d{1, 1, 1}, 0.123456789);
+  EXPECT_FALSE(j.mass.zero);
+  // The decoded mass is within the log-format relative step.
+  // (accessible indirectly: force from unit distance = m)
+  IState st = pipe.encode_i(Vec3d{1, 1, 0});
+  pipe.interact(st, j);
+  EXPECT_NEAR(pipe.read_force(st).norm(), 0.123456789,
+              0.123456789 * 0.01);
+}
+
+}  // namespace

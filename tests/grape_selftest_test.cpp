@@ -1,0 +1,101 @@
+#include <gtest/gtest.h>
+
+#include "grape/selftest.hpp"
+
+namespace {
+
+using namespace g5::grape;
+
+SystemConfig small_system() {
+  SystemConfig cfg;
+  cfg.board.jmem_capacity = 2048;
+  return cfg;
+}
+
+TEST(SelfTest, HealthySystemPasses) {
+  Grape5System system(small_system());
+  const auto report = run_selftest(system);
+  EXPECT_TRUE(report.passed);
+  ASSERT_EQ(report.boards.size(), 2u);
+  for (const auto& b : report.boards) {
+    EXPECT_TRUE(b.passed);
+    EXPECT_GT(b.max_relative_error, 0.0);   // quantization is visible
+    EXPECT_LT(b.max_relative_error, 0.02);  // but inside tolerance
+  }
+  EXPECT_NE(report.str().find("PASSED"), std::string::npos);
+}
+
+TEST(SelfTest, DetectsFaultyChipOnOneBoard) {
+  Grape5System system(small_system());
+  system.board(1).inject_chip_fault(3, 1.0 / 16.0);  // 6 % gain error
+  const auto report = run_selftest(system);
+  EXPECT_FALSE(report.passed);
+  ASSERT_EQ(report.boards.size(), 2u);
+  EXPECT_TRUE(report.boards[0].passed);
+  EXPECT_FALSE(report.boards[1].passed);
+  EXPECT_NE(report.str().find("FAULTY"), std::string::npos);
+}
+
+TEST(SelfTest, SubtleFaultStillCaught) {
+  // A 3 % gain error is the size the format noise could almost hide —
+  // the per-force tolerance of 2 % must still flag it.
+  Grape5System system(small_system());
+  system.board(0).inject_chip_fault(0, 0.03);
+  const auto report = run_selftest(system);
+  EXPECT_FALSE(report.boards[0].passed);
+}
+
+TEST(SelfTest, ClearedFaultPassesAgain) {
+  Grape5System system(small_system());
+  system.board(0).inject_chip_fault(5);
+  EXPECT_FALSE(run_selftest(system).passed);
+  system.board(0).inject_chip_fault(-1);
+  EXPECT_TRUE(run_selftest(system).passed);
+}
+
+TEST(SelfTest, FaultInjectionValidation) {
+  Grape5System system(small_system());
+  EXPECT_THROW(system.board(0).inject_chip_fault(99), std::out_of_range);
+  EXPECT_EQ(system.board(0).faulty_chip(), -1);
+  system.board(0).inject_chip_fault(2);
+  EXPECT_EQ(system.board(0).faulty_chip(), 2);
+}
+
+TEST(SelfTest, DeterministicInSeed) {
+  Grape5System a(small_system()), b(small_system());
+  const auto ra = run_selftest(a);
+  const auto rb = run_selftest(b);
+  ASSERT_EQ(ra.boards.size(), rb.boards.size());
+  for (std::size_t i = 0; i < ra.boards.size(); ++i) {
+    EXPECT_DOUBLE_EQ(ra.boards[i].max_relative_error,
+                     rb.boards[i].max_relative_error);
+  }
+}
+
+TEST(Grape3Preset, LowerPrecisionHigherError) {
+  // The GRAPE-3-class system self-test fails against the GRAPE-5
+  // tolerance only if its error actually exceeds it; with a ~2 % pairwise
+  // error averaging down over 512 sources, whole-force errors sit near
+  // the threshold — use a custom config to check the ordering instead.
+  SystemConfig g3 = SystemConfig::grape3_system();
+  g3.board.jmem_capacity = 2048;
+  Grape5System sys3(g3);
+  Grape5System sys5(small_system());
+  SelfTestConfig stc;
+  stc.tolerance = 1.0;  // never fail; we only compare magnitudes
+  const auto r3 = run_selftest(sys3, stc);
+  const auto r5 = run_selftest(sys5, stc);
+  EXPECT_GT(r3.boards[0].rms_relative_error,
+            3.0 * r5.boards[0].rms_relative_error);
+}
+
+TEST(Grape3Preset, SystemShape) {
+  const SystemConfig g3 = SystemConfig::grape3_system();
+  EXPECT_EQ(g3.boards, 1u);
+  EXPECT_EQ(g3.total_pipelines(), 8u);
+  EXPECT_LT(g3.peak_flops(), SystemConfig::paper_system().peak_flops() / 10);
+  EXPECT_EQ(g3.numerics.lns_frac_bits, 5);
+  EXPECT_EQ(g3.numerics.position_bits, 20);
+}
+
+}  // namespace

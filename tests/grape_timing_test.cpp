@@ -1,0 +1,113 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "grape/timing.hpp"
+
+namespace {
+
+using namespace g5::grape;
+
+TEST(TimingModel, TheoreticalPeakIsPaperValue) {
+  const SystemConfig cfg = SystemConfig::paper_system();
+  EXPECT_NEAR(cfg.peak_flops(), 109.44e9, 1.0);
+  EXPECT_NEAR(cfg.peak_interaction_rate(), 2.88e9, 1.0);
+}
+
+TEST(TimingModel, FullSlotsReachPeak) {
+  const SystemConfig cfg = SystemConfig::paper_system();
+  const TimingModel model(cfg);
+  // ni filling every virtual slot exactly: compute rate == peak.
+  const std::size_t ni = cfg.boards * cfg.board.i_slots() / cfg.boards;
+  EXPECT_NEAR(model.effective_rate(ni, 100000), cfg.peak_interaction_rate(),
+              1.0);
+}
+
+TEST(TimingModel, PartialSlotPenalty) {
+  const SystemConfig cfg = SystemConfig::paper_system();
+  const TimingModel model(cfg);
+  // ni = slots + 1 needs two passes: rate just over half of one pass.
+  const std::size_t slots = cfg.board.i_slots();
+  const double full = model.effective_rate(slots, 10000);
+  const double spill = model.effective_rate(slots + 1, 10000);
+  EXPECT_LT(spill, 0.55 * full);
+}
+
+TEST(TimingModel, JPartitioning) {
+  const SystemConfig cfg = SystemConfig::paper_system();
+  const TimingModel model(cfg);
+  EXPECT_EQ(model.j_per_board(100), 50u);
+  EXPECT_EQ(model.j_per_board(101), 51u);
+  EXPECT_EQ(model.j_per_board(1), 1u);
+  EXPECT_EQ(model.j_per_board(0), 0u);
+}
+
+TEST(TimingModel, BoardComputeTimeFormula) {
+  const SystemConfig cfg = SystemConfig::paper_system();
+  const TimingModel model(cfg);
+  // One pass of 96 i against 15e6 j takes exactly 1 second of memory clock.
+  EXPECT_NEAR(model.board_compute_time(96, 15000000), 1.0, 1e-12);
+  // Two passes double it.
+  EXPECT_NEAR(model.board_compute_time(97, 15000000), 2.0, 1e-12);
+  EXPECT_DOUBLE_EQ(model.board_compute_time(0, 100), 0.0);
+  EXPECT_DOUBLE_EQ(model.board_compute_time(10, 0), 0.0);
+}
+
+TEST(TimingModel, TransferTimeHasLatencyAndBandwidth) {
+  const SystemConfig cfg = SystemConfig::paper_system();
+  const TimingModel model(cfg);
+  EXPECT_DOUBLE_EQ(model.transfer_time(0), 0.0);
+  const double t1 = model.transfer_time(1);
+  const double t2 = model.transfer_time(70000000);  // ~1 s at 70 MB/s
+  EXPECT_NEAR(t1, cfg.hib.latency_s, 1e-6);
+  EXPECT_NEAR(t2, 1.0 + cfg.hib.latency_s, 1e-3);
+}
+
+TEST(TimingModel, ForceCallComposition) {
+  const SystemConfig cfg = SystemConfig::paper_system();
+  const TimingModel model(cfg);
+  const auto with_j = model.force_call(192, 8192, true);
+  const auto without_j = model.force_call(192, 8192, false);
+  EXPECT_GT(with_j.dma_j, 0.0);
+  EXPECT_DOUBLE_EQ(without_j.dma_j, 0.0);
+  EXPECT_DOUBLE_EQ(with_j.compute, without_j.compute);
+  EXPECT_NEAR(with_j.total(),
+              with_j.dma_j + with_j.dma_i + with_j.compute + with_j.dma_result,
+              1e-15);
+}
+
+TEST(TimingModel, PaperScaleGrapeTimeIsAboutTenThousandSeconds) {
+  // Section 5 cross-check: 2.90e13 interactions at n_g ~ 2000 should cost
+  // ~1e4 s of pipeline time on the model (the paper's total was 30,141 s
+  // including host work).
+  const SystemConfig cfg = SystemConfig::paper_system();
+  const TimingModel model(cfg);
+  const double groups = 2159038.0 / 2000.0 * 999.0;
+  const double per_group = model.board_compute_time(
+      2000, model.j_per_board(13431));
+  const double total = per_group * groups;
+  EXPECT_GT(total, 8.0e3);
+  EXPECT_LT(total, 1.3e4);
+}
+
+TEST(HardwareAccount, Arithmetic) {
+  HardwareAccount acct;
+  acct.interactions = 1000;
+  acct.modeled_compute = 2.0;
+  acct.modeled_dma_j = 1.0;
+  acct.modeled_dma_i = 0.5;
+  acct.modeled_dma_result = 0.5;
+  EXPECT_DOUBLE_EQ(acct.modeled_total(), 4.0);
+  EXPECT_DOUBLE_EQ(acct.flops(), 38000.0);
+  acct.reset();
+  EXPECT_EQ(acct.interactions, 0u);
+  EXPECT_DOUBLE_EQ(acct.modeled_total(), 0.0);
+}
+
+TEST(CostModel, ScalesWithBoards) {
+  CostModel cost;
+  cost.boards = 4;
+  EXPECT_NEAR(cost.total_jpy(), 4 * 1.65e6 + 1.4e6, 1.0);
+}
+
+}  // namespace

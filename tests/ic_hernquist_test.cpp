@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "grape/host_reference.hpp"
+#include "ic/hernquist.hpp"
+
+namespace {
+
+using g5::ic::HernquistConfig;
+using g5::ic::make_hernquist;
+
+TEST(Hernquist, BasicInvariants) {
+  HernquistConfig cfg;
+  cfg.n = 3000;
+  const auto p = make_hernquist(cfg);
+  EXPECT_EQ(p.size(), 3000u);
+  EXPECT_NEAR(p.total_mass(), 1.0, 1e-12);
+  EXPECT_NEAR(p.center_of_mass().norm(), 0.0, 1e-12);
+  EXPECT_NEAR(p.total_momentum().norm(), 0.0, 1e-12);
+}
+
+TEST(Hernquist, EnclosedMassProfileMatchesAnalytic) {
+  HernquistConfig cfg;
+  cfg.n = 30000;
+  cfg.seed = 5;
+  const auto p = make_hernquist(cfg);
+  std::vector<double> radii(p.size());
+  for (std::size_t i = 0; i < p.size(); ++i) radii[i] = p.pos()[i].norm();
+  std::sort(radii.begin(), radii.end());
+  // Quantile check at several mass fractions (truncation at 50 b holds
+  // (50/51)^2 = 96.1% of the total mass, so compare against the truncated
+  // profile: f_trunc(r) = f(r) / f(rmax)).
+  const double f_rmax = g5::ic::hernquist_mass_fraction(50.0, 1.0);
+  for (double frac : {0.1, 0.25, 0.5, 0.75, 0.9}) {
+    const double r_measured =
+        radii[static_cast<std::size_t>(frac * static_cast<double>(p.size()))];
+    // Invert f(r)/f(rmax) = frac: sqrt(frac * f_rmax) = r/(1+r).
+    const double s = std::sqrt(frac * f_rmax);
+    const double r_expected = s / (1.0 - s);
+    EXPECT_NEAR(r_measured, r_expected, 0.08 * r_expected) << frac;
+  }
+}
+
+TEST(Hernquist, HalfMassRadius) {
+  // r_half of the untruncated model: (r/(r+1))^2 = 1/2 -> r = 1/(sqrt2-1).
+  HernquistConfig cfg;
+  cfg.n = 30000;
+  cfg.seed = 7;
+  cfg.rmax_over_b = 1000.0;  // effectively untruncated
+  const auto p = make_hernquist(cfg);
+  std::vector<double> radii(p.size());
+  for (std::size_t i = 0; i < p.size(); ++i) radii[i] = p.pos()[i].norm();
+  std::nth_element(radii.begin(), radii.begin() + radii.size() / 2,
+                   radii.end());
+  EXPECT_NEAR(radii[radii.size() / 2], 1.0 / (std::sqrt(2.0) - 1.0),
+              0.08 * 2.414);
+}
+
+TEST(Hernquist, NearVirialEquilibrium) {
+  HernquistConfig cfg;
+  cfg.n = 20000;
+  cfg.seed = 9;
+  const auto p = make_hernquist(cfg);
+  // Measure W directly (pairwise) on a subsample-free exact sum.
+  std::vector<g5::math::Vec3d> acc(p.size());
+  std::vector<double> pot(p.size());
+  g5::grape::host_direct_self(p.pos(), p.mass(), 0.0, acc, pot);
+  double w = 0.0;
+  for (std::size_t i = 0; i < p.size(); ++i) w += 0.5 * p.mass()[i] * pot[i];
+  const double k = p.kinetic_energy();
+  EXPECT_NEAR(2.0 * k / std::fabs(w), 1.0, 0.1);
+  // And W is near the analytic untruncated value (truncation ~ few %).
+  EXPECT_NEAR(w, g5::ic::hernquist_potential_energy(1.0, 1.0),
+              0.12 * std::fabs(w));
+}
+
+TEST(Hernquist, CuspierThanPlummer) {
+  // The r^-1 cusp concentrates far more mass at small radii: the 5 %
+  // Lagrangian radius is much smaller relative to r_half.
+  HernquistConfig cfg;
+  cfg.n = 20000;
+  cfg.seed = 11;
+  const auto p = make_hernquist(cfg);
+  std::vector<double> radii(p.size());
+  for (std::size_t i = 0; i < p.size(); ++i) radii[i] = p.pos()[i].norm();
+  std::sort(radii.begin(), radii.end());
+  const double r05 = radii[p.size() / 20];
+  const double r50 = radii[p.size() / 2];
+  EXPECT_LT(r05 / r50, 0.15);  // analytic ~0.124; Plummer's ratio is ~0.3
+}
+
+TEST(Hernquist, SpeedsBelowEscape) {
+  HernquistConfig cfg;
+  cfg.n = 5000;
+  cfg.seed = 13;
+  const auto p = make_hernquist(cfg);
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    const double r = p.pos()[i].norm();
+    const double v_esc = std::sqrt(2.0 / (1.0 + r));
+    EXPECT_LT(p.vel()[i].norm(), v_esc * 1.1) << i;
+  }
+}
+
+TEST(Hernquist, Validation) {
+  HernquistConfig cfg;
+  cfg.n = 0;
+  EXPECT_THROW(make_hernquist(cfg), std::invalid_argument);
+  cfg = HernquistConfig{};
+  cfg.scale_length = -1.0;
+  EXPECT_THROW(make_hernquist(cfg), std::invalid_argument);
+  EXPECT_DOUBLE_EQ(g5::ic::hernquist_mass_fraction(-1.0, 1.0), 0.0);
+}
+
+}  // namespace

@@ -1,0 +1,123 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "ic/plummer.hpp"
+
+namespace {
+
+using g5::ic::PlummerConfig;
+using g5::ic::make_plummer;
+using g5::math::Vec3d;
+
+TEST(Plummer, TotalMassAndCount) {
+  PlummerConfig cfg;
+  cfg.n = 2000;
+  const auto p = make_plummer(cfg);
+  EXPECT_EQ(p.size(), 2000u);
+  EXPECT_NEAR(p.total_mass(), 1.0, 1e-12);
+}
+
+TEST(Plummer, ExactlyCentered) {
+  PlummerConfig cfg;
+  cfg.n = 1000;
+  const auto p = make_plummer(cfg);
+  EXPECT_NEAR(p.center_of_mass().norm(), 0.0, 1e-12);
+  EXPECT_NEAR(p.total_momentum().norm(), 0.0, 1e-12);
+}
+
+TEST(Plummer, DeterministicInSeed) {
+  PlummerConfig a, b;
+  a.n = b.n = 100;
+  a.seed = b.seed = 5;
+  const auto pa = make_plummer(a), pb = make_plummer(b);
+  EXPECT_EQ(pa.pos()[50], pb.pos()[50]);
+  b.seed = 6;
+  const auto pc = make_plummer(b);
+  EXPECT_NE(pa.pos()[50], pc.pos()[50]);
+}
+
+TEST(Plummer, HalfMassRadius) {
+  // For the Plummer model r_half = b / sqrt(2^{2/3} - 1) ~ 1.3048 b.
+  PlummerConfig cfg;
+  cfg.n = 20000;
+  const auto p = make_plummer(cfg);
+  std::vector<double> radii(p.size());
+  for (std::size_t i = 0; i < p.size(); ++i) radii[i] = p.pos()[i].norm();
+  std::nth_element(radii.begin(), radii.begin() + radii.size() / 2,
+                   radii.end());
+  const double r_half = radii[radii.size() / 2];
+  const double expected = cfg.scale_length / std::sqrt(std::cbrt(4.0) - 1.0);
+  EXPECT_NEAR(r_half, expected, 0.05 * expected);
+}
+
+TEST(Plummer, TruncationRadiusRespected) {
+  PlummerConfig cfg;
+  cfg.n = 5000;
+  cfg.rmax_over_b = 5.0;
+  const auto p = make_plummer(cfg);
+  // Centering shifts things by O(1/sqrt(N)); allow a whisker.
+  const double rmax = cfg.rmax_over_b * cfg.scale_length;
+  for (const auto& pos : p.pos()) {
+    EXPECT_LT(pos.norm(), rmax * 1.05);
+  }
+}
+
+TEST(Plummer, SpeedsBelowEscape) {
+  PlummerConfig cfg;
+  cfg.n = 5000;
+  const auto p = make_plummer(cfg);
+  const double b = cfg.scale_length;
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    const double r = p.pos()[i].norm();
+    const double v_esc = std::sqrt(2.0) * std::pow(r * r + b * b, -0.25);
+    // Mean-velocity subtraction can nudge a particle past v_esc slightly.
+    EXPECT_LT(p.vel()[i].norm(), v_esc * 1.1) << i;
+  }
+}
+
+TEST(Plummer, NearVirialEquilibrium) {
+  // 2K/|W| ~ 1 for the sampled model. Kinetic energy of the full model is
+  // K = -E_kin... for virial units with W = -3 pi/32 b: K = -W/2.
+  PlummerConfig cfg;
+  cfg.n = 20000;
+  const auto p = make_plummer(cfg);
+  const double w = g5::ic::plummer_potential_energy(1.0, cfg.scale_length);
+  const double k = p.kinetic_energy();
+  EXPECT_NEAR(2.0 * k / std::fabs(w), 1.0, 0.05);
+}
+
+TEST(Plummer, AnalyticPotentialEnergy) {
+  // Standard virial units: b = 3 pi / 16 gives W = -1/2 and E = -1/4.
+  EXPECT_NEAR(g5::ic::plummer_potential_energy(1.0, 3.0 * M_PI / 16.0), -0.5,
+              1e-12);
+}
+
+TEST(Plummer, IsotropicVelocities) {
+  PlummerConfig cfg;
+  cfg.n = 20000;
+  const auto p = make_plummer(cfg);
+  Vec3d vsum2{};
+  for (const auto& v : p.vel()) {
+    vsum2 += Vec3d{v.x * v.x, v.y * v.y, v.z * v.z};
+  }
+  const double total = vsum2.x + vsum2.y + vsum2.z;
+  EXPECT_NEAR(vsum2.x / total, 1.0 / 3.0, 0.02);
+  EXPECT_NEAR(vsum2.y / total, 1.0 / 3.0, 0.02);
+  EXPECT_NEAR(vsum2.z / total, 1.0 / 3.0, 0.02);
+}
+
+TEST(Plummer, Validation) {
+  PlummerConfig cfg;
+  cfg.n = 0;
+  EXPECT_THROW(make_plummer(cfg), std::invalid_argument);
+  cfg = PlummerConfig{};
+  cfg.total_mass = -1.0;
+  EXPECT_THROW(make_plummer(cfg), std::invalid_argument);
+  cfg = PlummerConfig{};
+  cfg.scale_length = 0.0;
+  EXPECT_THROW(make_plummer(cfg), std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,86 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ic/power_spectrum.hpp"
+
+namespace {
+
+using g5::ic::PowerSpectrum;
+using g5::ic::PowerSpectrumParams;
+
+TEST(PowerSpectrum, Sigma8Normalization) {
+  PowerSpectrumParams p;  // SCDM defaults
+  const PowerSpectrum ps(p);
+  EXPECT_NEAR(ps.sigma_tophat(8.0 / p.h), p.sigma8, 1e-6);
+}
+
+TEST(PowerSpectrum, TransferLimits) {
+  const PowerSpectrum ps(PowerSpectrumParams{});
+  EXPECT_NEAR(ps.transfer(1e-6), 1.0, 1e-3);  // T -> 1 at large scales
+  EXPECT_LT(ps.transfer(10.0), 1e-2);         // strongly suppressed small scales
+  // Monotone decreasing.
+  double prev = ps.transfer(1e-4);
+  for (double k = 1e-3; k < 10.0; k *= 2.0) {
+    const double t = ps.transfer(k);
+    EXPECT_LT(t, prev);
+    prev = t;
+  }
+}
+
+TEST(PowerSpectrum, SpectrumShape) {
+  const PowerSpectrum ps(PowerSpectrumParams{});
+  EXPECT_DOUBLE_EQ(ps(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(ps(-1.0), 0.0);
+  // P ~ k at large scale (ns = 1): doubling k doubles P.
+  const double p1 = ps(1e-5), p2 = ps(2e-5);
+  EXPECT_NEAR(p2 / p1, 2.0, 0.01);
+  // A peak exists between the large-scale rise and small-scale fall.
+  EXPECT_GT(ps(0.05), ps(1e-4));
+  EXPECT_GT(ps(0.05), ps(5.0));
+}
+
+TEST(PowerSpectrum, SigmaDecreasesWithRadius) {
+  const PowerSpectrum ps(PowerSpectrumParams{});
+  double prev = ps.sigma_tophat(1.0);
+  for (double r : {2.0, 4.0, 8.0, 16.0, 32.0}) {
+    const double s = ps.sigma_tophat(r);
+    EXPECT_LT(s, prev) << r;
+    prev = s;
+  }
+}
+
+TEST(PowerSpectrum, AmplitudeScalesWithSigma8Squared) {
+  PowerSpectrumParams lo, hi;
+  lo.sigma8 = 0.5;
+  hi.sigma8 = 1.0;
+  const PowerSpectrum ps_lo(lo), ps_hi(hi);
+  EXPECT_NEAR(ps_hi(0.1) / ps_lo(0.1), 4.0, 1e-9);
+}
+
+TEST(PowerSpectrum, ShapeParameterMovesTurnover) {
+  // Higher Gamma = Omega h pushes the turnover to smaller scales: at a
+  // fixed mildly nonlinear k the high-Gamma spectrum retains more power
+  // relative to its large-scale amplitude.
+  PowerSpectrumParams a, b;
+  a.omega_m = 1.0;
+  a.h = 0.5;  // Gamma = 0.5
+  b.omega_m = 0.3;
+  b.h = 0.5;  // Gamma = 0.15
+  const PowerSpectrum pa(a), pb(b);
+  const double ka = 1.0;
+  EXPECT_GT(pa.transfer(ka), pb.transfer(ka));
+}
+
+TEST(PowerSpectrum, Validation) {
+  PowerSpectrumParams bad;
+  bad.h = 0.0;
+  EXPECT_THROW(PowerSpectrum{bad}, std::invalid_argument);
+  bad = PowerSpectrumParams{};
+  bad.sigma8 = -1.0;
+  EXPECT_THROW(PowerSpectrum{bad}, std::invalid_argument);
+  const PowerSpectrum ps(PowerSpectrumParams{});
+  EXPECT_THROW((void)ps.sigma_tophat(0.0), std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,135 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ic/galaxy.hpp"
+#include "ic/uniform.hpp"
+
+namespace {
+
+using namespace g5;
+using math::Vec3d;
+
+TEST(UniformCube, BoundsAndMass) {
+  const auto p = ic::make_uniform_cube(500, -2.0, 3.0, 10.0, 1);
+  EXPECT_EQ(p.size(), 500u);
+  EXPECT_NEAR(p.total_mass(), 10.0, 1e-9);
+  for (const auto& x : p.pos()) {
+    EXPECT_GE(x.min_component(), -2.0);
+    EXPECT_LT(x.max_component(), 3.0);
+  }
+}
+
+TEST(UniformBall, InsideRadius) {
+  const auto p = ic::make_uniform_ball(500, 4.0, 1.0, 2);
+  for (const auto& x : p.pos()) EXPECT_LT(x.norm(), 4.0);
+}
+
+TEST(UniformCube, Validation) {
+  EXPECT_THROW(ic::make_uniform_cube(0, 0.0, 1.0, 1.0, 1),
+               std::invalid_argument);
+  EXPECT_THROW(ic::make_uniform_cube(10, 1.0, 1.0, 1.0, 1),
+               std::invalid_argument);
+  EXPECT_THROW(ic::make_uniform_ball(10, 0.0, 1.0, 1), std::invalid_argument);
+}
+
+TEST(Clustered, StaysInBoxAndClusters) {
+  const double box = 10.0;
+  const auto p = ic::make_clustered(4000, 5, box, 0.3, 1.0, 3);
+  EXPECT_EQ(p.size(), 4000u);
+  for (const auto& x : p.pos()) {
+    EXPECT_GE(x.min_component(), 0.0);
+    EXPECT_LE(x.max_component(), box);
+  }
+  // Clustered: the mean nearest-point distance is far below the uniform
+  // expectation n^{-1/3}.
+  double sum_min = 0.0;
+  const int probes = 100;
+  for (int i = 0; i < probes; ++i) {
+    double best = 1e300;
+    for (std::size_t j = 0; j < p.size(); ++j) {
+      if (j == static_cast<std::size_t>(i) * 40) continue;
+      best = std::min(best,
+                      (p.pos()[static_cast<std::size_t>(i) * 40] - p.pos()[j])
+                          .norm());
+    }
+    sum_min += best;
+  }
+  const double mean_nn = sum_min / probes;
+  const double uniform_nn = box / std::cbrt(4000.0);
+  EXPECT_LT(mean_nn, uniform_nn);
+}
+
+TEST(GalaxyCollision, SetupGeometry) {
+  ic::GalaxyCollisionConfig cfg;
+  cfg.n_per_galaxy = 500;
+  cfg.pericenter = 1.0;
+  cfg.initial_separation = 10.0;
+  const auto r = ic::make_galaxy_collision(cfg);
+  EXPECT_EQ(r.particles.size(), 1000u);
+  EXPECT_EQ(r.n_first, 500u);
+  // Total momentum and CoM at the origin.
+  EXPECT_NEAR(r.particles.total_momentum().norm(), 0.0, 1e-10);
+  EXPECT_NEAR(r.particles.center_of_mass().norm(), 0.0, 1e-10);
+
+  // Centers separated by the configured distance.
+  Vec3d c1{}, c2{};
+  for (std::size_t i = 0; i < 500; ++i) c1 += r.particles.pos()[i];
+  for (std::size_t i = 500; i < 1000; ++i) c2 += r.particles.pos()[i];
+  c1 /= 500.0;
+  c2 /= 500.0;
+  EXPECT_NEAR((c2 - c1).norm(), 10.0, 0.2);
+}
+
+TEST(GalaxyCollision, ParabolicOrbitEnergy) {
+  // The two-body system of the galaxy centers has zero orbital energy on
+  // a parabolic orbit: v_rel^2 / 2 = G(M1+M2)/d.
+  ic::GalaxyCollisionConfig cfg;
+  cfg.n_per_galaxy = 2000;
+  cfg.mass_ratio = 2.0;
+  const auto r = ic::make_galaxy_collision(cfg);
+  const std::size_t n1 = r.n_first;
+  Vec3d c1{}, c2{}, v1{}, v2{};
+  for (std::size_t i = 0; i < n1; ++i) {
+    c1 += r.particles.pos()[i];
+    v1 += r.particles.vel()[i];
+  }
+  for (std::size_t i = n1; i < r.particles.size(); ++i) {
+    c2 += r.particles.pos()[i];
+    v2 += r.particles.vel()[i];
+  }
+  const double n2 = static_cast<double>(r.particles.size() - n1);
+  c1 /= static_cast<double>(n1);
+  v1 /= static_cast<double>(n1);
+  c2 /= n2;
+  v2 /= n2;
+  const double d = (c2 - c1).norm();
+  const double v2rel = (v2 - v1).norm2();
+  const double mtot = r.particles.total_mass();
+  EXPECT_NEAR(0.5 * v2rel, mtot / d, 0.05 * mtot / d);
+}
+
+TEST(GalaxyCollision, MassRatioHonored) {
+  ic::GalaxyCollisionConfig cfg;
+  cfg.n_per_galaxy = 300;
+  cfg.mass_ratio = 3.0;
+  const auto r = ic::make_galaxy_collision(cfg);
+  double m1 = 0.0, m2 = 0.0;
+  for (std::size_t i = 0; i < r.n_first; ++i) m1 += r.particles.mass()[i];
+  for (std::size_t i = r.n_first; i < r.particles.size(); ++i) {
+    m2 += r.particles.mass()[i];
+  }
+  EXPECT_NEAR(m2 / m1, 3.0, 1e-9);
+}
+
+TEST(GalaxyCollision, Validation) {
+  ic::GalaxyCollisionConfig cfg;
+  cfg.mass_ratio = 0.0;
+  EXPECT_THROW(ic::make_galaxy_collision(cfg), std::invalid_argument);
+  cfg = ic::GalaxyCollisionConfig{};
+  cfg.initial_separation = 1.0;
+  cfg.pericenter = 1.0;  // separation < 2 * pericenter
+  EXPECT_THROW(ic::make_galaxy_collision(cfg), std::invalid_argument);
+}
+
+}  // namespace

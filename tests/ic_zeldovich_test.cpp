@@ -1,0 +1,134 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ic/zeldovich.hpp"
+#include "model/units.hpp"
+
+namespace {
+
+using g5::ic::CosmologicalSphereConfig;
+using g5::ic::make_cosmological_sphere;
+using g5::math::Vec3d;
+
+CosmologicalSphereConfig small_cfg() {
+  CosmologicalSphereConfig cfg;
+  cfg.grid_n = 16;
+  cfg.seed = 2;
+  return cfg;
+}
+
+TEST(Zeldovich, ParticleCountMatchesSphereMass) {
+  const auto r = make_cosmological_sphere(small_cfg());
+  // N ~ rho * V_sphere / m_particle.
+  const g5::model::Cosmology cosmo(g5::model::CosmologyParams::scdm());
+  const double volume = 4.0 / 3.0 * M_PI * std::pow(r.sphere_radius, 3);
+  const double expected = cosmo.mean_matter_density() * volume / 1.7;
+  EXPECT_NEAR(static_cast<double>(r.particles.size()), expected,
+              0.05 * expected);
+}
+
+TEST(Zeldovich, PaperScalingRelation) {
+  // The paper's lattice spacing from m = 1.7e10 Msun: ~0.626 Mpc, so the
+  // box for grid_n cells is grid_n * 0.626 Mpc.
+  const auto r = make_cosmological_sphere(small_cfg());
+  const double spacing = r.box_size / 16.0;
+  EXPECT_NEAR(spacing, 0.626, 0.01);
+  // The paper: R = 50 Mpc sphere -> 2,159,038 particles. Our N scales as
+  // (R/50)^3 * 2.159e6.
+  const double predicted = 2159038.0 * std::pow(r.sphere_radius / 50.0, 3);
+  EXPECT_NEAR(static_cast<double>(r.particles.size()), predicted,
+              0.06 * predicted);
+}
+
+TEST(Zeldovich, StartsAtRedshift24) {
+  const auto r = make_cosmological_sphere(small_cfg());
+  EXPECT_NEAR(r.a_start, 0.04, 1e-12);
+  EXPECT_NEAR(r.growth_start, 0.04, 1e-3);  // EdS: D = a
+  EXPECT_GT(r.time_end, r.time_start);
+  EXPECT_NEAR(r.time_end - r.time_start, 12.93, 0.05);
+}
+
+TEST(Zeldovich, SphereIsCentredAndBounded) {
+  const auto r = make_cosmological_sphere(small_cfg());
+  const auto& p = r.particles;
+  // Physical radius at a_start = a * comoving radius (+ displacements).
+  const double r_phys = r.a_start * r.sphere_radius;
+  Vec3d com{};
+  for (const auto& x : p.pos()) {
+    EXPECT_LT(x.norm(), r_phys * 1.3);
+    com += x;
+  }
+  com /= static_cast<double>(p.size());
+  EXPECT_LT(com.norm(), 0.05 * r_phys);
+}
+
+TEST(Zeldovich, VelocitiesDominatedByHubbleFlow) {
+  // v = H r + peculiar; at z = 24 the radial Hubble term dominates for
+  // most particles: check the mass-weighted radial velocity ~ H(a) r.
+  const auto r = make_cosmological_sphere(small_cfg());
+  const g5::model::Cosmology cosmo(g5::model::CosmologyParams::scdm());
+  const double hubble = cosmo.hubble(r.a_start);
+  const auto& p = r.particles;
+  double num = 0.0, den = 0.0;
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    const double rr = p.pos()[i].norm();
+    if (rr < 1e-6) continue;
+    num += p.vel()[i].dot(p.pos()[i]) / rr;
+    den += hubble * rr;
+  }
+  EXPECT_NEAR(num / den, 1.0, 0.05);
+}
+
+TEST(Zeldovich, DisplacementsAreSmallFractionOfBox) {
+  const auto r = make_cosmological_sphere(small_cfg());
+  EXPECT_GT(r.rms_displacement, 0.0);
+  // Zel'dovich validity: displacements < lattice spacing at z = 24-ish.
+  EXPECT_LT(r.rms_displacement, r.box_size / 16.0);
+}
+
+TEST(Zeldovich, DeterministicInSeed) {
+  const auto a = make_cosmological_sphere(small_cfg());
+  const auto b = make_cosmological_sphere(small_cfg());
+  ASSERT_EQ(a.particles.size(), b.particles.size());
+  EXPECT_EQ(a.particles.pos()[10], b.particles.pos()[10]);
+  auto cfg = small_cfg();
+  cfg.seed = 3;
+  const auto c = make_cosmological_sphere(cfg);
+  EXPECT_NE(a.particles.pos()[10], c.particles.pos()[10]);
+}
+
+TEST(Zeldovich, ExplicitRadiusHonored) {
+  auto cfg = small_cfg();
+  cfg.sphere_radius = 3.0;
+  const auto r = make_cosmological_sphere(cfg);
+  EXPECT_DOUBLE_EQ(r.sphere_radius, 3.0);
+  cfg.sphere_radius = 100.0;  // exceeds the box
+  EXPECT_THROW(make_cosmological_sphere(cfg), std::invalid_argument);
+}
+
+TEST(Zeldovich, Validation) {
+  auto cfg = small_cfg();
+  cfg.particle_mass = 0.0;
+  EXPECT_THROW(make_cosmological_sphere(cfg), std::invalid_argument);
+  cfg = small_cfg();
+  cfg.z_start = 0.0;
+  EXPECT_THROW(make_cosmological_sphere(cfg), std::invalid_argument);
+}
+
+TEST(Zeldovich, TimestepScheduleIsMonotone) {
+  const g5::model::Cosmology cosmo(g5::model::CosmologyParams::scdm());
+  const auto dts = cosmo.log_a_timesteps(0.04, 1.0, 32);
+  ASSERT_EQ(dts.size(), 32u);
+  double total = 0.0;
+  for (std::size_t i = 0; i < dts.size(); ++i) {
+    EXPECT_GT(dts[i], 0.0);
+    if (i > 0) EXPECT_GT(dts[i], dts[i - 1]);  // early steps smaller
+    total += dts[i];
+  }
+  EXPECT_NEAR(total, cosmo.age(1.0) - cosmo.age(0.04), 1e-9);
+  EXPECT_THROW(cosmo.log_a_timesteps(1.0, 0.04, 8), std::invalid_argument);
+  EXPECT_THROW(cosmo.log_a_timesteps(0.04, 1.0, 0), std::invalid_argument);
+}
+
+}  // namespace

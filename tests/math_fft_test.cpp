@@ -1,0 +1,154 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "math/fft.hpp"
+#include "math/rng.hpp"
+
+namespace {
+
+using namespace g5::math;
+
+TEST(Fft, ImpulseTransformsToFlatSpectrum) {
+  std::vector<Complex> data(16, Complex(0.0, 0.0));
+  data[0] = Complex(1.0, 0.0);
+  fft_inplace(data.data(), data.size(), -1);
+  for (const auto& c : data) {
+    EXPECT_NEAR(c.real(), 1.0, 1e-12);
+    EXPECT_NEAR(c.imag(), 0.0, 1e-12);
+  }
+}
+
+TEST(Fft, SingleToneLandsInOneBin) {
+  const std::size_t n = 64;
+  std::vector<Complex> data(n);
+  const std::size_t k0 = 5;
+  for (std::size_t j = 0; j < n; ++j) {
+    const double phase = 2.0 * M_PI * static_cast<double>(k0 * j) /
+                         static_cast<double>(n);
+    data[j] = Complex(std::cos(phase), std::sin(phase));
+  }
+  fft_inplace(data.data(), n, -1);
+  for (std::size_t k = 0; k < n; ++k) {
+    if (k == k0) {
+      EXPECT_NEAR(std::abs(data[k]), static_cast<double>(n), 1e-9);
+    } else {
+      EXPECT_NEAR(std::abs(data[k]), 0.0, 1e-9) << k;
+    }
+  }
+}
+
+TEST(Fft, RoundTripRecoversInput) {
+  Rng rng(5);
+  const std::size_t n = 256;
+  std::vector<Complex> data(n), orig(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    data[i] = Complex(rng.gaussian(), rng.gaussian());
+    orig[i] = data[i];
+  }
+  fft_inplace(data.data(), n, -1);
+  fft_inplace(data.data(), n, +1);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(data[i].real() / static_cast<double>(n), orig[i].real(), 1e-10);
+    EXPECT_NEAR(data[i].imag() / static_cast<double>(n), orig[i].imag(), 1e-10);
+  }
+}
+
+TEST(Fft, ParsevalHolds) {
+  Rng rng(7);
+  const std::size_t n = 128;
+  std::vector<Complex> data(n);
+  double space_energy = 0.0;
+  for (auto& c : data) {
+    c = Complex(rng.gaussian(), rng.gaussian());
+    space_energy += std::norm(c);
+  }
+  fft_inplace(data.data(), n, -1);
+  double freq_energy = 0.0;
+  for (const auto& c : data) freq_energy += std::norm(c);
+  EXPECT_NEAR(freq_energy, space_energy * static_cast<double>(n),
+              1e-8 * freq_energy);
+}
+
+TEST(Fft, RejectsBadArguments) {
+  std::vector<Complex> data(12);
+  EXPECT_THROW(fft_inplace(data.data(), 12, -1), std::invalid_argument);
+  EXPECT_THROW(fft_inplace(data.data(), 8, 2), std::invalid_argument);
+  EXPECT_THROW(fft_inplace_strided(data.data(), 8, 0, -1),
+               std::invalid_argument);
+}
+
+TEST(Fft, StridedMatchesContiguous) {
+  Rng rng(9);
+  const std::size_t n = 32, stride = 3;
+  std::vector<Complex> packed(n), strided(n * stride, Complex(9.0, 9.0));
+  for (std::size_t i = 0; i < n; ++i) {
+    packed[i] = Complex(rng.gaussian(), rng.gaussian());
+    strided[i * stride] = packed[i];
+  }
+  fft_inplace(packed.data(), n, -1);
+  fft_inplace_strided(strided.data(), n, stride, -1);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(strided[i * stride].real(), packed[i].real(), 1e-10);
+    EXPECT_NEAR(strided[i * stride].imag(), packed[i].imag(), 1e-10);
+  }
+  // Elements between strides untouched.
+  EXPECT_EQ(strided[1], Complex(9.0, 9.0));
+}
+
+TEST(Grid3C, RoundTrip) {
+  Rng rng(11);
+  Grid3C grid(8);
+  std::vector<Complex> orig(grid.size());
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    grid.data()[i] = Complex(rng.gaussian(), rng.gaussian());
+    orig[i] = grid.data()[i];
+  }
+  grid.forward();
+  grid.inverse();
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    EXPECT_NEAR(grid.data()[i].real(), orig[i].real(), 1e-10);
+    EXPECT_NEAR(grid.data()[i].imag(), orig[i].imag(), 1e-10);
+  }
+}
+
+TEST(Grid3C, PlaneWaveSingleMode) {
+  const std::size_t n = 8;
+  Grid3C grid(n);
+  const long kx = 2, ky = 7, kz = 1;  // ky = 7 == -1 mod 8
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j)
+      for (std::size_t k = 0; k < n; ++k) {
+        const double phase =
+            2.0 * M_PI *
+            (static_cast<double>(kx * static_cast<long>(i)) +
+             static_cast<double>(ky * static_cast<long>(j)) +
+             static_cast<double>(kz * static_cast<long>(k))) /
+            static_cast<double>(n);
+        grid.at(i, j, k) = Complex(std::cos(phase), std::sin(phase));
+      }
+  grid.forward();
+  const double nn = static_cast<double>(n * n * n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j)
+      for (std::size_t k = 0; k < n; ++k) {
+        const double expected =
+            (i == 2 && j == 7 && k == 1) ? nn : 0.0;
+        EXPECT_NEAR(std::abs(grid.at(i, j, k)), expected, 1e-7)
+            << i << "," << j << "," << k;
+      }
+}
+
+TEST(Grid3C, FreqIndexConvention) {
+  EXPECT_EQ(freq_index(0, 8), 0);
+  EXPECT_EQ(freq_index(3, 8), 3);
+  EXPECT_EQ(freq_index(4, 8), 4);   // Nyquist stays positive
+  EXPECT_EQ(freq_index(5, 8), -3);
+  EXPECT_EQ(freq_index(7, 8), -1);
+}
+
+TEST(Grid3C, RejectsNonPow2) {
+  EXPECT_THROW(Grid3C(12), std::invalid_argument);
+}
+
+}  // namespace

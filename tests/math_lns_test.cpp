@@ -1,0 +1,184 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "math/lns.hpp"
+#include "math/rng.hpp"
+
+namespace {
+
+using g5::math::LnsFormat;
+using g5::math::LnsValue;
+
+TEST(Lns, ZeroAndSpecials) {
+  const LnsFormat fmt(8);
+  EXPECT_DOUBLE_EQ(fmt.to_double(fmt.from_double(0.0)), 0.0);
+  EXPECT_DOUBLE_EQ(fmt.to_double(LnsValue::make_zero()), 0.0);
+  // Non-finite inputs collapse to zero (the hardware cannot represent them
+  // and the datapath never produces them).
+  EXPECT_DOUBLE_EQ(fmt.to_double(fmt.from_double(
+                       std::numeric_limits<double>::infinity())), 0.0);
+  EXPECT_DOUBLE_EQ(fmt.to_double(fmt.from_double(
+                       std::numeric_limits<double>::quiet_NaN())), 0.0);
+}
+
+TEST(Lns, SignsPreserved) {
+  const LnsFormat fmt(10);
+  EXPECT_GT(fmt.quantize(3.7), 0.0);
+  EXPECT_LT(fmt.quantize(-3.7), 0.0);
+  EXPECT_DOUBLE_EQ(fmt.quantize(-3.7), -fmt.quantize(3.7));
+}
+
+TEST(Lns, PowersOfTwoExact) {
+  const LnsFormat fmt(8);
+  for (int e = -20; e <= 20; ++e) {
+    const double x = std::ldexp(1.0, e);
+    EXPECT_DOUBLE_EQ(fmt.quantize(x), x) << "2^" << e;
+  }
+}
+
+class LnsWidth : public ::testing::TestWithParam<int> {};
+
+TEST_P(LnsWidth, RoundTripRelativeErrorBound) {
+  const int frac = GetParam();
+  const LnsFormat fmt(frac);
+  // Half-step in log space -> relative bound (2^(2^-F/2) - 1).
+  const double bound = std::exp2(0.5 * std::ldexp(1.0, -frac)) - 1.0;
+  g5::math::Rng rng(frac);
+  double worst = 0.0;
+  for (int i = 0; i < 20000; ++i) {
+    const double x = std::pow(10.0, rng.uniform(-12.0, 12.0));
+    const double q = fmt.quantize(x);
+    worst = std::max(worst, std::fabs(q - x) / x);
+  }
+  EXPECT_LE(worst, bound * (1.0 + 1e-9));
+  // And the bound is nearly attained (quantization is not finer than F).
+  EXPECT_GE(worst, 0.5 * bound);
+}
+
+TEST_P(LnsWidth, RelativeStepFormula) {
+  const int frac = GetParam();
+  const LnsFormat fmt(frac);
+  EXPECT_NEAR(fmt.relative_step(), std::exp2(std::ldexp(1.0, -frac)) - 1.0,
+              1e-15);
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, LnsWidth,
+                         ::testing::Values(4, 6, 8, 10, 12, 16));
+
+TEST(Lns, MulIsExactInFormat) {
+  const LnsFormat fmt(8);
+  g5::math::Rng rng(3);
+  for (int i = 0; i < 2000; ++i) {
+    const double a = std::pow(10.0, rng.uniform(-6.0, 6.0)) *
+                     (rng.uniform() < 0.5 ? -1.0 : 1.0);
+    const double b = std::pow(10.0, rng.uniform(-6.0, 6.0));
+    const LnsValue va = fmt.from_double(a);
+    const LnsValue vb = fmt.from_double(b);
+    // The product of the *quantized* values, which mul computes exactly.
+    const double expected = fmt.to_double(va) * fmt.to_double(vb);
+    const double got = fmt.to_double(fmt.mul(va, vb));
+    EXPECT_NEAR(got, expected, std::fabs(expected) * 1e-12);
+  }
+}
+
+TEST(Lns, MulWithZero) {
+  const LnsFormat fmt(8);
+  const LnsValue z = fmt.from_double(0.0);
+  const LnsValue v = fmt.from_double(5.0);
+  EXPECT_DOUBLE_EQ(fmt.to_double(fmt.mul(z, v)), 0.0);
+  EXPECT_DOUBLE_EQ(fmt.to_double(fmt.mul(v, z)), 0.0);
+}
+
+TEST(Lns, SquareMatchesSelfMul) {
+  const LnsFormat fmt(9);
+  g5::math::Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = std::pow(10.0, rng.uniform(-5.0, 5.0)) *
+                     (rng.uniform() < 0.5 ? -1.0 : 1.0);
+    const LnsValue v = fmt.from_double(x);
+    EXPECT_DOUBLE_EQ(fmt.to_double(fmt.square(v)),
+                     fmt.to_double(fmt.mul(v, v)));
+    EXPECT_GE(fmt.to_double(fmt.square(v)), 0.0);
+  }
+}
+
+TEST(Lns, PowNeg32Accuracy) {
+  const LnsFormat fmt(10);
+  g5::math::Rng rng(7);
+  for (int i = 0; i < 2000; ++i) {
+    const double x = std::pow(10.0, rng.uniform(-6.0, 6.0));
+    const LnsValue v = fmt.from_double(x);
+    const double xq = fmt.to_double(v);
+    const double expected = std::pow(xq, -1.5);
+    const double got = fmt.to_double(fmt.pow_neg_3_2(v));
+    // One extra rounding of the log word (half ulp in log space).
+    const double tol = expected * (std::exp2(std::ldexp(1.0, -10)) - 1.0);
+    EXPECT_NEAR(got, expected, tol + expected * 1e-12);
+  }
+}
+
+TEST(Lns, PowNeg12Accuracy) {
+  const LnsFormat fmt(10);
+  g5::math::Rng rng(11);
+  for (int i = 0; i < 2000; ++i) {
+    const double x = std::pow(10.0, rng.uniform(-6.0, 6.0));
+    const LnsValue v = fmt.from_double(x);
+    const double xq = fmt.to_double(v);
+    const double expected = 1.0 / std::sqrt(xq);
+    const double got = fmt.to_double(fmt.pow_neg_1_2(v));
+    const double tol = expected * (std::exp2(std::ldexp(1.0, -10)) - 1.0);
+    EXPECT_NEAR(got, expected, tol + expected * 1e-12);
+  }
+}
+
+TEST(Lns, PowOfZeroSaturatesHigh) {
+  const LnsFormat fmt(8);
+  const LnsValue z = LnsValue::make_zero();
+  EXPECT_GT(fmt.to_double(fmt.pow_neg_3_2(z)), 1e100);
+  EXPECT_GT(fmt.to_double(fmt.pow_neg_1_2(z)), 1e100);
+}
+
+TEST(Lns, ExponentSaturation) {
+  const LnsFormat fmt(8, 6);  // tiny exponent range: |log2| < 32
+  const double huge = std::ldexp(1.0, 100);
+  const double q = fmt.quantize(huge);
+  EXPECT_LT(q, huge);           // clamped
+  EXPECT_GT(q, std::ldexp(1.0, 30));
+  const double tiny = std::ldexp(1.0, -100);
+  EXPECT_GT(fmt.quantize(tiny), 0.0);  // clamps to the smallest magnitude
+}
+
+TEST(Lns, CoarseTableDegradesPow) {
+  LnsFormat full(10);
+  LnsFormat coarse(10);
+  coarse.set_table_index_bits(4);
+  g5::math::Rng rng(13);
+  double err_full = 0.0, err_coarse = 0.0;
+  for (int i = 0; i < 4000; ++i) {
+    const double x = std::pow(10.0, rng.uniform(-3.0, 3.0));
+    const double expected = std::pow(x, -1.5);
+    err_full += std::fabs(full.to_double(full.pow_neg_3_2(
+                    full.from_double(x))) - expected) / expected;
+    err_coarse += std::fabs(coarse.to_double(coarse.pow_neg_3_2(
+                      coarse.from_double(x))) - expected) / expected;
+  }
+  EXPECT_GT(err_coarse, 2.0 * err_full);
+}
+
+TEST(Lns, TableBitsValidation) {
+  LnsFormat fmt(8);
+  EXPECT_NO_THROW(fmt.set_table_index_bits(0));
+  EXPECT_NO_THROW(fmt.set_table_index_bits(8));
+  EXPECT_THROW(fmt.set_table_index_bits(-1), std::invalid_argument);
+  EXPECT_THROW(fmt.set_table_index_bits(9), std::invalid_argument);
+}
+
+TEST(Lns, ConstructorValidation) {
+  EXPECT_THROW(LnsFormat(0), std::invalid_argument);
+  EXPECT_THROW(LnsFormat(25), std::invalid_argument);
+  EXPECT_THROW(LnsFormat(8, 2), std::invalid_argument);
+  EXPECT_THROW(LnsFormat(8, 20), std::invalid_argument);
+}
+
+}  // namespace

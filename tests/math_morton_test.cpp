@@ -1,0 +1,112 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "math/morton.hpp"
+#include "math/rng.hpp"
+
+namespace {
+
+using namespace g5::math;
+
+TEST(Morton, SpreadCompactInverse) {
+  Rng rng(1);
+  for (int i = 0; i < 10000; ++i) {
+    const auto x = static_cast<std::uint32_t>(rng.uniform_index(
+        kMortonCoordMax + 1));
+    EXPECT_EQ(morton_compact(morton_spread(x)), x);
+  }
+  EXPECT_EQ(morton_compact(morton_spread(0)), 0u);
+  EXPECT_EQ(morton_compact(morton_spread(kMortonCoordMax)), kMortonCoordMax);
+}
+
+TEST(Morton, EncodeDecodeRoundTrip) {
+  Rng rng(2);
+  for (int i = 0; i < 10000; ++i) {
+    const auto x = static_cast<std::uint32_t>(rng.uniform_index(1u << 21));
+    const auto y = static_cast<std::uint32_t>(rng.uniform_index(1u << 21));
+    const auto z = static_cast<std::uint32_t>(rng.uniform_index(1u << 21));
+    std::uint32_t dx, dy, dz;
+    morton_decode(morton_encode(x, y, z), dx, dy, dz);
+    EXPECT_EQ(dx, x);
+    EXPECT_EQ(dy, y);
+    EXPECT_EQ(dz, z);
+  }
+}
+
+TEST(Morton, BitInterleavingLayout) {
+  // x bit 0 -> key bit 0, y bit 0 -> key bit 1, z bit 0 -> key bit 2.
+  EXPECT_EQ(morton_encode(1, 0, 0), 1ULL);
+  EXPECT_EQ(morton_encode(0, 1, 0), 2ULL);
+  EXPECT_EQ(morton_encode(0, 0, 1), 4ULL);
+  EXPECT_EQ(morton_encode(2, 0, 0), 8ULL);
+  EXPECT_EQ(morton_encode(1, 1, 1), 7ULL);
+}
+
+TEST(Morton, KeyOrderingIsOctreeOrdering) {
+  // Points in the low half of the cube along x precede the high half at
+  // the root split; likewise per axis.
+  const Vec3d lo{0.0, 0.0, 0.0};
+  const double size = 1.0;
+  const auto k_low = morton_key(Vec3d{0.25, 0.25, 0.25}, lo, size);
+  const auto k_hx = morton_key(Vec3d{0.75, 0.25, 0.25}, lo, size);
+  const auto k_hy = morton_key(Vec3d{0.25, 0.75, 0.25}, lo, size);
+  const auto k_hz = morton_key(Vec3d{0.25, 0.25, 0.75}, lo, size);
+  const auto k_high = morton_key(Vec3d{0.75, 0.75, 0.75}, lo, size);
+  EXPECT_LT(k_low, k_hx);
+  EXPECT_LT(k_hx, k_hy);
+  EXPECT_LT(k_hy, k_hz);
+  EXPECT_LT(k_hz, k_high);
+}
+
+TEST(Morton, OctantDigits) {
+  const Vec3d lo{0.0, 0.0, 0.0};
+  // A point in the (+x, +y, +z) octant has octant 7 at level 0.
+  const auto key = morton_key(Vec3d{0.9, 0.9, 0.9}, lo, 1.0);
+  EXPECT_EQ(morton_octant(key, 0), 7u);
+  // A point in the low corner has octant 0 at every level.
+  const auto key0 = morton_key(Vec3d{1e-9, 1e-9, 1e-9}, lo, 1.0);
+  for (int level = 0; level < 10; ++level) {
+    EXPECT_EQ(morton_octant(key0, level), 0u);
+  }
+  // Octant digit = 3 bits: x | y<<1 | z<<2 of the level's half-split.
+  const auto kx = morton_key(Vec3d{0.9, 0.1, 0.1}, lo, 1.0);
+  EXPECT_EQ(morton_octant(kx, 0), 1u);
+  const auto ky = morton_key(Vec3d{0.1, 0.9, 0.1}, lo, 1.0);
+  EXPECT_EQ(morton_octant(ky, 0), 2u);
+  const auto kz = morton_key(Vec3d{0.1, 0.1, 0.9}, lo, 1.0);
+  EXPECT_EQ(morton_octant(kz, 0), 4u);
+}
+
+TEST(Morton, OutOfBoxClamps) {
+  const Vec3d lo{0.0, 0.0, 0.0};
+  const auto k_under = morton_key(Vec3d{-5.0, -5.0, -5.0}, lo, 1.0);
+  const auto k_over = morton_key(Vec3d{5.0, 5.0, 5.0}, lo, 1.0);
+  EXPECT_EQ(k_under, morton_encode(0, 0, 0));
+  EXPECT_EQ(k_over,
+            morton_encode(kMortonCoordMax, kMortonCoordMax, kMortonCoordMax));
+}
+
+TEST(Morton, SpatialLocalityOfConsecutiveKeys) {
+  // Sorting random points by Morton key: consecutive points are close on
+  // average (the property the tree build exploits). Compare against the
+  // unsorted ordering.
+  Rng rng(3);
+  std::vector<Vec3d> pts(2000);
+  for (auto& p : pts) p = rng.in_box(Vec3d{0, 0, 0}, Vec3d{1, 1, 1});
+  auto mean_step = [&](const std::vector<Vec3d>& v) {
+    double s = 0.0;
+    for (std::size_t i = 1; i < v.size(); ++i) s += (v[i] - v[i - 1]).norm();
+    return s / static_cast<double>(v.size() - 1);
+  };
+  const double before = mean_step(pts);
+  std::sort(pts.begin(), pts.end(), [&](const Vec3d& a, const Vec3d& b) {
+    return morton_key(a, Vec3d{0, 0, 0}, 1.0) <
+           morton_key(b, Vec3d{0, 0, 0}, 1.0);
+  });
+  const double after = mean_step(pts);
+  EXPECT_LT(after, 0.5 * before);
+}
+
+}  // namespace

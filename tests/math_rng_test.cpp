@@ -1,0 +1,135 @@
+#include <gtest/gtest.h>
+
+#include "math/rng.hpp"
+
+namespace {
+
+using g5::math::Rng;
+
+TEST(Rng, DeterministicInSeed) {
+  Rng a(123), b(123), c(124);
+  bool any_diff = false;
+  for (int i = 0; i < 100; ++i) {
+    const auto va = a.next_u64();
+    EXPECT_EQ(va, b.next_u64());
+    any_diff |= (va != c.next_u64());
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Rng, UniformRangeAndMoments) {
+  Rng rng(7);
+  double sum = 0.0, sum2 = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+    sum2 += u * u;
+  }
+  EXPECT_NEAR(sum / n, 0.5, 0.005);
+  EXPECT_NEAR(sum2 / n - 0.25, 1.0 / 12.0, 0.005);
+}
+
+TEST(Rng, UniformIntervalRespectsBounds) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-3.0, 5.0);
+    ASSERT_GE(u, -3.0);
+    ASSERT_LT(u, 5.0);
+  }
+}
+
+TEST(Rng, UniformIndexUnbiasedSmallN) {
+  Rng rng(11);
+  const std::uint64_t n = 7;
+  std::vector<int> counts(n, 0);
+  const int draws = 70000;
+  for (int i = 0; i < draws; ++i) {
+    const auto k = rng.uniform_index(n);
+    ASSERT_LT(k, n);
+    ++counts[k];
+  }
+  for (auto c : counts) {
+    EXPECT_NEAR(static_cast<double>(c), draws / 7.0, 5.0 * std::sqrt(draws / 7.0));
+  }
+}
+
+TEST(Rng, GaussianMoments) {
+  Rng rng(13);
+  double sum = 0.0, sum2 = 0.0, sum3 = 0.0, sum4 = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.gaussian();
+    sum += g;
+    sum2 += g * g;
+    sum3 += g * g * g;
+    sum4 += g * g * g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.01);
+  EXPECT_NEAR(sum2 / n, 1.0, 0.02);
+  EXPECT_NEAR(sum3 / n, 0.0, 0.05);
+  EXPECT_NEAR(sum4 / n, 3.0, 0.1);  // kurtosis of the standard normal
+  EXPECT_NEAR(rng.gaussian(10.0, 0.0), 10.0, 1e-12);
+}
+
+TEST(Rng, UnitBallInside) {
+  Rng rng(17);
+  double mean_r2 = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const auto p = rng.in_unit_ball();
+    ASSERT_LT(p.norm2(), 1.0);
+    mean_r2 += p.norm2();
+  }
+  // E[r^2] for a uniform ball = 3/5.
+  EXPECT_NEAR(mean_r2 / n, 0.6, 0.01);
+}
+
+TEST(Rng, UnitSphereOnSurfaceAndIsotropic) {
+  Rng rng(19);
+  g5::math::Vec3d mean{};
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const auto p = rng.on_unit_sphere();
+    ASSERT_NEAR(p.norm(), 1.0, 1e-12);
+    mean += p;
+  }
+  mean /= static_cast<double>(n);
+  EXPECT_NEAR(mean.norm(), 0.0, 0.02);
+}
+
+TEST(Rng, BoxSampling) {
+  Rng rng(23);
+  const g5::math::Vec3d lo{-1.0, 2.0, -5.0}, hi{0.0, 3.0, 5.0};
+  for (int i = 0; i < 1000; ++i) {
+    const auto p = rng.in_box(lo, hi);
+    ASSERT_GE(p.x, lo.x);
+    ASSERT_LT(p.x, hi.x);
+    ASSERT_GE(p.y, lo.y);
+    ASSERT_LT(p.y, hi.y);
+    ASSERT_GE(p.z, lo.z);
+    ASSERT_LT(p.z, hi.z);
+  }
+}
+
+TEST(Rng, SplitStreamsDiffer) {
+  Rng parent(31);
+  Rng child = parent.split();
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (parent.next_u64() == child.next_u64()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, ReseedResets) {
+  Rng rng(41);
+  const auto first = rng.next_u64();
+  rng.next_u64();
+  rng.reseed(41);
+  EXPECT_EQ(rng.next_u64(), first);
+}
+
+}  // namespace

@@ -1,0 +1,73 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "math/vec3.hpp"
+
+namespace {
+
+using g5::math::Vec3d;
+
+TEST(Vec3, ConstructionAndIndexing) {
+  Vec3d v{1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(v[0], 1.0);
+  EXPECT_DOUBLE_EQ(v[1], 2.0);
+  EXPECT_DOUBLE_EQ(v[2], 3.0);
+  v[1] = 5.0;
+  EXPECT_DOUBLE_EQ(v.y, 5.0);
+  const Vec3d zero{};
+  EXPECT_DOUBLE_EQ(zero.x + zero.y + zero.z, 0.0);
+  const Vec3d filled(2.0);
+  EXPECT_EQ(filled, (Vec3d{2.0, 2.0, 2.0}));
+}
+
+TEST(Vec3, Arithmetic) {
+  const Vec3d a{1.0, 2.0, 3.0};
+  const Vec3d b{4.0, 5.0, 6.0};
+  EXPECT_EQ(a + b, (Vec3d{5.0, 7.0, 9.0}));
+  EXPECT_EQ(b - a, (Vec3d{3.0, 3.0, 3.0}));
+  EXPECT_EQ(2.0 * a, (Vec3d{2.0, 4.0, 6.0}));
+  EXPECT_EQ(a * 2.0, 2.0 * a);
+  EXPECT_EQ(a / 2.0, (Vec3d{0.5, 1.0, 1.5}));
+  EXPECT_EQ(-a, (Vec3d{-1.0, -2.0, -3.0}));
+  Vec3d c = a;
+  c += b;
+  c -= a;
+  EXPECT_EQ(c, b);
+  c *= 3.0;
+  c /= 3.0;
+  EXPECT_EQ(c, b);
+}
+
+TEST(Vec3, DotCrossNorm) {
+  const Vec3d a{1.0, 2.0, 3.0};
+  const Vec3d b{4.0, 5.0, 6.0};
+  EXPECT_DOUBLE_EQ(a.dot(b), 32.0);
+  EXPECT_DOUBLE_EQ(a.norm2(), 14.0);
+  EXPECT_DOUBLE_EQ(a.norm(), std::sqrt(14.0));
+  const Vec3d x{1.0, 0.0, 0.0}, y{0.0, 1.0, 0.0}, z{0.0, 0.0, 1.0};
+  EXPECT_EQ(x.cross(y), z);
+  EXPECT_EQ(y.cross(z), x);
+  EXPECT_EQ(z.cross(x), y);
+  // Anti-commutativity and orthogonality.
+  EXPECT_EQ(a.cross(b), -(b.cross(a)));
+  EXPECT_NEAR(a.cross(b).dot(a), 0.0, 1e-12);
+  EXPECT_NEAR(a.cross(b).dot(b), 0.0, 1e-12);
+}
+
+TEST(Vec3, MinMaxComponents) {
+  const Vec3d v{3.0, -1.0, 2.0};
+  EXPECT_DOUBLE_EQ(v.min_component(), -1.0);
+  EXPECT_DOUBLE_EQ(v.max_component(), 3.0);
+  const Vec3d a{1.0, 5.0, 2.0}, b{3.0, 0.0, 4.0};
+  EXPECT_EQ(g5::math::cwise_min(a, b), (Vec3d{1.0, 0.0, 2.0}));
+  EXPECT_EQ(g5::math::cwise_max(a, b), (Vec3d{3.0, 5.0, 4.0}));
+}
+
+TEST(Vec3, StreamOutput) {
+  std::ostringstream os;
+  os << Vec3d{1.5, 2.5, 3.5};
+  EXPECT_EQ(os.str(), "(1.5, 2.5, 3.5)");
+}
+
+}  // namespace

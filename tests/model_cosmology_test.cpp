@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "model/cosmology.hpp"
+#include "model/units.hpp"
+
+namespace {
+
+using g5::model::Cosmology;
+using g5::model::CosmologyParams;
+
+// The paper's background is SCDM / Einstein-de Sitter, for which
+// everything has closed forms — they anchor the general quadrature code.
+
+TEST(Units, GravitationalConstantValue) {
+  // G in (Mpc, 1e10 Msun, Gyr): ~4.5e-5.
+  const double g = g5::model::gravitational_constant();
+  EXPECT_NEAR(g, 4.50e-5, 0.02e-5);
+}
+
+TEST(Units, Hubble100InGyr) {
+  // 100 km/s/Mpc = 0.1023 Gyr^-1.
+  EXPECT_NEAR(g5::model::hubble100_per_gyr(), 0.10227, 1e-4);
+}
+
+TEST(Units, CriticalDensity) {
+  // rho_c = 2.775e11 h^2 Msun/Mpc^3 = 27.75 h^2 in (1e10 Msun)/Mpc^3.
+  EXPECT_NEAR(g5::model::critical_density(1.0), 27.75, 0.1);
+  EXPECT_NEAR(g5::model::critical_density(0.5), 27.75 * 0.25, 0.05);
+}
+
+TEST(Cosmology, PaperParticleMassConsistency) {
+  // Section 5: 2,159,038 particles of 1.7e10 Msun in a 50 Mpc sphere must
+  // equal the SCDM (h=0.5, Omega=1) mean density — this pins the paper's
+  // background cosmology.
+  const Cosmology cosmo(CosmologyParams::scdm());
+  const double volume = 4.0 / 3.0 * M_PI * 50.0 * 50.0 * 50.0;
+  const double mass = cosmo.mean_matter_density() * volume;  // 1e10 Msun
+  EXPECT_NEAR(mass / 1.7, 2159038.0, 0.05 * 2159038.0);
+}
+
+TEST(Cosmology, EdsHubbleClosedForm) {
+  const Cosmology cosmo(CosmologyParams::scdm());
+  const double h0 = cosmo.hubble0();
+  for (double a : {0.04, 0.1, 0.5, 1.0, 2.0}) {
+    EXPECT_NEAR(cosmo.hubble(a), h0 * std::pow(a, -1.5), 1e-9 * h0)
+        << "a=" << a;
+  }
+}
+
+TEST(Cosmology, EdsAgeClosedForm) {
+  const Cosmology cosmo(CosmologyParams::scdm());
+  const double h0 = cosmo.hubble0();
+  // t(a) = (2/3) a^{3/2} / H0.
+  for (double a : {0.04, 0.2, 1.0}) {
+    EXPECT_NEAR(cosmo.age(a), 2.0 / 3.0 * std::pow(a, 1.5) / h0,
+                1e-6 / h0)
+        << "a=" << a;
+  }
+  // The paper's span: z=24 (a=0.04) to now is ~12.9 Gyr for h=0.5.
+  EXPECT_NEAR(cosmo.age(1.0) - cosmo.age(0.04), 12.93, 0.05);
+}
+
+TEST(Cosmology, ScaleFactorInvertsAge) {
+  const Cosmology cosmo(CosmologyParams::scdm());
+  for (double a : {0.05, 0.3, 0.9, 1.5}) {
+    EXPECT_NEAR(cosmo.scale_factor(cosmo.age(a)), a, 1e-6) << a;
+  }
+}
+
+TEST(Cosmology, EdsGrowthFactorIsScaleFactor) {
+  const Cosmology cosmo(CosmologyParams::scdm());
+  for (double a : {0.04, 0.2, 0.7, 1.0}) {
+    EXPECT_NEAR(cosmo.growth_factor(a), a, 1e-3 * a) << a;
+  }
+}
+
+TEST(Cosmology, EdsGrowthRateIsUnity) {
+  const Cosmology cosmo(CosmologyParams::scdm());
+  for (double a : {0.04, 0.5, 1.0}) {
+    EXPECT_NEAR(cosmo.growth_rate(a), 1.0, 1e-3) << a;
+  }
+}
+
+TEST(Cosmology, LambdaSuppressesGrowth) {
+  // A flat LCDM model grows slower than EdS near a = 1 (f ~ Om^0.55).
+  const Cosmology lcdm(CosmologyParams{0.3, 0.7, 0.7});
+  EXPECT_LT(lcdm.growth_rate(1.0), 0.6);
+  EXPECT_GT(lcdm.growth_rate(1.0), 0.4);
+  EXPECT_NEAR(lcdm.growth_rate(1.0), std::pow(0.3, 0.55), 0.02);
+  // Normalization: D(1) = 1 by construction.
+  EXPECT_NEAR(lcdm.growth_factor(1.0), 1.0, 1e-12);
+  // High-z LCDM behaves like EdS: D ~ a (up to normalization factor).
+  const double ratio = lcdm.growth_factor(0.02) / lcdm.growth_factor(0.01);
+  EXPECT_NEAR(ratio, 2.0, 0.01);
+}
+
+TEST(Cosmology, RedshiftConversions) {
+  EXPECT_DOUBLE_EQ(Cosmology::a_of_z(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(Cosmology::a_of_z(24.0), 0.04);
+  EXPECT_DOUBLE_EQ(Cosmology::z_of_a(0.04), 24.0);
+}
+
+TEST(Cosmology, Validation) {
+  EXPECT_THROW(Cosmology(CosmologyParams{0.0, 0.0, 0.5}),
+               std::invalid_argument);
+  EXPECT_THROW(Cosmology(CosmologyParams{1.0, 0.0, 0.0}),
+               std::invalid_argument);
+  const Cosmology cosmo(CosmologyParams::scdm());
+  EXPECT_THROW((void)cosmo.hubble(0.0), std::invalid_argument);
+  EXPECT_THROW((void)cosmo.age(-1.0), std::invalid_argument);
+  EXPECT_THROW((void)cosmo.scale_factor(0.0), std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,110 @@
+#include <gtest/gtest.h>
+
+#include "model/particles.hpp"
+
+namespace {
+
+using g5::math::Vec3d;
+using g5::model::Aabb;
+using g5::model::ParticleSet;
+
+ParticleSet two_body() {
+  ParticleSet p;
+  p.add(Vec3d{1.0, 0.0, 0.0}, Vec3d{0.0, 1.0, 0.0}, 2.0);
+  p.add(Vec3d{-1.0, 0.0, 0.0}, Vec3d{0.0, -1.0, 0.0}, 2.0);
+  return p;
+}
+
+TEST(ParticleSet, AddAndSize) {
+  ParticleSet p;
+  EXPECT_TRUE(p.empty());
+  p.add(Vec3d{1, 2, 3}, Vec3d{4, 5, 6}, 7.0);
+  EXPECT_EQ(p.size(), 1u);
+  EXPECT_EQ(p.pos()[0], (Vec3d{1, 2, 3}));
+  EXPECT_EQ(p.vel()[0], (Vec3d{4, 5, 6}));
+  EXPECT_DOUBLE_EQ(p.mass()[0], 7.0);
+  EXPECT_EQ(p.id()[0], 0u);
+  p.add(Vec3d{}, Vec3d{}, 1.0);
+  EXPECT_EQ(p.id()[1], 1u);
+}
+
+TEST(ParticleSet, ResizeAssignsSequentialIds) {
+  ParticleSet p(5);
+  for (std::size_t i = 0; i < 5; ++i) EXPECT_EQ(p.id()[i], i);
+  p.resize(8);
+  EXPECT_EQ(p.id()[7], 7u);
+}
+
+TEST(ParticleSet, AppendOffsetsIds) {
+  ParticleSet a = two_body();
+  ParticleSet b = two_body();
+  a.append(b);
+  EXPECT_EQ(a.size(), 4u);
+  EXPECT_EQ(a.id()[2], 2u);
+  EXPECT_EQ(a.id()[3], 3u);
+  EXPECT_DOUBLE_EQ(a.total_mass(), 8.0);
+}
+
+TEST(ParticleSet, BulkDiagnostics) {
+  const ParticleSet p = two_body();
+  EXPECT_DOUBLE_EQ(p.total_mass(), 4.0);
+  EXPECT_EQ(p.center_of_mass(), (Vec3d{0, 0, 0}));
+  EXPECT_EQ(p.total_momentum(), (Vec3d{0, 0, 0}));
+  // L = sum m r x v = 2*(x1 x v1) + 2*(x2 x v2) = 2*(z + z) = 4 z.
+  EXPECT_EQ(p.total_angular_momentum(), (Vec3d{0, 0, 4.0}));
+  EXPECT_DOUBLE_EQ(p.kinetic_energy(), 2.0);  // 2 * 0.5*2*1
+}
+
+TEST(ParticleSet, PotentialEnergyFromPot) {
+  ParticleSet p = two_body();
+  // Exact pair potential: phi_i = -m_j / r = -1 each; W = 0.5*sum m phi.
+  p.pot()[0] = -1.0;
+  p.pot()[1] = -1.0;
+  EXPECT_DOUBLE_EQ(p.potential_energy_from_pot(), -2.0);
+}
+
+TEST(ParticleSet, BoundingBox) {
+  ParticleSet p;
+  p.add(Vec3d{-1, 5, 2}, Vec3d{}, 1.0);
+  p.add(Vec3d{3, -2, 7}, Vec3d{}, 1.0);
+  const Aabb box = p.bounding_box();
+  EXPECT_EQ(box.lo, (Vec3d{-1, -2, 2}));
+  EXPECT_EQ(box.hi, (Vec3d{3, 5, 7}));
+  EXPECT_DOUBLE_EQ(box.cube_size(), 7.0);
+  EXPECT_EQ(box.center(), (Vec3d{1.0, 1.5, 4.5}));
+  EXPECT_TRUE(box.contains(Vec3d{0, 0, 5}));
+  EXPECT_FALSE(box.contains(Vec3d{0, 0, 8}));
+}
+
+TEST(ParticleSet, EmptyDiagnosticsSafe) {
+  const ParticleSet p;
+  EXPECT_DOUBLE_EQ(p.total_mass(), 0.0);
+  EXPECT_EQ(p.center_of_mass(), (Vec3d{}));
+  const Aabb box = p.bounding_box();
+  EXPECT_EQ(box.lo, (Vec3d{}));
+}
+
+TEST(ParticleSet, ApplyPermutation) {
+  ParticleSet p;
+  p.add(Vec3d{0, 0, 0}, Vec3d{0, 0, 0}, 1.0);
+  p.add(Vec3d{1, 1, 1}, Vec3d{1, 0, 0}, 2.0);
+  p.add(Vec3d{2, 2, 2}, Vec3d{2, 0, 0}, 3.0);
+  p.apply_permutation({2, 0, 1});
+  EXPECT_EQ(p.pos()[0], (Vec3d{2, 2, 2}));
+  EXPECT_DOUBLE_EQ(p.mass()[0], 3.0);
+  EXPECT_EQ(p.id()[0], 2u);
+  EXPECT_EQ(p.pos()[1], (Vec3d{0, 0, 0}));
+  EXPECT_EQ(p.pos()[2], (Vec3d{1, 1, 1}));
+  EXPECT_THROW(p.apply_permutation({0, 1}), std::invalid_argument);
+}
+
+TEST(ParticleSet, ZeroForce) {
+  ParticleSet p = two_body();
+  p.acc()[0] = Vec3d{9, 9, 9};
+  p.pot()[1] = 5.0;
+  p.zero_force();
+  EXPECT_EQ(p.acc()[0], (Vec3d{}));
+  EXPECT_DOUBLE_EQ(p.pot()[1], 0.0);
+}
+
+}  // namespace

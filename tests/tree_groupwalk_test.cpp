@@ -1,0 +1,187 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "grape/host_reference.hpp"
+#include "ic/plummer.hpp"
+#include "ic/uniform.hpp"
+#include "tree/groupwalk.hpp"
+#include "util/stats.hpp"
+
+namespace {
+
+using namespace g5;
+using math::Vec3d;
+using tree::BhTree;
+using tree::Group;
+using tree::GroupConfig;
+using tree::InteractionList;
+using tree::WalkConfig;
+using tree::WalkStats;
+
+TEST(Groups, PartitionParticlesExactly) {
+  const auto pset = ic::make_plummer(ic::PlummerConfig{.n = 3000, .seed = 3});
+  BhTree tree;
+  tree.build(pset);
+  for (std::uint32_t n_crit : {16u, 64u, 256u, 4096u}) {
+    const auto groups = tree::collect_groups(tree, GroupConfig{n_crit});
+    std::uint32_t covered = 0;
+    std::uint32_t cursor = 0;
+    for (const auto& g : groups) {
+      EXPECT_EQ(g.first, cursor);  // contiguous, in order
+      cursor = g.first + g.count;
+      covered += g.count;
+      EXPECT_GT(g.count, 0u);
+    }
+    EXPECT_EQ(covered, 3000u) << n_crit;
+  }
+}
+
+TEST(Groups, RespectNcritExceptFatLeaves) {
+  const auto pset = ic::make_uniform_cube(5000, -1.0, 1.0, 1.0, 5);
+  BhTree tree;
+  tree.build(pset);
+  const auto groups = tree::collect_groups(tree, GroupConfig{128});
+  for (const auto& g : groups) {
+    const auto& node = tree.node(static_cast<std::size_t>(g.node));
+    EXPECT_TRUE(g.count <= 128 || node.leaf);
+  }
+}
+
+TEST(Groups, FewerGroupsWithLargerNcrit) {
+  const auto pset = ic::make_plummer(ic::PlummerConfig{.n = 5000, .seed = 7});
+  BhTree tree;
+  tree.build(pset);
+  std::size_t prev = pset.size() + 1;
+  for (std::uint32_t n_crit : {8u, 64u, 512u, 4096u}) {
+    const auto n_groups =
+        tree::collect_groups(tree, GroupConfig{n_crit}).size();
+    EXPECT_LE(n_groups, prev);
+    prev = n_groups;
+  }
+  EXPECT_EQ(tree::collect_groups(tree, GroupConfig{100000}).size(), 1u);
+}
+
+TEST(GroupWalk, MassClosurePerList) {
+  // External cells + external particles + own members = everything.
+  const auto pset = ic::make_plummer(ic::PlummerConfig{.n = 2000, .seed = 9});
+  BhTree tree;
+  tree.build(pset);
+  InteractionList list;
+  for (const auto& g : tree::collect_groups(tree, GroupConfig{128})) {
+    tree::walk_group(tree, g, WalkConfig{0.75}, list);
+    double m = 0.0;
+    for (double mm : list.mass) m += mm;
+    EXPECT_NEAR(m, 1.0, 1e-12);
+  }
+}
+
+TEST(GroupWalk, OwnMembersAppearAsDirectSources) {
+  const auto pset = ic::make_uniform_cube(600, -1.0, 1.0, 1.0, 11);
+  BhTree tree;
+  tree.build(pset);
+  InteractionList list;
+  const auto groups = tree::collect_groups(tree, GroupConfig{64});
+  const Group& g = groups[groups.size() / 2];
+  tree::walk_group(tree, g, WalkConfig{0.75}, list);
+  // The last g.count entries are exactly the group's own particles.
+  ASSERT_GE(list.size(), static_cast<std::size_t>(g.count));
+  for (std::uint32_t k = 0; k < g.count; ++k) {
+    const std::size_t idx = list.size() - g.count + k;
+    EXPECT_EQ(list.pos[idx], tree.sorted_pos()[g.first + k]);
+  }
+}
+
+TEST(GroupWalk, CountMatchesMaterializedList) {
+  const auto pset = ic::make_plummer(ic::PlummerConfig{.n = 1500, .seed = 13});
+  BhTree tree;
+  tree.build(pset);
+  InteractionList list;
+  for (const auto& g : tree::collect_groups(tree, GroupConfig{100})) {
+    WalkStats ws_a, ws_b;
+    const auto len_a = tree::count_group(tree, g, WalkConfig{0.75}, &ws_a);
+    const auto len_b = tree::walk_group(tree, g, WalkConfig{0.75}, list, &ws_b);
+    EXPECT_EQ(len_a, len_b);
+    EXPECT_EQ(ws_a.interactions, ws_b.interactions);
+    EXPECT_EQ(ws_a.list_entries, ws_b.list_entries);
+  }
+}
+
+TEST(GroupWalk, ForcesMatchDirectSum) {
+  const auto pset = ic::make_plummer(ic::PlummerConfig{.n = 2500, .seed = 17});
+  BhTree tree;
+  tree.build(pset);
+  InteractionList list;
+  const double eps = 0.01;
+  util::RunningStat err;
+  for (const auto& g : tree::collect_groups(tree, GroupConfig{128})) {
+    tree::walk_group(tree, g, WalkConfig{0.5}, list);
+    std::vector<Vec3d> acc(g.count), ref(g.count);
+    std::vector<double> pot(g.count), pref(g.count);
+    const std::span<const Vec3d> targets(tree.sorted_pos().data() + g.first,
+                                         g.count);
+    tree::evaluate_list_host(list, targets, eps, acc, pot);
+    grape::host_forces_on_targets(targets, tree.sorted_pos(),
+                                  tree.sorted_mass(), eps, ref, pref);
+    for (std::uint32_t k = 0; k < g.count; ++k) {
+      if (ref[k].norm() > 0.0) err.add((acc[k] - ref[k]).norm() / ref[k].norm());
+    }
+  }
+  EXPECT_LT(err.rms(), 3e-3);   // theta = 0.5 tree error
+  EXPECT_LT(err.max(), 5e-2);
+}
+
+TEST(GroupWalk, SharedListIsConservativeForWholeGroup) {
+  // The group MAC measures distance from the group's bounding sphere, so
+  // the shared list must be at least as accurate as a per-particle list
+  // for the *worst-placed* member: check the max member error stays at the
+  // tree-error scale rather than blowing up at group edges.
+  const auto pset = ic::make_uniform_cube(3000, -1.0, 1.0, 1.0, 19);
+  BhTree tree;
+  tree.build(pset);
+  InteractionList list;
+  const auto groups = tree::collect_groups(tree, GroupConfig{512});
+  const double eps = 0.02;
+  double worst = 0.0;
+  for (const auto& g : groups) {
+    tree::walk_group(tree, g, WalkConfig{0.75}, list);
+    std::vector<Vec3d> acc(g.count), ref(g.count);
+    std::vector<double> pot(g.count), pref(g.count);
+    const std::span<const Vec3d> targets(tree.sorted_pos().data() + g.first,
+                                         g.count);
+    tree::evaluate_list_host(list, targets, eps, acc, pot);
+    grape::host_forces_on_targets(targets, tree.sorted_pos(),
+                                  tree.sorted_mass(), eps, ref, pref);
+    for (std::uint32_t k = 0; k < g.count; ++k) {
+      if (ref[k].norm() > 0.0) {
+        worst = std::max(worst, (acc[k] - ref[k]).norm() / ref[k].norm());
+      }
+    }
+  }
+  EXPECT_LT(worst, 0.05);
+}
+
+TEST(GroupWalk, StatsCountInteractionsTimesGroupSize) {
+  const auto pset = ic::make_uniform_cube(800, -1.0, 1.0, 1.0, 23);
+  BhTree tree;
+  tree.build(pset);
+  InteractionList list;
+  WalkStats stats;
+  const auto groups = tree::collect_groups(tree, GroupConfig{64});
+  for (const auto& g : groups) {
+    const auto len = tree::walk_group(tree, g, WalkConfig{0.75}, list, &stats);
+    EXPECT_EQ(len, list.size());
+  }
+  EXPECT_EQ(stats.lists, groups.size());
+  // interactions = sum(len * count) >= sum(len) = list_entries.
+  EXPECT_GE(stats.interactions, stats.list_entries);
+}
+
+TEST(GroupWalk, EmptyTreeSafe) {
+  BhTree tree;
+  tree.build(std::span<const Vec3d>{}, std::span<const double>{});
+  EXPECT_TRUE(tree::collect_groups(tree, GroupConfig{64}).empty());
+}
+
+}  // namespace

@@ -1,0 +1,123 @@
+// The Mac::Bmax acceptance-criterion variant (Barnes' tighter opening
+// test) against the classic edge criterion.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "grape/host_reference.hpp"
+#include "ic/plummer.hpp"
+#include "tree/groupwalk.hpp"
+#include "util/stats.hpp"
+
+namespace {
+
+using namespace g5;
+using math::Vec3d;
+
+struct MacFixture {
+  model::ParticleSet pset;
+  tree::BhTree tree;
+  MacFixture() {
+    pset = ic::make_plummer(ic::PlummerConfig{.n = 3000, .seed = 31});
+    tree.build(pset);
+  }
+};
+
+TEST(MacVariant, BmaxShortensLists) {
+  MacFixture f;
+  tree::WalkStats edge_stats, bmax_stats;
+  tree::InteractionList list;
+  for (std::size_t i = 0; i < f.pset.size(); i += 37) {
+    tree::walk_original(f.tree, f.tree.sorted_pos()[i],
+                        {0.75, tree::Mac::Edge}, list, &edge_stats);
+    tree::walk_original(f.tree, f.tree.sorted_pos()[i],
+                        {0.75, tree::Mac::Bmax}, list, &bmax_stats);
+  }
+  // A Plummer model has sparse outer cells whose bradius << edge: the
+  // bmax criterion accepts them earlier.
+  EXPECT_LT(bmax_stats.list_entries, edge_stats.list_entries);
+}
+
+TEST(MacVariant, BmaxErrorControlledByTheta) {
+  // The bounding radius is a smaller measure than the edge, so at equal
+  // theta bmax accepts earlier (shorter lists, larger error). The knob
+  // still works: error falls monotonically with theta and a tighter theta
+  // recovers edge-criterion accuracy with a shorter list.
+  MacFixture f;
+  tree::InteractionList list;
+  const double eps = 0.01;
+  auto rms_err_and_len = [&](tree::Mac mac, double theta, double& mean_len) {
+    util::RunningStat err;
+    std::uint64_t entries = 0, lists = 0;
+    for (std::size_t i = 0; i < f.pset.size(); i += 53) {
+      const Vec3d target = f.tree.sorted_pos()[i];
+      Vec3d ref{};
+      double pref = 0.0;
+      grape::host_forces_on_targets({&target, 1}, f.pset.pos(),
+                                    f.pset.mass(), eps, {&ref, 1},
+                                    {&pref, 1});
+      tree::walk_original(f.tree, target, {theta, mac}, list);
+      entries += list.size();
+      ++lists;
+      Vec3d acc;
+      double pot;
+      tree::evaluate_list_host(list, {&target, 1}, eps, {&acc, 1}, {&pot, 1});
+      err.add((acc - ref).norm() / ref.norm());
+    }
+    mean_len = static_cast<double>(entries) / static_cast<double>(lists);
+    return err.rms();
+  };
+
+  double len_loose = 0.0, len_tight = 0.0, len_edge = 0.0;
+  const double bmax_loose = rms_err_and_len(tree::Mac::Bmax, 0.75, len_loose);
+  const double bmax_tight = rms_err_and_len(tree::Mac::Bmax, 0.35, len_tight);
+  const double edge_ref = rms_err_and_len(tree::Mac::Edge, 0.75, len_edge);
+
+  EXPECT_LT(bmax_tight, bmax_loose);        // theta still controls error
+  EXPECT_LT(bmax_tight, 1.5 * edge_ref);    // tight bmax ~ edge accuracy...
+  EXPECT_LT(len_tight, 3.0 * len_edge);     // ...without exploding the list
+}
+
+TEST(MacVariant, GroupWalkSupportsBmax) {
+  MacFixture f;
+  tree::InteractionList list;
+  tree::WalkStats edge_stats, bmax_stats;
+  for (const auto& g :
+       tree::collect_groups(f.tree, tree::GroupConfig{128})) {
+    tree::count_group(f.tree, g, {0.75, tree::Mac::Edge}, &edge_stats);
+    tree::count_group(f.tree, g, {0.75, tree::Mac::Bmax}, &bmax_stats);
+  }
+  EXPECT_LT(bmax_stats.list_entries, edge_stats.list_entries);
+  // Mass closure still holds under the variant criterion.
+  const auto groups = tree::collect_groups(f.tree, tree::GroupConfig{128});
+  tree::walk_group(f.tree, groups[0], {0.75, tree::Mac::Bmax}, list);
+  double m = 0.0;
+  for (double mm : list.mass) m += mm;
+  EXPECT_NEAR(m, 1.0, 1e-12);
+}
+
+TEST(MacVariant, PointMassCellDegenerate) {
+  // A cell whose members coincide has bradius ~ 0: bmax accepts it at any
+  // distance (it IS a point mass), edge keeps opening it. Build a scene
+  // with two tight clumps far apart.
+  model::ParticleSet p;
+  for (int i = 0; i < 20; ++i) {
+    p.add(Vec3d{0.0 + 1e-9 * i, 0.0, 0.0}, Vec3d{}, 1.0);
+    p.add(Vec3d{100.0 + 1e-9 * i, 0.0, 0.0}, Vec3d{}, 1.0);
+  }
+  tree::BhTree tree;
+  tree.build(p);
+  tree::InteractionList edge_list, bmax_list;
+  const Vec3d target{0.0, 0.0, 0.0};
+  tree::walk_original(tree, target, {0.75, tree::Mac::Edge}, edge_list);
+  tree::walk_original(tree, target, {0.75, tree::Mac::Bmax}, bmax_list);
+  EXPECT_LE(bmax_list.size(), edge_list.size());
+  // The far clump must collapse to very few terms under bmax.
+  std::size_t far_terms = 0;
+  for (std::size_t k = 0; k < bmax_list.size(); ++k) {
+    if (bmax_list.pos[k].x > 50.0) ++far_terms;
+  }
+  EXPECT_LE(far_terms, 2u);
+}
+
+}  // namespace

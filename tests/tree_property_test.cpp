@@ -1,0 +1,159 @@
+// Property-style sweeps of the treecode across particle distributions and
+// parameters: the invariants must hold for any input, not just the
+// distributions the unit tests use.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <tuple>
+
+#include "grape/host_reference.hpp"
+#include "ic/plummer.hpp"
+#include "ic/uniform.hpp"
+#include "math/rng.hpp"
+#include "tree/groupwalk.hpp"
+#include "util/stats.hpp"
+
+namespace {
+
+using namespace g5;
+using math::Vec3d;
+
+model::ParticleSet make_distribution(const std::string& kind, std::size_t n,
+                                     std::uint64_t seed) {
+  if (kind == "uniform") return ic::make_uniform_cube(n, -1.0, 1.0, 1.0, seed);
+  if (kind == "plummer") {
+    ic::PlummerConfig cfg;
+    cfg.n = n;
+    cfg.seed = seed;
+    return ic::make_plummer(cfg);
+  }
+  if (kind == "clustered") {
+    return ic::make_clustered(n, 4, 4.0, 0.1, 1.0, seed);
+  }
+  if (kind == "line") {
+    // Degenerate: collinear points (tree depth stress).
+    model::ParticleSet p;
+    math::Rng rng(seed);
+    for (std::size_t i = 0; i < n; ++i) {
+      p.add(Vec3d{rng.uniform(-1.0, 1.0), 1e-8 * rng.uniform(),
+                  1e-8 * rng.uniform()},
+            Vec3d{}, 1.0 / static_cast<double>(n));
+    }
+    return p;
+  }
+  if (kind == "shell") {
+    // Hollow sphere: empty interior cells.
+    model::ParticleSet p;
+    math::Rng rng(seed);
+    for (std::size_t i = 0; i < n; ++i) {
+      p.add(rng.on_unit_sphere(), Vec3d{}, 1.0 / static_cast<double>(n));
+    }
+    return p;
+  }
+  throw std::invalid_argument("unknown distribution " + kind);
+}
+
+class DistributionSweep
+    : public ::testing::TestWithParam<std::tuple<std::string, double>> {};
+
+TEST_P(DistributionSweep, TreeInvariantsAndForceAccuracy) {
+  const std::string kind = std::get<0>(GetParam());
+  const double theta = std::get<1>(GetParam());
+  const std::size_t n = 1500;
+  const auto pset = make_distribution(kind, n, 23);
+
+  tree::BhTree tree;
+  tree.build(pset);
+
+  // Invariant: root mass and COM match the snapshot.
+  EXPECT_NEAR(tree.root().mass, pset.total_mass(), 1e-9);
+  EXPECT_LT((tree.root().com - pset.center_of_mass()).norm(), 1e-9);
+
+  // Invariant: groups partition the sorted order at any n_crit.
+  for (std::uint32_t n_crit : {16u, 200u}) {
+    std::uint32_t cursor = 0;
+    for (const auto& g :
+         tree::collect_groups(tree, tree::GroupConfig{n_crit})) {
+      ASSERT_EQ(g.first, cursor);
+      cursor += g.count;
+    }
+    ASSERT_EQ(cursor, n);
+  }
+
+  // Invariant: every walk's list masses sum to the total mass.
+  tree::InteractionList list;
+  const tree::WalkConfig wc{theta};
+  for (std::size_t i = 0; i < n; i += 149) {
+    tree::walk_original(tree, tree.sorted_pos()[i], wc, list);
+    double m = 0.0;
+    for (double mm : list.mass) m += mm;
+    ASSERT_NEAR(m, pset.total_mass(), 1e-9) << kind << " " << i;
+  }
+
+  // Accuracy: modified-walk forces against direct summation. Errors are
+  // normalized by the rms force magnitude, not per particle — symmetric
+  // configurations (the line, the shell interior) have near-cancelling
+  // forces for which a per-particle relative error is ill-posed.
+  const double eps = 0.01;
+  util::RunningStat err_abs, ref_mag;
+  for (const auto& g : tree::collect_groups(tree, tree::GroupConfig{128})) {
+    tree::walk_group(tree, g, wc, list);
+    std::vector<Vec3d> acc(g.count), ref(g.count);
+    std::vector<double> pot(g.count), pref(g.count);
+    const std::span<const Vec3d> targets(tree.sorted_pos().data() + g.first,
+                                         g.count);
+    tree::evaluate_list_host(list, targets, eps, acc, pot);
+    grape::host_forces_on_targets(targets, tree.sorted_pos(),
+                                  tree.sorted_mass(), eps, ref, pref);
+    for (std::uint32_t k = 0; k < g.count; ++k) {
+      err_abs.add((acc[k] - ref[k]).norm());
+      ref_mag.add(ref[k].norm());
+    }
+  }
+  const double normalized = err_abs.rms() / std::max(ref_mag.rms(), 1e-300);
+  // theta-scaled bound: rms tree error ~ O(theta^2-ish); generous caps.
+  const double cap = theta <= 0.5 ? 0.01 : 0.04;
+  EXPECT_LT(normalized, cap) << kind << " theta=" << theta;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Distributions, DistributionSweep,
+    ::testing::Combine(::testing::Values("uniform", "plummer", "clustered",
+                                         "line", "shell"),
+                       ::testing::Values(0.5, 0.9)),
+    [](const auto& info) {
+      return std::get<0>(info.param) + "_theta" +
+             std::to_string(static_cast<int>(std::get<1>(info.param) * 10));
+    });
+
+class NcritSweep : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(NcritSweep, InteractionCountsGrowWithGroupSize) {
+  const auto pset = ic::make_plummer(ic::PlummerConfig{.n = 4000, .seed = 29});
+  tree::BhTree tree;
+  tree.build(pset);
+  const std::uint32_t n_crit = GetParam();
+  tree::WalkStats stats;
+  const tree::WalkConfig wc{0.75};
+  for (const auto& g : tree::collect_groups(tree, tree::GroupConfig{n_crit})) {
+    tree::count_group(tree, g, wc, &stats);
+  }
+  // Interactions bounded below by the original-algorithm count and above
+  // by N^2 (direct).
+  tree::WalkStats orig;
+  for (std::size_t i = 0; i < pset.size(); ++i) {
+    tree::count_original(tree, tree.sorted_pos()[i], wc, &orig);
+  }
+  EXPECT_GE(stats.interactions, orig.interactions);
+  EXPECT_LE(stats.interactions,
+            static_cast<std::uint64_t>(pset.size()) * pset.size());
+  // Every particle's group contains it exactly once: sum of group counts.
+  EXPECT_EQ(stats.lists,
+            tree::collect_groups(tree, tree::GroupConfig{n_crit}).size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Range, NcritSweep,
+                         ::testing::Values(1u, 8u, 64u, 512u, 4096u));
+
+}  // namespace

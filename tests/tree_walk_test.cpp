@@ -1,0 +1,156 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "grape/host_reference.hpp"
+#include "ic/plummer.hpp"
+#include "ic/uniform.hpp"
+#include "tree/walk.hpp"
+
+namespace {
+
+using namespace g5;
+using math::Vec3d;
+using tree::BhTree;
+using tree::InteractionList;
+using tree::WalkConfig;
+using tree::WalkStats;
+
+TEST(WalkOriginal, ThetaZeroExpandsToAllParticles) {
+  const auto pset = ic::make_uniform_cube(200, -1.0, 1.0, 1.0, 3);
+  BhTree tree;
+  tree.build(pset);
+  InteractionList list;
+  tree::walk_original(tree, pset.pos()[0], WalkConfig{0.0}, list);
+  EXPECT_EQ(list.size(), 200u);
+  double m = 0.0;
+  for (double mm : list.mass) m += mm;
+  EXPECT_NEAR(m, 1.0, 1e-12);
+}
+
+TEST(WalkOriginal, MassClosureAtAnyTheta) {
+  // Every accepted cell carries its whole subtree's mass, so the list's
+  // total mass always equals the system mass.
+  const auto pset = ic::make_plummer(ic::PlummerConfig{.n = 2000, .seed = 3});
+  BhTree tree;
+  tree.build(pset);
+  InteractionList list;
+  for (double theta : {0.3, 0.75, 1.2}) {
+    tree::walk_original(tree, pset.pos()[5], WalkConfig{theta}, list);
+    double m = 0.0;
+    for (double mm : list.mass) m += mm;
+    EXPECT_NEAR(m, 1.0, 1e-12) << theta;
+  }
+}
+
+TEST(WalkOriginal, ListShrinksWithTheta) {
+  const auto pset = ic::make_plummer(ic::PlummerConfig{.n = 4000, .seed = 5});
+  BhTree tree;
+  tree.build(pset);
+  InteractionList list;
+  std::size_t prev = pset.size() + 1;
+  for (double theta : {0.0, 0.4, 0.8, 1.5}) {
+    tree::walk_original(tree, pset.pos()[7], WalkConfig{theta}, list);
+    EXPECT_LE(list.size(), prev) << theta;
+    prev = list.size();
+  }
+  EXPECT_LT(prev, pset.size() / 4);  // theta = 1.5 compresses a lot
+}
+
+TEST(WalkOriginal, ForceAccuracyImprovesWithSmallerTheta) {
+  const auto pset = ic::make_plummer(ic::PlummerConfig{.n = 3000, .seed = 7});
+  BhTree tree;
+  tree.build(pset);
+  InteractionList list;
+  const double eps = 0.01;
+
+  double prev_err = 1e9;
+  for (double theta : {1.0, 0.6, 0.3}) {
+    double err_sum = 0.0;
+    int count = 0;
+    for (std::size_t i = 0; i < pset.size(); i += 101) {
+      const Vec3d target = pset.pos()[i];
+      tree::walk_original(tree, target, WalkConfig{theta}, list);
+      Vec3d acc;
+      double pot;
+      tree::evaluate_list_host(list, {&target, 1}, eps, {&acc, 1}, {&pot, 1});
+      // Exact reference (skip self).
+      Vec3d ref{};
+      double pref = 0.0;
+      grape::host_forces_on_targets({&target, 1}, pset.pos(), pset.mass(),
+                                    eps, {&ref, 1}, {&pref, 1});
+      // Both sides contain the self pair identically (zero force), so the
+      // comparison is apples to apples.
+      err_sum += (acc - ref).norm() / ref.norm();
+      ++count;
+    }
+    const double mean_err = err_sum / count;
+    EXPECT_LT(mean_err, prev_err);
+    prev_err = mean_err;
+    if (theta == 0.3) EXPECT_LT(mean_err, 5e-3);
+  }
+}
+
+TEST(WalkOriginal, CountMatchesMaterializedList) {
+  const auto pset = ic::make_plummer(ic::PlummerConfig{.n = 1500, .seed = 9});
+  BhTree tree;
+  tree.build(pset);
+  InteractionList list;
+  for (std::size_t i = 0; i < pset.size(); i += 77) {
+    WalkStats ws_count, ws_list;
+    const auto len_count =
+        tree::count_original(tree, pset.pos()[i], WalkConfig{0.75}, &ws_count);
+    const auto len_list =
+        tree::walk_original(tree, pset.pos()[i], WalkConfig{0.75}, list,
+                            &ws_list);
+    EXPECT_EQ(len_count, len_list);
+    EXPECT_EQ(ws_count.node_terms, ws_list.node_terms);
+    EXPECT_EQ(ws_count.particle_terms, ws_list.particle_terms);
+    EXPECT_EQ(ws_count.nodes_visited, ws_list.nodes_visited);
+  }
+}
+
+TEST(WalkOriginal, StatsAccumulate) {
+  const auto pset = ic::make_uniform_cube(500, -1.0, 1.0, 1.0, 11);
+  BhTree tree;
+  tree.build(pset);
+  InteractionList list;
+  WalkStats stats;
+  for (int i = 0; i < 10; ++i) {
+    tree::walk_original(tree, pset.pos()[static_cast<std::size_t>(i)],
+                        WalkConfig{0.75}, list, &stats);
+  }
+  EXPECT_EQ(stats.lists, 10u);
+  EXPECT_EQ(stats.interactions, stats.list_entries);
+  EXPECT_EQ(stats.node_terms + stats.particle_terms, stats.list_entries);
+  EXPECT_GE(stats.max_list, stats.mean_list());
+  EXPECT_GT(stats.nodes_visited, 10u);
+}
+
+TEST(WalkStats, MergeAddsCounters) {
+  WalkStats a, b;
+  a.lists = 2;
+  a.interactions = 10;
+  a.max_list = 7;
+  b.lists = 3;
+  b.interactions = 20;
+  b.max_list = 9;
+  a.merge(b);
+  EXPECT_EQ(a.lists, 5u);
+  EXPECT_EQ(a.interactions, 30u);
+  EXPECT_EQ(a.max_list, 9u);
+}
+
+TEST(EvaluateListHost, SkipsExactCoincidenceUnsoftened) {
+  InteractionList list;
+  list.push(Vec3d{1.0, 1.0, 1.0}, 5.0);  // coincides with the target
+  list.push(Vec3d{2.0, 1.0, 1.0}, 3.0);
+  const Vec3d target{1.0, 1.0, 1.0};
+  Vec3d acc;
+  double pot;
+  tree::evaluate_list_host(list, {&target, 1}, 0.0, {&acc, 1}, {&pot, 1});
+  EXPECT_NEAR(acc.x, 3.0, 1e-12);
+  EXPECT_NEAR(pot, -3.0, 1e-12);
+}
+
+}  // namespace

@@ -1,0 +1,43 @@
+#include <gtest/gtest.h>
+
+#include "util/log.hpp"
+
+namespace {
+
+using g5::util::LogLevel;
+using g5::util::parse_log_level;
+
+TEST(Log, ParseLevels) {
+  EXPECT_EQ(parse_log_level("trace"), LogLevel::Trace);
+  EXPECT_EQ(parse_log_level("DEBUG"), LogLevel::Debug);
+  EXPECT_EQ(parse_log_level("Info"), LogLevel::Info);
+  EXPECT_EQ(parse_log_level("warn"), LogLevel::Warn);
+  EXPECT_EQ(parse_log_level("warning"), LogLevel::Warn);
+  EXPECT_EQ(parse_log_level("ERROR"), LogLevel::Error);
+  EXPECT_EQ(parse_log_level("off"), LogLevel::Off);
+  EXPECT_EQ(parse_log_level("none"), LogLevel::Off);
+  // Unknown names default to Info rather than throwing.
+  EXPECT_EQ(parse_log_level("verbose"), LogLevel::Info);
+  EXPECT_EQ(parse_log_level(""), LogLevel::Info);
+}
+
+TEST(Log, SetAndGetLevel) {
+  const LogLevel before = g5::util::log_level();
+  g5::util::set_log_level(LogLevel::Error);
+  EXPECT_EQ(g5::util::log_level(), LogLevel::Error);
+  // Suppressed emission must not crash (goes nowhere).
+  g5::util::log_info() << "suppressed " << 42;
+  g5::util::set_log_level(before);
+}
+
+TEST(Log, StreamStyleComposition) {
+  const LogLevel before = g5::util::log_level();
+  g5::util::set_log_level(LogLevel::Off);
+  // All severities accept stream operands of mixed types.
+  g5::util::log_debug() << "x=" << 1.5 << " n=" << 7 << " s=" << "str";
+  g5::util::log_warn() << "w";
+  g5::util::log_error() << "e";
+  g5::util::set_log_level(before);
+}
+
+}  // namespace

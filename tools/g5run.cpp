@@ -1,0 +1,290 @@
+// g5run — command-line simulation runner over the library's public API.
+//
+// Pick an initial condition, a force engine and run parameters; get a
+// summary table, optional snapshots and optional post-run analysis. The
+// one binary a downstream user needs to try the system on their problem.
+//
+// Usage:
+//   g5run --ic plummer|hernquist|cosmo|collision|cold|uniform [ic options]
+//         --engine grape-tree|grape-direct|host-tree|host-tree-modified|
+//                  host-direct
+//         [--n 8192] [--steps 100] [--dt 0.01] [--eps 0.02] [--theta 0.75]
+//         [--ncrit 256] [--mac edge|bmax] [--quadrupole]
+//         [--snapshots K --snapshot-prefix out]
+//         [--analyze] [--selftest] [--seed 42]
+//         [--out final.g5snap] [--tipsy final.tipsy]
+//         [--resume earlier.g5snap]   (continue from a saved snapshot)
+//         [--stats-csv run.csv]       (per-step time series)
+//
+// Cosmological runs (--ic cosmo) integrate z=24 -> 0 with a log-a step
+// schedule (or --comoving for the comoving-coordinate integrator) and set
+// dt/eps from the lattice automatically.
+
+#include <cstdio>
+#include <string>
+
+#include "core/analysis.hpp"
+#include "core/comoving.hpp"
+#include "core/engines.hpp"
+#include "core/simulation.hpp"
+#include "core/snapshot.hpp"
+#include "grape/selftest.hpp"
+#include "ic/galaxy.hpp"
+#include "ic/hernquist.hpp"
+#include "ic/plummer.hpp"
+#include "ic/uniform.hpp"
+#include "ic/zeldovich.hpp"
+#include "math/rng.hpp"
+#include "model/units.hpp"
+#include "util/log.hpp"
+#include "util/options.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace g5;
+
+struct Prepared {
+  model::ParticleSet pset;
+  double suggested_eps = 0.02;
+  double suggested_dt = 0.01;
+  bool cosmological = false;
+  ic::CosmologicalSphereConfig cosmo_cfg;
+  ic::CosmologicalSphereResult cosmo_meta;
+};
+
+Prepared prepare_ic(const util::Options& opt) {
+  Prepared out;
+  // Resuming from a snapshot bypasses IC generation entirely.
+  if (opt.has("resume")) {
+    const std::string path = opt.get_string("resume", "");
+    const auto header = core::read_snapshot(path, out.pset);
+    out.suggested_eps = header.eps > 0.0 ? header.eps : 0.02;
+    std::printf("resumed %s: N=%llu t=%g eps=%g\n", path.c_str(),
+                static_cast<unsigned long long>(header.count), header.time,
+                header.eps);
+    return out;
+  }
+  const std::string kind = opt.get_string("ic", "plummer");
+  const auto n = static_cast<std::size_t>(opt.get_int("n", 8192));
+  const auto seed = static_cast<std::uint64_t>(opt.get_int("seed", 42));
+
+  if (kind == "plummer") {
+    ic::PlummerConfig cfg;
+    cfg.n = n;
+    cfg.seed = seed;
+    out.pset = ic::make_plummer(cfg);
+    out.suggested_eps = 0.02;
+    out.suggested_dt = 0.01;
+  } else if (kind == "hernquist") {
+    ic::HernquistConfig cfg;
+    cfg.n = n;
+    cfg.seed = seed;
+    out.pset = ic::make_hernquist(cfg);
+    out.suggested_eps = 0.02;
+    out.suggested_dt = 0.005;  // the cusp is dynamically faster
+  } else if (kind == "uniform") {
+    out.pset = ic::make_uniform_ball(n, 1.0, 1.0, seed);
+    out.suggested_eps = 0.02;
+    out.suggested_dt = 0.005;
+  } else if (kind == "cold") {
+    out.pset = ic::make_uniform_ball(n, 1.0, 1.0, seed);
+    math::Rng rng(seed + 1);
+    const double sigma =
+        std::sqrt(2.0 * opt.get_double("virial", 0.05) * 0.6 / 3.0);
+    for (auto& v : out.pset.vel()) {
+      v = math::Vec3d{rng.gaussian(0.0, sigma), rng.gaussian(0.0, sigma),
+                      rng.gaussian(0.0, sigma)};
+    }
+    out.suggested_eps = 0.02;
+    out.suggested_dt = 0.005;
+  } else if (kind == "collision") {
+    ic::GalaxyCollisionConfig cfg;
+    cfg.n_per_galaxy = n / 2;
+    cfg.seed = seed;
+    cfg.pericenter = opt.get_double("pericenter", 1.0);
+    cfg.mass_ratio = opt.get_double("mass-ratio", 1.0);
+    out.pset = std::move(ic::make_galaxy_collision(cfg).particles);
+    out.suggested_eps = 0.05;
+    out.suggested_dt = 0.05;
+  } else if (kind == "cosmo") {
+    ic::CosmologicalSphereConfig cfg;
+    cfg.grid_n = static_cast<std::size_t>(opt.get_int("grid", 16));
+    while ((cfg.grid_n & (cfg.grid_n - 1)) != 0) ++cfg.grid_n;
+    cfg.seed = seed;
+    // Background cosmology: SCDM (the paper) by default, any matter+Lambda
+    // model via flags.
+    cfg.cosmo.omega_m = opt.get_double("omega-m", 1.0);
+    cfg.cosmo.omega_l = opt.get_double("omega-l", 0.0);
+    cfg.cosmo.h = opt.get_double("hubble", 0.5);
+    cfg.power.sigma8 = opt.get_double("sigma8", 0.67);
+    cfg.z_start = opt.get_double("z-start", 24.0);
+    out.cosmo_cfg = cfg;
+    out.cosmo_meta = ic::make_cosmological_sphere(cfg);
+    out.pset = out.cosmo_meta.particles;
+    const double G = model::gravitational_constant();
+    for (auto& m : out.pset.mass()) m *= G;
+    out.suggested_eps =
+        0.05 * out.cosmo_meta.box_size / static_cast<double>(cfg.grid_n);
+    out.cosmological = true;
+  } else {
+    throw std::invalid_argument(
+        "unknown --ic '" + kind +
+        "' (plummer, hernquist, uniform, cold, collision, cosmo)");
+  }
+  return out;
+}
+
+void print_analysis(const model::ParticleSet& pset) {
+  const auto lag = core::lagrangian_radii(pset, {0.1, 0.5, 0.9});
+  std::printf("\nanalysis:\n");
+  util::Table t({"quantity", "value"});
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.4g / %.4g / %.4g", lag[0], lag[1],
+                lag[2]);
+  t.add_row({"Lagrangian radii (10/50/90%)", buf});
+  std::snprintf(buf, sizeof(buf), "%.4g",
+                core::mean_nearest_neighbour(pset, 200, 7));
+  t.add_row({"mean nearest-neighbour distance", buf});
+  t.print();
+
+  core::CorrelationConfig cc;
+  cc.r_min = lag[1] * 0.05;
+  cc.r_max = lag[2];
+  cc.bins = 10;
+  const auto xi = core::correlation_function(pset, cc);
+  std::printf("\ntwo-point correlation xi(r) (sample R=%.3g, %zu "
+              "particles):\n", xi.sample_radius, xi.n_used);
+  util::Table xt({"r range", "pairs", "xi"});
+  for (std::size_t b = 0; b < xi.xi.size(); ++b) {
+    char c0[48], c1[20], c2[16];
+    std::snprintf(c0, sizeof(c0), "%.3g - %.3g", xi.r_lo[b], xi.r_hi[b]);
+    std::snprintf(c1, sizeof(c1), "%llu",
+                  static_cast<unsigned long long>(xi.pairs[b]));
+    std::snprintf(c2, sizeof(c2), "%+.3f", xi.xi[b]);
+    xt.add_row({c0, c1, c2});
+  }
+  xt.print();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    util::Options opt(argc, argv);
+    if (opt.has("help")) {
+      std::printf("see the header of tools/g5run.cpp for usage\n");
+      return 0;
+    }
+
+    Prepared ic = prepare_ic(opt);
+
+    core::ForceParams fp;
+    fp.eps = opt.get_double("eps", ic.suggested_eps);
+    fp.theta = opt.get_double("theta", 0.75);
+    fp.n_crit = static_cast<std::uint32_t>(opt.get_int("ncrit", 256));
+    fp.quadrupole = opt.get_bool("quadrupole", false);
+    const std::string mac = opt.get_string("mac", "edge");
+    fp.mac = mac == "bmax" ? tree::Mac::Bmax : tree::Mac::Edge;
+
+    const std::string engine_name = opt.get_string("engine", "grape-tree");
+    auto engine = core::make_engine(engine_name, fp);
+
+    // Optional hardware self-test before committing to a run.
+    if (opt.get_bool("selftest", false)) {
+      if (auto* gt = dynamic_cast<core::GrapeTreeEngine*>(engine.get())) {
+        std::printf("%s", grape::run_selftest(gt->device().system()).str().c_str());
+      } else if (auto* gd =
+                     dynamic_cast<core::GrapeDirectEngine*>(engine.get())) {
+        std::printf("%s", grape::run_selftest(gd->device().system()).str().c_str());
+      } else {
+        std::printf("--selftest: engine '%s' has no hardware attached\n",
+                    engine_name.c_str());
+      }
+    }
+
+    const auto steps = static_cast<std::uint64_t>(opt.get_int(
+        "steps", ic.cosmological ? 48 : 100));
+
+    std::printf("g5run: N=%zu engine=%s eps=%g theta=%g n_crit=%u steps=%llu\n",
+                ic.pset.size(), engine->name().data(), fp.eps, fp.theta,
+                fp.n_crit, static_cast<unsigned long long>(steps));
+
+    core::SimulationSummary summary;
+    if (ic.cosmological && opt.get_bool("comoving", false)) {
+      const model::Cosmology cosmo(ic.cosmo_cfg.cosmo);
+      core::ComovingSimulation::physical_to_comoving(ic.pset, cosmo,
+                                                     ic.cosmo_meta.a_start);
+      core::ForceParams cfp = fp;
+      cfp.eps = fp.eps / ic.cosmo_meta.a_start;
+      engine->set_params(cfp);
+      core::ComovingConfig cc;
+      cc.cosmo = ic.cosmo_cfg.cosmo;
+      cc.a_start = ic.cosmo_meta.a_start;
+      cc.steps = steps;
+      cc.log_every = static_cast<std::uint64_t>(opt.get_int("log-every", 0));
+      core::ComovingSimulation sim(*engine, cc);
+      const auto cs = sim.run(ic.pset);
+      core::ComovingSimulation::comoving_to_physical(ic.pset, cosmo, 1.0);
+      summary.steps = cs.steps;
+      summary.wall_seconds = cs.wall_seconds;
+      summary.engine = cs.engine;
+    } else {
+      core::SimulationConfig sc;
+      if (ic.cosmological) {
+        const model::Cosmology cosmo(ic.cosmo_cfg.cosmo);
+        sc.dt_schedule =
+            cosmo.log_a_timesteps(ic.cosmo_meta.a_start, 1.0, steps);
+      } else {
+        sc.dt = opt.get_double("dt", ic.suggested_dt);
+        sc.steps = steps;
+      }
+      sc.log_every = static_cast<std::uint64_t>(opt.get_int("log-every", 0));
+      sc.snapshot_every =
+          static_cast<std::uint64_t>(opt.get_int("snapshots", 0));
+      sc.snapshot_prefix = opt.get_string("snapshot-prefix", "g5run");
+      sc.stats_csv = opt.get_string("stats-csv", "");
+      core::Simulation sim(*engine, sc);
+      summary = sim.run(ic.pset);
+    }
+
+    util::Table t({"quantity", "value"});
+    t.add_row({"steps", std::to_string(summary.steps)});
+    t.add_row({"interactions",
+               util::sci(static_cast<double>(summary.engine.interactions))});
+    t.add_row({"interaction lists", std::to_string(summary.engine.groups)});
+    t.add_row({"mean list length",
+               util::sci(summary.engine.walk.mean_list())});
+    t.add_row({"wall clock (measured)",
+               util::human_seconds(summary.wall_seconds)});
+    if (!ic.cosmological) {
+      t.add_row({"relative energy drift", util::sci(summary.energy_drift)});
+    }
+    if (summary.grape.force_calls > 0) {
+      t.add_row({"GRAPE-5 time (modeled)",
+                 util::human_seconds(summary.grape.modeled_total())});
+      t.add_row({"GRAPE-5 sustained (modeled)",
+                 util::human_flops(summary.grape.flops() /
+                                   summary.grape.modeled_total())});
+    }
+    t.print();
+
+    if (opt.get_bool("analyze", false)) print_analysis(ic.pset);
+
+    // Optional snapshot exports of the final state.
+    if (opt.has("out")) {
+      const std::string out_path = opt.get_string("out", "final.g5snap");
+      core::write_snapshot(out_path, ic.pset, 0.0, fp.eps);
+      std::printf("wrote %s\n", out_path.c_str());
+    }
+    if (opt.has("tipsy")) {
+      const std::string out_path = opt.get_string("tipsy", "final.tipsy");
+      core::write_snapshot_tipsy(out_path, ic.pset, 0.0, fp.eps);
+      std::printf("wrote %s (TIPSY dark-only)\n", out_path.c_str());
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "g5run: %s\n", e.what());
+    return 1;
+  }
+}
