@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e4_opcount.dir/bench_e4_opcount.cpp.o"
+  "CMakeFiles/bench_e4_opcount.dir/bench_e4_opcount.cpp.o.d"
+  "bench_e4_opcount"
+  "bench_e4_opcount.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e4_opcount.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_e5_peak.cpp" "bench/CMakeFiles/bench_e5_peak.dir/bench_e5_peak.cpp.o" "gcc" "bench/CMakeFiles/bench_e5_peak.dir/bench_e5_peak.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ic/CMakeFiles/g5_ic.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/g5_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/grape/CMakeFiles/g5_grape.dir/DependInfo.cmake"
+  "/root/repo/build/src/tree/CMakeFiles/g5_tree.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/g5_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/math/CMakeFiles/g5_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/g5_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cold_collapse.dir/cold_collapse.cpp.o"
+  "CMakeFiles/cold_collapse.dir/cold_collapse.cpp.o.d"
+  "cold_collapse"
+  "cold_collapse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cold_collapse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cosmological_sphere.dir/cosmological_sphere.cpp.o"
+  "CMakeFiles/cosmological_sphere.dir/cosmological_sphere.cpp.o.d"
+  "cosmological_sphere"
+  "cosmological_sphere.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cosmological_sphere.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grape_driver_demo.dir/grape_driver_demo.cpp.o"
+  "CMakeFiles/grape_driver_demo.dir/grape_driver_demo.cpp.o.d"
+  "grape_driver_demo"
+  "grape_driver_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grape_driver_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,79 @@
+#----------------------------------------------------------------
+# Generated CMake target import file for configuration "RelWithDebInfo".
+#----------------------------------------------------------------
+
+# Commands may need to know the format version.
+set(CMAKE_IMPORT_FILE_VERSION 1)
+
+# Import target "g5::util" for configuration "RelWithDebInfo"
+set_property(TARGET g5::util APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(g5::util PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libg5_util.a"
+  )
+
+list(APPEND _cmake_import_check_targets g5::util )
+list(APPEND _cmake_import_check_files_for_g5::util "${_IMPORT_PREFIX}/lib/libg5_util.a" )
+
+# Import target "g5::math" for configuration "RelWithDebInfo"
+set_property(TARGET g5::math APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(g5::math PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libg5_math.a"
+  )
+
+list(APPEND _cmake_import_check_targets g5::math )
+list(APPEND _cmake_import_check_files_for_g5::math "${_IMPORT_PREFIX}/lib/libg5_math.a" )
+
+# Import target "g5::model" for configuration "RelWithDebInfo"
+set_property(TARGET g5::model APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(g5::model PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libg5_model.a"
+  )
+
+list(APPEND _cmake_import_check_targets g5::model )
+list(APPEND _cmake_import_check_files_for_g5::model "${_IMPORT_PREFIX}/lib/libg5_model.a" )
+
+# Import target "g5::ic" for configuration "RelWithDebInfo"
+set_property(TARGET g5::ic APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(g5::ic PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libg5_ic.a"
+  )
+
+list(APPEND _cmake_import_check_targets g5::ic )
+list(APPEND _cmake_import_check_files_for_g5::ic "${_IMPORT_PREFIX}/lib/libg5_ic.a" )
+
+# Import target "g5::grape" for configuration "RelWithDebInfo"
+set_property(TARGET g5::grape APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(g5::grape PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libg5_grape.a"
+  )
+
+list(APPEND _cmake_import_check_targets g5::grape )
+list(APPEND _cmake_import_check_files_for_g5::grape "${_IMPORT_PREFIX}/lib/libg5_grape.a" )
+
+# Import target "g5::tree" for configuration "RelWithDebInfo"
+set_property(TARGET g5::tree APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(g5::tree PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libg5_tree.a"
+  )
+
+list(APPEND _cmake_import_check_targets g5::tree )
+list(APPEND _cmake_import_check_files_for_g5::tree "${_IMPORT_PREFIX}/lib/libg5_tree.a" )
+
+# Import target "g5::core" for configuration "RelWithDebInfo"
+set_property(TARGET g5::core APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(g5::core PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libg5_core.a"
+  )
+
+list(APPEND _cmake_import_check_targets g5::core )
+list(APPEND _cmake_import_check_files_for_g5::core "${_IMPORT_PREFIX}/lib/libg5_core.a" )
+
+# Commands beyond this point should not need to know the version.
+set(CMAKE_IMPORT_FILE_VERSION)

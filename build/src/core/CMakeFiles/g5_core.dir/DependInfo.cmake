@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/analysis.cpp" "src/core/CMakeFiles/g5_core.dir/analysis.cpp.o" "gcc" "src/core/CMakeFiles/g5_core.dir/analysis.cpp.o.d"
+  "/root/repo/src/core/blockstep.cpp" "src/core/CMakeFiles/g5_core.dir/blockstep.cpp.o" "gcc" "src/core/CMakeFiles/g5_core.dir/blockstep.cpp.o.d"
+  "/root/repo/src/core/comoving.cpp" "src/core/CMakeFiles/g5_core.dir/comoving.cpp.o" "gcc" "src/core/CMakeFiles/g5_core.dir/comoving.cpp.o.d"
+  "/root/repo/src/core/diagnostics.cpp" "src/core/CMakeFiles/g5_core.dir/diagnostics.cpp.o" "gcc" "src/core/CMakeFiles/g5_core.dir/diagnostics.cpp.o.d"
+  "/root/repo/src/core/engine_grape_direct.cpp" "src/core/CMakeFiles/g5_core.dir/engine_grape_direct.cpp.o" "gcc" "src/core/CMakeFiles/g5_core.dir/engine_grape_direct.cpp.o.d"
+  "/root/repo/src/core/engine_grape_tree.cpp" "src/core/CMakeFiles/g5_core.dir/engine_grape_tree.cpp.o" "gcc" "src/core/CMakeFiles/g5_core.dir/engine_grape_tree.cpp.o.d"
+  "/root/repo/src/core/engine_host_direct.cpp" "src/core/CMakeFiles/g5_core.dir/engine_host_direct.cpp.o" "gcc" "src/core/CMakeFiles/g5_core.dir/engine_host_direct.cpp.o.d"
+  "/root/repo/src/core/engine_host_tree.cpp" "src/core/CMakeFiles/g5_core.dir/engine_host_tree.cpp.o" "gcc" "src/core/CMakeFiles/g5_core.dir/engine_host_tree.cpp.o.d"
+  "/root/repo/src/core/integrator.cpp" "src/core/CMakeFiles/g5_core.dir/integrator.cpp.o" "gcc" "src/core/CMakeFiles/g5_core.dir/integrator.cpp.o.d"
+  "/root/repo/src/core/perf.cpp" "src/core/CMakeFiles/g5_core.dir/perf.cpp.o" "gcc" "src/core/CMakeFiles/g5_core.dir/perf.cpp.o.d"
+  "/root/repo/src/core/render.cpp" "src/core/CMakeFiles/g5_core.dir/render.cpp.o" "gcc" "src/core/CMakeFiles/g5_core.dir/render.cpp.o.d"
+  "/root/repo/src/core/simulation.cpp" "src/core/CMakeFiles/g5_core.dir/simulation.cpp.o" "gcc" "src/core/CMakeFiles/g5_core.dir/simulation.cpp.o.d"
+  "/root/repo/src/core/snapshot.cpp" "src/core/CMakeFiles/g5_core.dir/snapshot.cpp.o" "gcc" "src/core/CMakeFiles/g5_core.dir/snapshot.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/grape/CMakeFiles/g5_grape.dir/DependInfo.cmake"
+  "/root/repo/build/src/tree/CMakeFiles/g5_tree.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/g5_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/math/CMakeFiles/g5_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/g5_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/g5_core.dir/analysis.cpp.o"
+  "CMakeFiles/g5_core.dir/analysis.cpp.o.d"
+  "CMakeFiles/g5_core.dir/blockstep.cpp.o"
+  "CMakeFiles/g5_core.dir/blockstep.cpp.o.d"
+  "CMakeFiles/g5_core.dir/comoving.cpp.o"
+  "CMakeFiles/g5_core.dir/comoving.cpp.o.d"
+  "CMakeFiles/g5_core.dir/diagnostics.cpp.o"
+  "CMakeFiles/g5_core.dir/diagnostics.cpp.o.d"
+  "CMakeFiles/g5_core.dir/engine_grape_direct.cpp.o"
+  "CMakeFiles/g5_core.dir/engine_grape_direct.cpp.o.d"
+  "CMakeFiles/g5_core.dir/engine_grape_tree.cpp.o"
+  "CMakeFiles/g5_core.dir/engine_grape_tree.cpp.o.d"
+  "CMakeFiles/g5_core.dir/engine_host_direct.cpp.o"
+  "CMakeFiles/g5_core.dir/engine_host_direct.cpp.o.d"
+  "CMakeFiles/g5_core.dir/engine_host_tree.cpp.o"
+  "CMakeFiles/g5_core.dir/engine_host_tree.cpp.o.d"
+  "CMakeFiles/g5_core.dir/integrator.cpp.o"
+  "CMakeFiles/g5_core.dir/integrator.cpp.o.d"
+  "CMakeFiles/g5_core.dir/perf.cpp.o"
+  "CMakeFiles/g5_core.dir/perf.cpp.o.d"
+  "CMakeFiles/g5_core.dir/render.cpp.o"
+  "CMakeFiles/g5_core.dir/render.cpp.o.d"
+  "CMakeFiles/g5_core.dir/simulation.cpp.o"
+  "CMakeFiles/g5_core.dir/simulation.cpp.o.d"
+  "CMakeFiles/g5_core.dir/snapshot.cpp.o"
+  "CMakeFiles/g5_core.dir/snapshot.cpp.o.d"
+  "libg5_core.a"
+  "libg5_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/g5_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/grape/board.cpp" "src/grape/CMakeFiles/g5_grape.dir/board.cpp.o" "gcc" "src/grape/CMakeFiles/g5_grape.dir/board.cpp.o.d"
+  "/root/repo/src/grape/cycle_sim.cpp" "src/grape/CMakeFiles/g5_grape.dir/cycle_sim.cpp.o" "gcc" "src/grape/CMakeFiles/g5_grape.dir/cycle_sim.cpp.o.d"
+  "/root/repo/src/grape/driver.cpp" "src/grape/CMakeFiles/g5_grape.dir/driver.cpp.o" "gcc" "src/grape/CMakeFiles/g5_grape.dir/driver.cpp.o.d"
+  "/root/repo/src/grape/host_reference.cpp" "src/grape/CMakeFiles/g5_grape.dir/host_reference.cpp.o" "gcc" "src/grape/CMakeFiles/g5_grape.dir/host_reference.cpp.o.d"
+  "/root/repo/src/grape/pipeline.cpp" "src/grape/CMakeFiles/g5_grape.dir/pipeline.cpp.o" "gcc" "src/grape/CMakeFiles/g5_grape.dir/pipeline.cpp.o.d"
+  "/root/repo/src/grape/selftest.cpp" "src/grape/CMakeFiles/g5_grape.dir/selftest.cpp.o" "gcc" "src/grape/CMakeFiles/g5_grape.dir/selftest.cpp.o.d"
+  "/root/repo/src/grape/system.cpp" "src/grape/CMakeFiles/g5_grape.dir/system.cpp.o" "gcc" "src/grape/CMakeFiles/g5_grape.dir/system.cpp.o.d"
+  "/root/repo/src/grape/timing.cpp" "src/grape/CMakeFiles/g5_grape.dir/timing.cpp.o" "gcc" "src/grape/CMakeFiles/g5_grape.dir/timing.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/math/CMakeFiles/g5_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/g5_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

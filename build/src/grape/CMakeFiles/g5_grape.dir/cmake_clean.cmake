@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/g5_grape.dir/board.cpp.o"
+  "CMakeFiles/g5_grape.dir/board.cpp.o.d"
+  "CMakeFiles/g5_grape.dir/cycle_sim.cpp.o"
+  "CMakeFiles/g5_grape.dir/cycle_sim.cpp.o.d"
+  "CMakeFiles/g5_grape.dir/driver.cpp.o"
+  "CMakeFiles/g5_grape.dir/driver.cpp.o.d"
+  "CMakeFiles/g5_grape.dir/host_reference.cpp.o"
+  "CMakeFiles/g5_grape.dir/host_reference.cpp.o.d"
+  "CMakeFiles/g5_grape.dir/pipeline.cpp.o"
+  "CMakeFiles/g5_grape.dir/pipeline.cpp.o.d"
+  "CMakeFiles/g5_grape.dir/selftest.cpp.o"
+  "CMakeFiles/g5_grape.dir/selftest.cpp.o.d"
+  "CMakeFiles/g5_grape.dir/system.cpp.o"
+  "CMakeFiles/g5_grape.dir/system.cpp.o.d"
+  "CMakeFiles/g5_grape.dir/timing.cpp.o"
+  "CMakeFiles/g5_grape.dir/timing.cpp.o.d"
+  "libg5_grape.a"
+  "libg5_grape.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/g5_grape.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

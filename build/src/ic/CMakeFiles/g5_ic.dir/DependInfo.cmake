@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ic/galaxy.cpp" "src/ic/CMakeFiles/g5_ic.dir/galaxy.cpp.o" "gcc" "src/ic/CMakeFiles/g5_ic.dir/galaxy.cpp.o.d"
+  "/root/repo/src/ic/grf.cpp" "src/ic/CMakeFiles/g5_ic.dir/grf.cpp.o" "gcc" "src/ic/CMakeFiles/g5_ic.dir/grf.cpp.o.d"
+  "/root/repo/src/ic/hernquist.cpp" "src/ic/CMakeFiles/g5_ic.dir/hernquist.cpp.o" "gcc" "src/ic/CMakeFiles/g5_ic.dir/hernquist.cpp.o.d"
+  "/root/repo/src/ic/plummer.cpp" "src/ic/CMakeFiles/g5_ic.dir/plummer.cpp.o" "gcc" "src/ic/CMakeFiles/g5_ic.dir/plummer.cpp.o.d"
+  "/root/repo/src/ic/power_spectrum.cpp" "src/ic/CMakeFiles/g5_ic.dir/power_spectrum.cpp.o" "gcc" "src/ic/CMakeFiles/g5_ic.dir/power_spectrum.cpp.o.d"
+  "/root/repo/src/ic/uniform.cpp" "src/ic/CMakeFiles/g5_ic.dir/uniform.cpp.o" "gcc" "src/ic/CMakeFiles/g5_ic.dir/uniform.cpp.o.d"
+  "/root/repo/src/ic/zeldovich.cpp" "src/ic/CMakeFiles/g5_ic.dir/zeldovich.cpp.o" "gcc" "src/ic/CMakeFiles/g5_ic.dir/zeldovich.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/math/CMakeFiles/g5_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/g5_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/g5_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/g5_ic.dir/galaxy.cpp.o"
+  "CMakeFiles/g5_ic.dir/galaxy.cpp.o.d"
+  "CMakeFiles/g5_ic.dir/grf.cpp.o"
+  "CMakeFiles/g5_ic.dir/grf.cpp.o.d"
+  "CMakeFiles/g5_ic.dir/hernquist.cpp.o"
+  "CMakeFiles/g5_ic.dir/hernquist.cpp.o.d"
+  "CMakeFiles/g5_ic.dir/plummer.cpp.o"
+  "CMakeFiles/g5_ic.dir/plummer.cpp.o.d"
+  "CMakeFiles/g5_ic.dir/power_spectrum.cpp.o"
+  "CMakeFiles/g5_ic.dir/power_spectrum.cpp.o.d"
+  "CMakeFiles/g5_ic.dir/uniform.cpp.o"
+  "CMakeFiles/g5_ic.dir/uniform.cpp.o.d"
+  "CMakeFiles/g5_ic.dir/zeldovich.cpp.o"
+  "CMakeFiles/g5_ic.dir/zeldovich.cpp.o.d"
+  "libg5_ic.a"
+  "libg5_ic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/g5_ic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

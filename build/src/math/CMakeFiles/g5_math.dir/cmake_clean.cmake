@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/g5_math.dir/fft.cpp.o"
+  "CMakeFiles/g5_math.dir/fft.cpp.o.d"
+  "CMakeFiles/g5_math.dir/lns.cpp.o"
+  "CMakeFiles/g5_math.dir/lns.cpp.o.d"
+  "CMakeFiles/g5_math.dir/rng.cpp.o"
+  "CMakeFiles/g5_math.dir/rng.cpp.o.d"
+  "libg5_math.a"
+  "libg5_math.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/g5_math.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/g5_model.dir/cosmology.cpp.o"
+  "CMakeFiles/g5_model.dir/cosmology.cpp.o.d"
+  "CMakeFiles/g5_model.dir/particles.cpp.o"
+  "CMakeFiles/g5_model.dir/particles.cpp.o.d"
+  "libg5_model.a"
+  "libg5_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/g5_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tree/groupwalk.cpp" "src/tree/CMakeFiles/g5_tree.dir/groupwalk.cpp.o" "gcc" "src/tree/CMakeFiles/g5_tree.dir/groupwalk.cpp.o.d"
+  "/root/repo/src/tree/tree.cpp" "src/tree/CMakeFiles/g5_tree.dir/tree.cpp.o" "gcc" "src/tree/CMakeFiles/g5_tree.dir/tree.cpp.o.d"
+  "/root/repo/src/tree/walk.cpp" "src/tree/CMakeFiles/g5_tree.dir/walk.cpp.o" "gcc" "src/tree/CMakeFiles/g5_tree.dir/walk.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/math/CMakeFiles/g5_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/g5_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/g5_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

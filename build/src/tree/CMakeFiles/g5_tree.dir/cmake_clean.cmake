@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/g5_tree.dir/groupwalk.cpp.o"
+  "CMakeFiles/g5_tree.dir/groupwalk.cpp.o.d"
+  "CMakeFiles/g5_tree.dir/tree.cpp.o"
+  "CMakeFiles/g5_tree.dir/tree.cpp.o.d"
+  "CMakeFiles/g5_tree.dir/walk.cpp.o"
+  "CMakeFiles/g5_tree.dir/walk.cpp.o.d"
+  "libg5_tree.a"
+  "libg5_tree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/g5_tree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/g5_util.dir/log.cpp.o"
+  "CMakeFiles/g5_util.dir/log.cpp.o.d"
+  "CMakeFiles/g5_util.dir/options.cpp.o"
+  "CMakeFiles/g5_util.dir/options.cpp.o.d"
+  "CMakeFiles/g5_util.dir/stats.cpp.o"
+  "CMakeFiles/g5_util.dir/stats.cpp.o.d"
+  "CMakeFiles/g5_util.dir/table.cpp.o"
+  "CMakeFiles/g5_util.dir/table.cpp.o.d"
+  "libg5_util.a"
+  "libg5_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/g5_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

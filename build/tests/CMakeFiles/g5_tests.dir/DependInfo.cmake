@@ -1,0 +1,69 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core_analysis_test.cpp" "tests/CMakeFiles/g5_tests.dir/core_analysis_test.cpp.o" "gcc" "tests/CMakeFiles/g5_tests.dir/core_analysis_test.cpp.o.d"
+  "/root/repo/tests/core_blockstep_test.cpp" "tests/CMakeFiles/g5_tests.dir/core_blockstep_test.cpp.o" "gcc" "tests/CMakeFiles/g5_tests.dir/core_blockstep_test.cpp.o.d"
+  "/root/repo/tests/core_comoving_test.cpp" "tests/CMakeFiles/g5_tests.dir/core_comoving_test.cpp.o" "gcc" "tests/CMakeFiles/g5_tests.dir/core_comoving_test.cpp.o.d"
+  "/root/repo/tests/core_engine_test.cpp" "tests/CMakeFiles/g5_tests.dir/core_engine_test.cpp.o" "gcc" "tests/CMakeFiles/g5_tests.dir/core_engine_test.cpp.o.d"
+  "/root/repo/tests/core_engine_variants_test.cpp" "tests/CMakeFiles/g5_tests.dir/core_engine_variants_test.cpp.o" "gcc" "tests/CMakeFiles/g5_tests.dir/core_engine_variants_test.cpp.o.d"
+  "/root/repo/tests/core_integrator_test.cpp" "tests/CMakeFiles/g5_tests.dir/core_integrator_test.cpp.o" "gcc" "tests/CMakeFiles/g5_tests.dir/core_integrator_test.cpp.o.d"
+  "/root/repo/tests/core_perf_test.cpp" "tests/CMakeFiles/g5_tests.dir/core_perf_test.cpp.o" "gcc" "tests/CMakeFiles/g5_tests.dir/core_perf_test.cpp.o.d"
+  "/root/repo/tests/core_simulation_test.cpp" "tests/CMakeFiles/g5_tests.dir/core_simulation_test.cpp.o" "gcc" "tests/CMakeFiles/g5_tests.dir/core_simulation_test.cpp.o.d"
+  "/root/repo/tests/core_snapshot_render_test.cpp" "tests/CMakeFiles/g5_tests.dir/core_snapshot_render_test.cpp.o" "gcc" "tests/CMakeFiles/g5_tests.dir/core_snapshot_render_test.cpp.o.d"
+  "/root/repo/tests/determinism_test.cpp" "tests/CMakeFiles/g5_tests.dir/determinism_test.cpp.o" "gcc" "tests/CMakeFiles/g5_tests.dir/determinism_test.cpp.o.d"
+  "/root/repo/tests/golden_regression_test.cpp" "tests/CMakeFiles/g5_tests.dir/golden_regression_test.cpp.o" "gcc" "tests/CMakeFiles/g5_tests.dir/golden_regression_test.cpp.o.d"
+  "/root/repo/tests/grape_board_test.cpp" "tests/CMakeFiles/g5_tests.dir/grape_board_test.cpp.o" "gcc" "tests/CMakeFiles/g5_tests.dir/grape_board_test.cpp.o.d"
+  "/root/repo/tests/grape_cycle_sim_test.cpp" "tests/CMakeFiles/g5_tests.dir/grape_cycle_sim_test.cpp.o" "gcc" "tests/CMakeFiles/g5_tests.dir/grape_cycle_sim_test.cpp.o.d"
+  "/root/repo/tests/grape_driver_behavior_test.cpp" "tests/CMakeFiles/g5_tests.dir/grape_driver_behavior_test.cpp.o" "gcc" "tests/CMakeFiles/g5_tests.dir/grape_driver_behavior_test.cpp.o.d"
+  "/root/repo/tests/grape_driver_test.cpp" "tests/CMakeFiles/g5_tests.dir/grape_driver_test.cpp.o" "gcc" "tests/CMakeFiles/g5_tests.dir/grape_driver_test.cpp.o.d"
+  "/root/repo/tests/grape_pipeline_test.cpp" "tests/CMakeFiles/g5_tests.dir/grape_pipeline_test.cpp.o" "gcc" "tests/CMakeFiles/g5_tests.dir/grape_pipeline_test.cpp.o.d"
+  "/root/repo/tests/grape_property_test.cpp" "tests/CMakeFiles/g5_tests.dir/grape_property_test.cpp.o" "gcc" "tests/CMakeFiles/g5_tests.dir/grape_property_test.cpp.o.d"
+  "/root/repo/tests/grape_selftest_test.cpp" "tests/CMakeFiles/g5_tests.dir/grape_selftest_test.cpp.o" "gcc" "tests/CMakeFiles/g5_tests.dir/grape_selftest_test.cpp.o.d"
+  "/root/repo/tests/grape_system_test.cpp" "tests/CMakeFiles/g5_tests.dir/grape_system_test.cpp.o" "gcc" "tests/CMakeFiles/g5_tests.dir/grape_system_test.cpp.o.d"
+  "/root/repo/tests/grape_timing_test.cpp" "tests/CMakeFiles/g5_tests.dir/grape_timing_test.cpp.o" "gcc" "tests/CMakeFiles/g5_tests.dir/grape_timing_test.cpp.o.d"
+  "/root/repo/tests/ic_grf_test.cpp" "tests/CMakeFiles/g5_tests.dir/ic_grf_test.cpp.o" "gcc" "tests/CMakeFiles/g5_tests.dir/ic_grf_test.cpp.o.d"
+  "/root/repo/tests/ic_hernquist_test.cpp" "tests/CMakeFiles/g5_tests.dir/ic_hernquist_test.cpp.o" "gcc" "tests/CMakeFiles/g5_tests.dir/ic_hernquist_test.cpp.o.d"
+  "/root/repo/tests/ic_plummer_test.cpp" "tests/CMakeFiles/g5_tests.dir/ic_plummer_test.cpp.o" "gcc" "tests/CMakeFiles/g5_tests.dir/ic_plummer_test.cpp.o.d"
+  "/root/repo/tests/ic_power_test.cpp" "tests/CMakeFiles/g5_tests.dir/ic_power_test.cpp.o" "gcc" "tests/CMakeFiles/g5_tests.dir/ic_power_test.cpp.o.d"
+  "/root/repo/tests/ic_uniform_galaxy_test.cpp" "tests/CMakeFiles/g5_tests.dir/ic_uniform_galaxy_test.cpp.o" "gcc" "tests/CMakeFiles/g5_tests.dir/ic_uniform_galaxy_test.cpp.o.d"
+  "/root/repo/tests/ic_zeldovich_test.cpp" "tests/CMakeFiles/g5_tests.dir/ic_zeldovich_test.cpp.o" "gcc" "tests/CMakeFiles/g5_tests.dir/ic_zeldovich_test.cpp.o.d"
+  "/root/repo/tests/integration_test.cpp" "tests/CMakeFiles/g5_tests.dir/integration_test.cpp.o" "gcc" "tests/CMakeFiles/g5_tests.dir/integration_test.cpp.o.d"
+  "/root/repo/tests/math_fft_test.cpp" "tests/CMakeFiles/g5_tests.dir/math_fft_test.cpp.o" "gcc" "tests/CMakeFiles/g5_tests.dir/math_fft_test.cpp.o.d"
+  "/root/repo/tests/math_fixed_test.cpp" "tests/CMakeFiles/g5_tests.dir/math_fixed_test.cpp.o" "gcc" "tests/CMakeFiles/g5_tests.dir/math_fixed_test.cpp.o.d"
+  "/root/repo/tests/math_lns_test.cpp" "tests/CMakeFiles/g5_tests.dir/math_lns_test.cpp.o" "gcc" "tests/CMakeFiles/g5_tests.dir/math_lns_test.cpp.o.d"
+  "/root/repo/tests/math_morton_test.cpp" "tests/CMakeFiles/g5_tests.dir/math_morton_test.cpp.o" "gcc" "tests/CMakeFiles/g5_tests.dir/math_morton_test.cpp.o.d"
+  "/root/repo/tests/math_rng_test.cpp" "tests/CMakeFiles/g5_tests.dir/math_rng_test.cpp.o" "gcc" "tests/CMakeFiles/g5_tests.dir/math_rng_test.cpp.o.d"
+  "/root/repo/tests/math_vec3_test.cpp" "tests/CMakeFiles/g5_tests.dir/math_vec3_test.cpp.o" "gcc" "tests/CMakeFiles/g5_tests.dir/math_vec3_test.cpp.o.d"
+  "/root/repo/tests/misc_coverage_test.cpp" "tests/CMakeFiles/g5_tests.dir/misc_coverage_test.cpp.o" "gcc" "tests/CMakeFiles/g5_tests.dir/misc_coverage_test.cpp.o.d"
+  "/root/repo/tests/model_cosmology_test.cpp" "tests/CMakeFiles/g5_tests.dir/model_cosmology_test.cpp.o" "gcc" "tests/CMakeFiles/g5_tests.dir/model_cosmology_test.cpp.o.d"
+  "/root/repo/tests/model_particles_test.cpp" "tests/CMakeFiles/g5_tests.dir/model_particles_test.cpp.o" "gcc" "tests/CMakeFiles/g5_tests.dir/model_particles_test.cpp.o.d"
+  "/root/repo/tests/tree_build_test.cpp" "tests/CMakeFiles/g5_tests.dir/tree_build_test.cpp.o" "gcc" "tests/CMakeFiles/g5_tests.dir/tree_build_test.cpp.o.d"
+  "/root/repo/tests/tree_groupwalk_test.cpp" "tests/CMakeFiles/g5_tests.dir/tree_groupwalk_test.cpp.o" "gcc" "tests/CMakeFiles/g5_tests.dir/tree_groupwalk_test.cpp.o.d"
+  "/root/repo/tests/tree_mac_test.cpp" "tests/CMakeFiles/g5_tests.dir/tree_mac_test.cpp.o" "gcc" "tests/CMakeFiles/g5_tests.dir/tree_mac_test.cpp.o.d"
+  "/root/repo/tests/tree_property_test.cpp" "tests/CMakeFiles/g5_tests.dir/tree_property_test.cpp.o" "gcc" "tests/CMakeFiles/g5_tests.dir/tree_property_test.cpp.o.d"
+  "/root/repo/tests/tree_quadrupole_test.cpp" "tests/CMakeFiles/g5_tests.dir/tree_quadrupole_test.cpp.o" "gcc" "tests/CMakeFiles/g5_tests.dir/tree_quadrupole_test.cpp.o.d"
+  "/root/repo/tests/tree_walk_test.cpp" "tests/CMakeFiles/g5_tests.dir/tree_walk_test.cpp.o" "gcc" "tests/CMakeFiles/g5_tests.dir/tree_walk_test.cpp.o.d"
+  "/root/repo/tests/util_log_test.cpp" "tests/CMakeFiles/g5_tests.dir/util_log_test.cpp.o" "gcc" "tests/CMakeFiles/g5_tests.dir/util_log_test.cpp.o.d"
+  "/root/repo/tests/util_test.cpp" "tests/CMakeFiles/g5_tests.dir/util_test.cpp.o" "gcc" "tests/CMakeFiles/g5_tests.dir/util_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ic/CMakeFiles/g5_ic.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/g5_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/grape/CMakeFiles/g5_grape.dir/DependInfo.cmake"
+  "/root/repo/build/src/tree/CMakeFiles/g5_tree.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/g5_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/math/CMakeFiles/g5_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/g5_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

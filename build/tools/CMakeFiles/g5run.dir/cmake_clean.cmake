@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/g5run.dir/g5run.cpp.o"
+  "CMakeFiles/g5run.dir/g5run.cpp.o.d"
+  "g5run"
+  "g5run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/g5run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
