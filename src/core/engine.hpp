@@ -33,6 +33,10 @@ struct ForceParams {
   /// GRAPE pipelines evaluate point masses, which is exactly the ablation:
   /// host accuracy per list entry vs hardware throughput.
   bool quadrupole = false;
+  /// Host worker threads for the tree-walk phase (tree engines). 0 = auto:
+  /// the G5_THREADS environment variable, else hardware concurrency.
+  /// Results are bitwise-identical for any thread count.
+  std::uint32_t threads = 0;
 };
 
 /// Per-engine cumulative statistics (reset with reset_stats()).
@@ -42,8 +46,13 @@ struct EngineStats {
   tree::WalkStats walk;              ///< tree engines only
   double seconds_total = 0.0;        ///< host wall clock, whole compute()
   double seconds_tree_build = 0.0;
-  double seconds_walk = 0.0;         ///< traversal + list packing
-  double seconds_kernel = 0.0;       ///< force kernel (host) or emulator wall
+  /// Traversal + list packing. Summed over worker lanes (per-lane busy
+  /// time), so with threads > 1 this is CPU seconds and may exceed
+  /// seconds_total; divide by the thread count for a wall-clock estimate.
+  double seconds_walk = 0.0;
+  /// Force kernel (host, same per-lane summing as seconds_walk) or
+  /// emulator wall (grape engines, serial).
+  double seconds_kernel = 0.0;
   std::uint64_t groups = 0;          ///< interaction lists shipped
 };
 

@@ -1,5 +1,6 @@
 #include "core/engines.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "util/timer.hpp"
@@ -38,24 +39,50 @@ void GrapeTreeEngine::compute(model::ParticleSet& pset) {
     pot_sorted_.resize(n);
   }
 
-  // Per group: host builds the shared interaction list (phase 2), GRAPE
-  // evaluates it on the group members (phase 3), host scatters results.
-  for (const auto& group : groups) {
-    phase.restart();
-    tree::walk_group(tree_, group, walk_cfg, list_, &stats_.walk);
-    stats_.seconds_walk += phase.lap();
-
-    std::span<const math::Vec3d> targets(
-        tree_.sorted_pos().data() + group.first, group.count);
-    const auto before = device_->system().account();
-    device_->compute_forces_chunked(
-        targets, list_.pos, list_.mass,
-        std::span<math::Vec3d>(acc_sorted_.data() + group.first, group.count),
-        std::span<double>(pot_sorted_.data() + group.first, group.count));
-    const auto& after = device_->system().account();
-    stats_.interactions += after.interactions - before.interactions;
-    stats_.seconds_kernel += after.emulation_wall - before.emulation_wall;
-    ++stats_.groups;
+  // Per batch of groups: host lanes build the shared interaction lists in
+  // parallel (phase 2), then GRAPE evaluates them serially in group order
+  // (phase 3, the device is a single shared resource) and the host
+  // scatters results. Batching bounds the lists held in memory while
+  // keeping every lane busy during the walk phase.
+  auto& pool = ensure_walk_pool(pool_, params_.threads, scratch_);
+  const std::size_t batch =
+      std::max<std::size_t>(std::size_t{4} * pool.size(), 8);
+  if (batch_lists_.size() < std::min(batch, groups.size())) {
+    batch_lists_.resize(std::min(batch, groups.size()));
+  }
+  for (std::size_t base = 0; base < groups.size(); base += batch) {
+    const std::size_t m = std::min(batch, groups.size() - base);
+    pool.parallel_for(
+        m, 1, [&](std::size_t begin, std::size_t end, unsigned lane) {
+          WalkScratch& ws = scratch_[lane];
+          util::Stopwatch lap;
+          for (std::size_t i = begin; i < end; ++i) {
+            lap.restart();
+            tree::walk_group(tree_, groups[base + i], walk_cfg,
+                             batch_lists_[i], &ws.walk);
+            ws.seconds_walk += lap.lap();
+          }
+        });
+    for (std::size_t i = 0; i < m; ++i) {
+      const tree::Group& group = groups[base + i];
+      const tree::InteractionList& list = batch_lists_[i];
+      std::span<const math::Vec3d> targets(
+          tree_.sorted_pos().data() + group.first, group.count);
+      const auto before = device_->system().account();
+      device_->compute_forces_chunked(
+          targets, list.pos, list.mass,
+          std::span<math::Vec3d>(acc_sorted_.data() + group.first,
+                                 group.count),
+          std::span<double>(pot_sorted_.data() + group.first, group.count));
+      const auto& after = device_->system().account();
+      stats_.interactions += after.interactions - before.interactions;
+      stats_.seconds_kernel += after.emulation_wall - before.emulation_wall;
+      ++stats_.groups;
+    }
+  }
+  for (const auto& ws : scratch_) {
+    stats_.walk.merge(ws.walk);
+    stats_.seconds_walk += ws.seconds_walk;
   }
 
   // Scatter sorted-order results back to the caller's ordering.
@@ -89,21 +116,44 @@ void GrapeTreeEngine::compute_targets(model::ParticleSet& pset,
   // with the target as the single i-particle. (The grouped algorithm
   // pays off for full-set evaluations; scattered subsets use the
   // original per-particle lists, as individual-timestep GRAPE codes did.)
+  // Walks run batched across the host lanes; the device stays serial.
   const tree::WalkConfig walk_cfg{params_.theta, params_.mac};
-  for (const std::uint32_t t : targets) {
-    phase.restart();
-    tree::walk_original(tree_, pset.pos()[t], walk_cfg, list_, &stats_.walk);
-    stats_.seconds_walk += phase.lap();
-
-    const math::Vec3d xi = pset.pos()[t];
-    const auto before = device_->system().account();
-    device_->compute_forces_chunked({&xi, 1}, list_.pos, list_.mass,
-                                    {&pset.acc()[t], 1},
-                                    {&pset.pot()[t], 1});
-    const auto& after = device_->system().account();
-    stats_.interactions += after.interactions - before.interactions;
-    stats_.seconds_kernel += after.emulation_wall - before.emulation_wall;
-    ++stats_.groups;
+  auto& pool = ensure_walk_pool(pool_, params_.threads, scratch_);
+  const std::size_t batch =
+      std::max<std::size_t>(std::size_t{16} * pool.size(), 64);
+  if (batch_lists_.size() < std::min(batch, targets.size())) {
+    batch_lists_.resize(std::min(batch, targets.size()));
+  }
+  for (std::size_t base = 0; base < targets.size(); base += batch) {
+    const std::size_t m = std::min(batch, targets.size() - base);
+    pool.parallel_for(
+        m, 8, [&](std::size_t begin, std::size_t end, unsigned lane) {
+          WalkScratch& ws = scratch_[lane];
+          util::Stopwatch lap;
+          for (std::size_t i = begin; i < end; ++i) {
+            lap.restart();
+            tree::walk_original(tree_, pset.pos()[targets[base + i]],
+                                walk_cfg, batch_lists_[i], &ws.walk);
+            ws.seconds_walk += lap.lap();
+          }
+        });
+    for (std::size_t i = 0; i < m; ++i) {
+      const std::uint32_t t = targets[base + i];
+      const tree::InteractionList& list = batch_lists_[i];
+      const math::Vec3d xi = pset.pos()[t];
+      const auto before = device_->system().account();
+      device_->compute_forces_chunked({&xi, 1}, list.pos, list.mass,
+                                      {&pset.acc()[t], 1},
+                                      {&pset.pot()[t], 1});
+      const auto& after = device_->system().account();
+      stats_.interactions += after.interactions - before.interactions;
+      stats_.seconds_kernel += after.emulation_wall - before.emulation_wall;
+      ++stats_.groups;
+    }
+  }
+  for (const auto& ws : scratch_) {
+    stats_.walk.merge(ws.walk);
+    stats_.seconds_walk += ws.seconds_walk;
   }
   ++stats_.evaluations;
   stats_.seconds_total += total.elapsed();

@@ -21,11 +21,12 @@ void HostDirectEngine::compute_targets(model::ParticleSet& pset,
   util::Stopwatch watch;
   for (const std::uint32_t t : targets) {
     const math::Vec3d xi = pset.pos()[t];
-    // The source set includes the target; the kernel's coincident-pair
-    // cut drops the self term.
+    // The source set includes the target; passing its mass lets the
+    // kernel drop exactly the self term while distinct coincident
+    // particles keep their softened potential (as in compute()).
     grape::host_forces_on_targets({&xi, 1}, pset.pos(), pset.mass(),
                                   params_.eps, {&pset.acc()[t], 1},
-                                  {&pset.pot()[t], 1});
+                                  {&pset.pot()[t], 1}, {&pset.mass()[t], 1});
   }
   stats_.seconds_kernel += watch.elapsed();
   stats_.seconds_total += watch.elapsed();

@@ -4,6 +4,28 @@
 
 namespace g5::core {
 
+util::ThreadPool& ensure_walk_pool(std::unique_ptr<util::ThreadPool>& pool,
+                                   std::uint32_t requested,
+                                   std::vector<WalkScratch>& scratch) {
+  const unsigned want = util::resolve_thread_count(requested);
+  if (!pool || pool->size() != want) {
+    pool = std::make_unique<util::ThreadPool>(want);
+  }
+  scratch.resize(pool->size());
+  for (auto& s : scratch) s.reset_accumulators();
+  return *pool;
+}
+
+void HostTreeEngine::reduce_scratch() {
+  for (const auto& s : scratch_) {
+    stats_.walk.merge(s.walk);
+    stats_.seconds_walk += s.seconds_walk;
+    stats_.seconds_kernel += s.seconds_kernel;
+    stats_.interactions += s.interactions;
+    stats_.groups += s.groups;
+  }
+}
+
 void HostTreeEngine::compute(model::ParticleSet& pset) {
   util::Stopwatch total;
   const std::size_t n = pset.size();
@@ -20,60 +42,82 @@ void HostTreeEngine::compute(model::ParticleSet& pset) {
   const tree::WalkConfig walk_cfg{params_.theta, params_.mac,
                                   params_.quadrupole};
   const auto& orig = tree_.original_index();
+  auto& pool = ensure_walk_pool(pool_, params_.threads, scratch_);
 
+  // Every particle belongs to exactly one group (modified) or slot
+  // (original), so each lane writes disjoint acc/pot entries: the
+  // parallel result is bitwise-identical to the serial one regardless of
+  // how chunks land on lanes.
   if (mode_ == Mode::Original) {
-    for (std::size_t slot = 0; slot < n; ++slot) {
-      phase.restart();
-      tree::walk_original(tree_, tree_.sorted_pos()[slot], walk_cfg, list_,
-                          &stats_.walk);
-      stats_.seconds_walk += phase.lap();
+    pool.parallel_for(
+        n, 32, [&](std::size_t begin, std::size_t end, unsigned lane) {
+          WalkScratch& ws = scratch_[lane];
+          util::Stopwatch lap;
+          for (std::size_t slot = begin; slot < end; ++slot) {
+            lap.restart();
+            tree::walk_original(tree_, tree_.sorted_pos()[slot], walk_cfg,
+                                ws.list, &ws.walk);
+            ws.seconds_walk += lap.lap();
 
-      math::Vec3d acc{};
-      double pot = 0.0;
-      tree::evaluate_list_host(list_, {&tree_.sorted_pos()[slot], 1},
-                               params_.eps, {&acc, 1}, {&pot, 1});
-      stats_.seconds_kernel += phase.lap();
-      stats_.interactions += list_.size();
-      const std::uint32_t dst = orig[slot];
-      pset.acc()[dst] = acc;
-      pset.pot()[dst] = pot;
-      ++stats_.groups;
-    }
+            math::Vec3d acc{};
+            double pot = 0.0;
+            tree::evaluate_list_host(ws.list, {&tree_.sorted_pos()[slot], 1},
+                                     params_.eps, {&acc, 1}, {&pot, 1},
+                                     {&tree_.sorted_mass()[slot], 1});
+            ws.seconds_kernel += lap.lap();
+            ws.interactions += ws.list.size();
+            const std::uint32_t dst = orig[slot];
+            pset.acc()[dst] = acc;
+            pset.pot()[dst] = pot;
+            ++ws.groups;
+          }
+        });
   } else {
     const auto groups =
         tree::collect_groups(tree_, tree::GroupConfig{params_.n_crit});
-    for (const auto& group : groups) {
-      phase.restart();
-      tree::walk_group(tree_, group, walk_cfg, list_, &stats_.walk);
-      stats_.seconds_walk += phase.lap();
+    pool.parallel_for(
+        groups.size(), 1,
+        [&](std::size_t begin, std::size_t end, unsigned lane) {
+          WalkScratch& ws = scratch_[lane];
+          util::Stopwatch lap;
+          for (std::size_t gi = begin; gi < end; ++gi) {
+            const tree::Group& group = groups[gi];
+            lap.restart();
+            tree::walk_group(tree_, group, walk_cfg, ws.list, &ws.walk);
+            ws.seconds_walk += lap.lap();
 
-      if (acc_scratch_.size() < group.count) {
-        acc_scratch_.resize(group.count);
-        pot_scratch_.resize(group.count);
-      }
-      std::span<const math::Vec3d> targets(
-          tree_.sorted_pos().data() + group.first, group.count);
-      tree::evaluate_list_host(
-          list_, targets, params_.eps,
-          std::span<math::Vec3d>(acc_scratch_.data(), group.count),
-          std::span<double>(pot_scratch_.data(), group.count));
-      stats_.seconds_kernel += phase.lap();
-      stats_.interactions +=
-          static_cast<std::uint64_t>(list_.size()) * group.count;
+            if (ws.acc.size() < group.count) {
+              ws.acc.resize(group.count);
+              ws.pot.resize(group.count);
+            }
+            const std::span<const math::Vec3d> targets(
+                tree_.sorted_pos().data() + group.first, group.count);
+            const std::span<const double> self_mass(
+                tree_.sorted_mass().data() + group.first, group.count);
+            tree::evaluate_list_host(
+                ws.list, targets, params_.eps,
+                std::span<math::Vec3d>(ws.acc.data(), group.count),
+                std::span<double>(ws.pot.data(), group.count), self_mass);
+            ws.seconds_kernel += lap.lap();
+            ws.interactions +=
+                static_cast<std::uint64_t>(ws.list.size()) * group.count;
 
-      for (std::uint32_t k = 0; k < group.count; ++k) {
-        const std::uint32_t dst = orig[group.first + k];
-        pset.acc()[dst] = acc_scratch_[k];
-        pset.pot()[dst] = pot_scratch_[k];
-      }
-      ++stats_.groups;
-    }
+            for (std::uint32_t k = 0; k < group.count; ++k) {
+              const std::uint32_t dst = orig[group.first + k];
+              pset.acc()[dst] = ws.acc[k];
+              pset.pot()[dst] = ws.pot[k];
+            }
+            ++ws.groups;
+          }
+        });
   }
+  reduce_scratch();
 
   // Both walks place the target itself in its own list (the original walk
   // via its leaf, the modified walk via the group's direct part); the
-  // evaluation kernels drop coincident pairs, mirroring the pipeline's
-  // i == j cut, so no self-term correction is needed.
+  // evaluation kernel excludes exactly that self term via the supplied
+  // self masses, so distinct particles at coincident positions keep their
+  // softened mutual potential.
 
   ++stats_.evaluations;
   stats_.seconds_total += total.elapsed();
@@ -92,19 +136,31 @@ void HostTreeEngine::compute_targets(model::ParticleSet& pset,
   stats_.seconds_tree_build += phase.lap();
 
   // Per-target original walks (groups do not pay off for scattered
-  // subsets), evaluated on the host.
+  // subsets), evaluated on the host. Target indices are distinct by the
+  // engine contract, so per-target writes stay race-free.
   const tree::WalkConfig walk_cfg{params_.theta, params_.mac,
                                   params_.quadrupole};
-  for (const std::uint32_t t : targets) {
-    phase.restart();
-    tree::walk_original(tree_, pset.pos()[t], walk_cfg, list_, &stats_.walk);
-    stats_.seconds_walk += phase.lap();
-    const math::Vec3d xi = pset.pos()[t];
-    tree::evaluate_list_host(list_, {&xi, 1}, params_.eps,
-                             {&pset.acc()[t], 1}, {&pset.pot()[t], 1});
-    stats_.seconds_kernel += phase.lap();
-    stats_.interactions += list_.size();
-  }
+  auto& pool = ensure_walk_pool(pool_, params_.threads, scratch_);
+  pool.parallel_for(
+      targets.size(), 16,
+      [&](std::size_t begin, std::size_t end, unsigned lane) {
+        WalkScratch& ws = scratch_[lane];
+        util::Stopwatch lap;
+        for (std::size_t i = begin; i < end; ++i) {
+          const std::uint32_t t = targets[i];
+          lap.restart();
+          tree::walk_original(tree_, pset.pos()[t], walk_cfg, ws.list,
+                              &ws.walk);
+          ws.seconds_walk += lap.lap();
+          const math::Vec3d xi = pset.pos()[t];
+          tree::evaluate_list_host(ws.list, {&xi, 1}, params_.eps,
+                                   {&pset.acc()[t], 1}, {&pset.pot()[t], 1},
+                                   {&pset.mass()[t], 1});
+          ws.seconds_kernel += lap.lap();
+          ws.interactions += ws.list.size();
+        }
+      });
+  reduce_scratch();
   ++stats_.evaluations;
   stats_.seconds_total += total.elapsed();
 }

@@ -8,8 +8,37 @@
 #include "grape/driver.hpp"
 #include "tree/groupwalk.hpp"
 #include "tree/tree.hpp"
+#include "util/parallel.hpp"
 
 namespace g5::core {
+
+/// Per-lane scratch for parallel tree walks: each pool lane owns an
+/// interaction list, acc/pot buffers and private stat/timer accumulators,
+/// reduced into EngineStats in lane order after the parallel region.
+struct WalkScratch {
+  tree::InteractionList list;
+  std::vector<math::Vec3d> acc;
+  std::vector<double> pot;
+  tree::WalkStats walk;
+  double seconds_walk = 0.0;
+  double seconds_kernel = 0.0;
+  std::uint64_t interactions = 0;
+  std::uint64_t groups = 0;
+
+  void reset_accumulators() noexcept {
+    walk = tree::WalkStats{};
+    seconds_walk = 0.0;
+    seconds_kernel = 0.0;
+    interactions = 0;
+    groups = 0;
+  }
+};
+
+/// Lazily (re)build a walk pool honoring `requested` threads (0 = auto)
+/// and size the per-lane scratch to match. Shared by the tree engines.
+util::ThreadPool& ensure_walk_pool(std::unique_ptr<util::ThreadPool>& pool,
+                                   std::uint32_t requested,
+                                   std::vector<WalkScratch>& scratch);
 
 /// O(N^2) direct summation in double precision on the host.
 class HostDirectEngine final : public ForceEngine {
@@ -48,9 +77,11 @@ class HostTreeEngine final : public ForceEngine {
  private:
   Mode mode_;
   tree::BhTree tree_;
-  tree::InteractionList list_;
-  std::vector<math::Vec3d> acc_scratch_;
-  std::vector<double> pot_scratch_;
+  std::unique_ptr<util::ThreadPool> pool_;
+  std::vector<WalkScratch> scratch_;
+
+  /// Reduce per-lane accumulators into stats_ (lane order).
+  void reduce_scratch();
 };
 
 /// O(N^2) with the force loop on the emulated GRAPE-5 (whole particle set
@@ -95,7 +126,11 @@ class GrapeTreeEngine final : public ForceEngine {
  private:
   std::shared_ptr<grape::Grape5Device> device_;
   tree::BhTree tree_;
-  tree::InteractionList list_;
+  std::unique_ptr<util::ThreadPool> pool_;
+  std::vector<WalkScratch> scratch_;
+  /// Lists of the group batch in flight: walked in parallel, then
+  /// streamed through the device serially in group order.
+  std::vector<tree::InteractionList> batch_lists_;
   std::vector<math::Vec3d> acc_sorted_;
   std::vector<double> pot_sorted_;
 };

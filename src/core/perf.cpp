@@ -56,9 +56,10 @@ PerformanceReport project_performance(const grape::SystemConfig& system,
                      host.per_particle_step_us *
                          static_cast<double>(work.n_particles) *
                          static_cast<double>(work.steps) +
-                     host.per_list_entry_us *
-                         static_cast<double>(work.list_entries) +
-                     host.per_group_us * static_cast<double>(work.groups));
+                     (host.per_list_entry_us *
+                          static_cast<double>(work.list_entries) +
+                      host.per_group_us * static_cast<double>(work.groups)) /
+                         host.walk_speedup());
   r.total_s = r.grape_compute_s + r.grape_dma_s + r.host_s;
   if (r.total_s > 0.0) {
     r.raw_flops = grape::kFlopsPerInteraction *

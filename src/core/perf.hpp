@@ -31,6 +31,20 @@ struct HostCostModel {
   double per_particle_step_us = 0.5;   ///< integration + bookkeeping, per body
   double per_list_entry_us = 0.75;     ///< traversal + list packing, per entry
   double per_group_us = 30.0;          ///< fixed cost per interaction list
+  /// Host cores walking the tree. The paper's Alpha 21264 had one; the
+  /// parallel group walk spreads traversal + list packing across cores
+  /// while tree build and integration stay serial in the model.
+  unsigned threads = 1;
+  /// Marginal efficiency of each added walk core (scheduling + memory-
+  /// bandwidth losses): speedup = 1 + (threads - 1) * parallel_efficiency.
+  double parallel_efficiency = 0.85;
+
+  /// Effective speedup of the traversal phase for the configured cores.
+  [[nodiscard]] double walk_speedup() const {
+    return threads <= 1
+               ? 1.0
+               : 1.0 + static_cast<double>(threads - 1) * parallel_efficiency;
+  }
 
   /// Modeled host seconds for one force phase + step.
   [[nodiscard]] double step_seconds(std::uint64_t n_particles,
@@ -38,8 +52,9 @@ struct HostCostModel {
                                     std::uint64_t groups) const {
     return 1e-6 * (per_particle_build_us * static_cast<double>(n_particles) +
                    per_particle_step_us * static_cast<double>(n_particles) +
-                   per_list_entry_us * static_cast<double>(list_entries) +
-                   per_group_us * static_cast<double>(groups));
+                   (per_list_entry_us * static_cast<double>(list_entries) +
+                    per_group_us * static_cast<double>(groups)) /
+                       walk_speedup());
   }
 };
 

@@ -49,25 +49,35 @@ void host_direct_self(std::span<const Vec3d> pos, std::span<const double> mass,
 void host_forces_on_targets(std::span<const Vec3d> i_pos,
                             std::span<const Vec3d> j_pos,
                             std::span<const double> j_mass, double eps,
-                            std::span<Vec3d> acc, std::span<double> pot) {
+                            std::span<Vec3d> acc, std::span<double> pot,
+                            std::span<const double> i_mass) {
   const std::size_t ni = i_pos.size();
   const std::size_t nj = j_pos.size();
   if (j_mass.size() != nj || acc.size() != ni || pot.size() != ni) {
     throw std::invalid_argument("host_forces_on_targets: arity mismatch");
   }
   const double eps2 = eps * eps;
+  const bool self_aware = !i_mass.empty() && eps2 > 0.0;
   for (std::size_t i = 0; i < ni; ++i) {
     Vec3d a{};
     double p = 0.0;
+    double coincident_mass = 0.0;
     const Vec3d xi = i_pos[i];
     for (std::size_t j = 0; j < nj; ++j) {
       const Vec3d dx = j_pos[j] - xi;
-      if (dx.norm2() == 0.0) continue;  // mirror the pipeline's i == j cut
+      if (dx.norm2() == 0.0) {
+        coincident_mass += j_mass[j];  // see evaluate_list_host
+        continue;
+      }
       const double r2 = dx.norm2() + eps2;
       const double rinv = 1.0 / std::sqrt(r2);
       const double rinv3 = rinv * rinv * rinv;
       a += (j_mass[j] * rinv3) * dx;
       p -= j_mass[j] * rinv;
+    }
+    if (self_aware) {
+      const double excess = coincident_mass - i_mass[i];
+      if (excess != 0.0) p -= excess / std::sqrt(eps2);
     }
     acc[i] = a;
     pot[i] = p;

@@ -19,13 +19,18 @@ using math::Vec3d;
 void host_direct_self(std::span<const Vec3d> pos, std::span<const double> mass,
                       double eps, std::span<Vec3d> acc, std::span<double> pot);
 
-/// Forces of a source set on a target set (no self-pair skipping except
-/// exact coincidence with eps == 0, matching the pipeline semantics).
-/// acc/pot are overwritten.
+/// Forces of a source set on a target set. acc/pot are overwritten.
+/// When `i_mass` is supplied (one mass per target; each target assumed to
+/// appear exactly once among the sources), zero-separation sources
+/// contribute their softened potential -m/eps and only the target's own
+/// self term is excluded. With `i_mass` empty, every zero-separation pair
+/// is dropped — the hardware-style i == j cut the GRAPE comparison tests
+/// expect. eps == 0 zero-separation pairs are always skipped (singular).
 void host_forces_on_targets(std::span<const Vec3d> i_pos,
                             std::span<const Vec3d> j_pos,
                             std::span<const double> j_mass, double eps,
-                            std::span<Vec3d> acc, std::span<double> pot);
+                            std::span<Vec3d> acc, std::span<double> pot,
+                            std::span<const double> i_mass = {});
 
 /// Single softened pairwise interaction (for spot tests).
 void pairwise(const Vec3d& xi, const Vec3d& xj, double mj, double eps,

@@ -68,8 +68,12 @@ inline std::uint64_t morton_key(const Vec3d& p, const Vec3d& lo,
 }
 
 /// Octant (0..7) of a key at a given tree level; level 0 is the root split,
-/// so the octant is taken from the top 3 used bits downward.
+/// so the octant is taken from the top 3 used bits downward. Levels at or
+/// beyond the key resolution return 0: the key carries no more digits, so
+/// such a cell cannot be subdivided (a negative shift here used to be
+/// undefined behavior).
 constexpr unsigned morton_octant(std::uint64_t key, int level) noexcept {
+  if (level >= kMortonBitsPerDim) return 0;
   const int shift = 3 * (kMortonBitsPerDim - 1 - level);
   return static_cast<unsigned>((key >> shift) & 0x7u);
 }

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "tree/traversal_stack.hpp"
+
 namespace g5::tree {
 
 std::vector<Group> collect_groups(const BhTree& tree,
@@ -42,11 +44,10 @@ std::uint64_t traverse_group(const BhTree& tree, const Group& group,
   const double gradius = gnode.bradius;
 
   std::uint64_t visits = 0;
-  std::int32_t stack[512];
-  int top = 0;
-  stack[top++] = 0;
-  while (top > 0) {
-    const std::int32_t idx = stack[--top];
+  TraversalStack stack;
+  stack.push(0);
+  while (!stack.empty()) {
+    const std::int32_t idx = stack.pop();
     if (idx == group.node) continue;  // own subtree handled directly
     const Node& node = tree.node(static_cast<std::size_t>(idx));
     ++visits;
@@ -74,7 +75,7 @@ std::uint64_t traverse_group(const BhTree& tree, const Group& group,
     }
     for (int oct = 7; oct >= 0; --oct) {
       const std::int32_t c = node.child[oct];
-      if (c >= 0) stack[top++] = c;
+      if (c >= 0) stack.push(c);
     }
   }
   return visits;

@@ -18,6 +18,13 @@ void BhTree::build(std::span<const Vec3d> pos, std::span<const double> mass,
     throw std::invalid_argument("tree supports < 2^32 particles");
   }
   cfg_ = config;
+  // Morton keys resolve kMortonBitsPerDim levels; below that every body in
+  // a cell shares the remaining digit stream, so further splits could never
+  // separate particles (they would only grow single-child chains, overflow
+  // the uint8 node depth, and read octant digits past the key). Clamp the
+  // cap instead of trusting the caller's value.
+  cfg_.max_depth =
+      std::clamp(cfg_.max_depth, 0, math::kMortonBitsPerDim - 1);
   nodes_.clear();
   quads_.clear();
   max_depth_ = 0;

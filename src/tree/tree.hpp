@@ -28,7 +28,9 @@ using math::Vec3d;
 struct TreeBuildConfig {
   /// A cell with <= leaf_max bodies becomes a leaf.
   std::uint32_t leaf_max = 8;
-  /// Hard depth cap (Morton keys resolve 21 levels).
+  /// Hard depth cap. Morton keys resolve 21 levels, so the build clamps
+  /// this to [0, kMortonBitsPerDim - 1] — deeper splits could never
+  /// separate particles.
   int max_depth = math::kMortonBitsPerDim - 1;
   /// Also compute traceless quadrupole moments per node. GRAPE-5 consumes
   /// point masses only, so quadrupoles serve the host-evaluation path

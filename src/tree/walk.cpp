@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "tree/traversal_stack.hpp"
+
 namespace g5::tree {
 
 void WalkStats::merge(const WalkStats& o) {
@@ -23,14 +25,14 @@ template <typename NodeFn, typename ParticleFn>
 std::uint64_t traverse(const BhTree& tree, const Vec3d& target,
                        const WalkConfig& cfg, NodeFn&& on_node,
                        ParticleFn&& on_particle) {
-  // Explicit stack; depth bounded by tree depth * 8 children.
+  // Explicit guarded stack: inline storage covers the Morton-bounded
+  // worst case, deeper trees spill to the heap instead of overflowing.
   std::uint64_t visits = 0;
-  std::int32_t stack[512];
-  int top = 0;
-  stack[top++] = 0;
+  TraversalStack stack;
+  stack.push(0);
   const double theta2 = cfg.theta * cfg.theta;
-  while (top > 0) {
-    const Node& node = tree.node(static_cast<std::size_t>(stack[--top]));
+  while (!stack.empty()) {
+    const Node& node = tree.node(static_cast<std::size_t>(stack.pop()));
     ++visits;
     const double d2 = (node.com - target).norm2();
     const double s = mac_size(node, cfg.mac);
@@ -55,7 +57,7 @@ std::uint64_t traverse(const BhTree& tree, const Vec3d& target,
     }
     for (int oct = 7; oct >= 0; --oct) {
       const std::int32_t c = node.child[oct];
-      if (c >= 0) stack[top++] = c;
+      if (c >= 0) stack.push(c);
     }
   }
   return visits;
@@ -124,16 +126,27 @@ std::uint64_t count_original(const BhTree& tree, const Vec3d& target,
 
 void evaluate_list_host(const InteractionList& list,
                         std::span<const Vec3d> targets, double eps,
-                        std::span<Vec3d> acc, std::span<double> pot) {
+                        std::span<Vec3d> acc, std::span<double> pot,
+                        std::span<const double> self_mass) {
   const double eps2 = eps * eps;
   const bool quads = list.has_quadrupoles();
+  const bool self_aware = !self_mass.empty() && eps2 > 0.0;
   for (std::size_t i = 0; i < targets.size(); ++i) {
     Vec3d a{};
     double p = 0.0;
+    double coincident_mass = 0.0;
     const Vec3d xi = targets[i];
     for (std::size_t j = 0; j < list.size(); ++j) {
       const Vec3d dx = list.pos[j] - xi;
-      if (dx.norm2() == 0.0) continue;  // mirror the pipeline's i == j cut
+      if (dx.norm2() == 0.0) {
+        // Zero separation: the softened force is exactly zero, the
+        // softened potential is -m/eps. Collect the mass so the self term
+        // (and only the self term) can be excluded below; without
+        // self-mass information — or unsoftened, where the pair is
+        // singular — these entries are skipped entirely.
+        coincident_mass += list.mass[j];
+        continue;
+      }
       const double r2 = dx.norm2() + eps2;
       const double rinv = 1.0 / std::sqrt(r2);
       const double rinv2 = rinv * rinv;
@@ -152,6 +165,14 @@ void evaluate_list_host(const InteractionList& list,
         a += -rinv5 * qdx + (2.5 * dqd * rinv5 * rinv2) * dx;
         p -= 0.5 * dqd * rinv5;
       }
+    }
+    if (self_aware) {
+      // The target appears once in its own list; every other coincident
+      // entry is a distinct particle whose softened potential was lost by
+      // the old drop-all-coincident cut. The common case (self term only)
+      // leaves `excess` exactly zero, keeping results bit-identical.
+      const double excess = coincident_mass - self_mass[i];
+      if (excess != 0.0) p -= excess / std::sqrt(eps2);
     }
     acc[i] = a;
     pot[i] = p;

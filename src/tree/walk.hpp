@@ -107,11 +107,21 @@ std::uint64_t count_original(const BhTree& tree, const Vec3d& target,
                              WalkStats* stats = nullptr);
 
 /// Evaluate an interaction list on targets in double precision (host
-/// backend). acc/pot overwritten; coincident zero-eps pairs are skipped.
-/// Lists carrying quadrupole tensors get the quadrupole force/potential
-/// terms added per entry.
+/// backend). acc/pot overwritten. Lists carrying quadrupole tensors get
+/// the quadrupole force/potential terms added per entry.
+///
+/// Zero-separation handling: when `self_mass` is supplied (one mass per
+/// target; each target is assumed to appear exactly once in the list),
+/// distinct particles coinciding with the target contribute their softened
+/// potential -m/eps (their force is exactly zero) and only the target's
+/// own self term is excluded — the engine convention that the potential
+/// carries no self term. With `self_mass` empty, every zero-separation
+/// entry is skipped (callers comparing against the GRAPE pipeline rely on
+/// that hardware-style cut). Unsoftened (eps == 0) zero-separation pairs
+/// are always skipped: they are singular.
 void evaluate_list_host(const InteractionList& list,
                         std::span<const Vec3d> targets, double eps,
-                        std::span<Vec3d> acc, std::span<double> pot);
+                        std::span<Vec3d> acc, std::span<double> pot,
+                        std::span<const double> self_mass = {});
 
 }  // namespace g5::tree

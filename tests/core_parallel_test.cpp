@@ -1,0 +1,162 @@
+// Parallel group walks must be bitwise-identical to the serial path: every
+// particle/group writes only its own outputs, so lane assignment cannot
+// change a single bit of acc/pot, and the per-lane WalkStats reduce to the
+// same totals. Exercised on a smooth Plummer sphere and an adversarially
+// clustered snapshot, for both host tree modes and the GRAPE tree engine.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/engines.hpp"
+#include "ic/plummer.hpp"
+#include "tree/walk.hpp"
+
+namespace {
+
+using namespace g5;
+using core::ForceParams;
+
+/// Tight knots of near-coincident bodies embedded in a sparse halo — deep
+/// tree, wildly uneven group costs (the scheduler's worst case).
+model::ParticleSet clustered_set(std::size_t n) {
+  model::ParticleSet pset;
+  pset.reserve(n);
+  const double m = 1.0 / static_cast<double>(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = static_cast<double>(i);
+    if (i % 3 == 0) {
+      // Knot near the far corner; spacing below float resolution.
+      pset.add({1.0 - 1e-12 * t, 1.0 - 2e-12 * t, 1.0 + 1e-12 * t}, {}, m);
+    } else {
+      pset.add({std::cos(0.1 * t), std::sin(0.2 * t), std::cos(0.3 * t)}, {},
+               m);
+    }
+  }
+  return pset;
+}
+
+void expect_bitwise_equal(const model::ParticleSet& a,
+                          const model::ParticleSet& b, const char* what) {
+  ASSERT_EQ(a.size(), b.size()) << what;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a.acc()[i], b.acc()[i]) << what << " particle " << i;
+    ASSERT_EQ(a.pot()[i], b.pot()[i]) << what << " particle " << i;
+  }
+}
+
+/// Run `name` over `base` with the given thread count; also return stats.
+model::ParticleSet run_engine(const char* name, const model::ParticleSet& base,
+                              std::uint32_t threads,
+                              core::EngineStats* stats = nullptr) {
+  ForceParams fp{.eps = 0.02, .theta = 0.7, .n_crit = 32, .leaf_max = 4};
+  fp.threads = threads;
+  auto engine = core::make_engine(name, fp);
+  model::ParticleSet pset = base;
+  engine->compute(pset);
+  if (stats) *stats = engine->stats();
+  return pset;
+}
+
+class ParallelBitwise : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(ParallelBitwise, PlummerForcesMatchSerial) {
+  const auto base = ic::make_plummer(ic::PlummerConfig{.n = 1500, .seed = 9});
+  core::EngineStats s1, s2, s8;
+  const auto serial = run_engine(GetParam(), base, 1, &s1);
+  const auto two = run_engine(GetParam(), base, 2, &s2);
+  const auto eight = run_engine(GetParam(), base, 8, &s8);
+  expect_bitwise_equal(serial, two, "2 threads");
+  expect_bitwise_equal(serial, eight, "8 threads");
+  // The reduced walk statistics are thread-count invariant too.
+  for (const auto* s : {&s2, &s8}) {
+    EXPECT_EQ(s->walk.lists, s1.walk.lists);
+    EXPECT_EQ(s->walk.interactions, s1.walk.interactions);
+    EXPECT_EQ(s->walk.list_entries, s1.walk.list_entries);
+    EXPECT_EQ(s->walk.nodes_visited, s1.walk.nodes_visited);
+    EXPECT_EQ(s->walk.max_list, s1.walk.max_list);
+    EXPECT_EQ(s->interactions, s1.interactions);
+    EXPECT_EQ(s->groups, s1.groups);
+  }
+}
+
+TEST_P(ParallelBitwise, ClusteredForcesMatchSerial) {
+  const auto base = clustered_set(900);
+  const auto serial = run_engine(GetParam(), base, 1);
+  expect_bitwise_equal(serial, run_engine(GetParam(), base, 2), "2 threads");
+  expect_bitwise_equal(serial, run_engine(GetParam(), base, 8), "8 threads");
+}
+
+INSTANTIATE_TEST_SUITE_P(Engines, ParallelBitwise,
+                         ::testing::Values("host-tree-original",
+                                           "host-tree-modified",
+                                           "grape-tree"),
+                         [](const auto& info) {
+                           std::string name = info.param;
+                           for (char& c : name) {
+                             if (c == '-') c = '_';
+                           }
+                           return name;
+                         });
+
+TEST(ParallelBitwise, TargetSubsetMatchesSerial) {
+  const auto base = ic::make_plummer(ic::PlummerConfig{.n = 600, .seed = 21});
+  std::vector<std::uint32_t> targets;
+  for (std::uint32_t t = 0; t < base.size(); t += 3) targets.push_back(t);
+  for (const char* name : {"host-tree-modified", "grape-tree"}) {
+    auto run = [&](std::uint32_t threads) {
+      ForceParams fp{.eps = 0.02, .theta = 0.7, .n_crit = 32};
+      fp.threads = threads;
+      auto engine = core::make_engine(name, fp);
+      model::ParticleSet pset = base;
+      engine->compute_targets(pset, targets);
+      return pset;
+    };
+    const auto serial = run(1);
+    expect_bitwise_equal(serial, run(4), name);
+  }
+}
+
+TEST(WalkStatsMerge, SumsCountersAndMaxesMaxList) {
+  tree::WalkStats a;
+  a.lists = 3;
+  a.interactions = 100;
+  a.list_entries = 40;
+  a.node_terms = 25;
+  a.particle_terms = 15;
+  a.nodes_visited = 90;
+  a.max_list = 17;
+  tree::WalkStats b;
+  b.lists = 2;
+  b.interactions = 50;
+  b.list_entries = 30;
+  b.node_terms = 10;
+  b.particle_terms = 20;
+  b.nodes_visited = 60;
+  b.max_list = 29;
+
+  tree::WalkStats m = a;
+  m.merge(b);
+  EXPECT_EQ(m.lists, 5u);
+  EXPECT_EQ(m.interactions, 150u);
+  EXPECT_EQ(m.list_entries, 70u);
+  EXPECT_EQ(m.node_terms, 35u);
+  EXPECT_EQ(m.particle_terms, 35u);
+  EXPECT_EQ(m.nodes_visited, 150u);
+  EXPECT_EQ(m.max_list, 29u);  // max, not sum
+
+  // The larger side's max_list survives in either merge order.
+  tree::WalkStats r = b;
+  r.merge(a);
+  EXPECT_EQ(r.max_list, 29u);
+  // Merging an empty stats object is the identity.
+  tree::WalkStats id = m;
+  id.merge(tree::WalkStats{});
+  EXPECT_EQ(id.max_list, m.max_list);
+  EXPECT_EQ(id.interactions, m.interactions);
+  EXPECT_EQ(id.lists, m.lists);
+}
+
+}  // namespace

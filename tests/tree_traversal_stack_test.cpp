@@ -1,0 +1,159 @@
+// Guarded traversal stacks and the deep-tree paths that used to be UB:
+// the fixed 512-entry DFS arrays were replaced by TraversalStack (inline
+// fast path + heap spill), morton_octant no longer shifts by a negative
+// amount past the key resolution, and the builder clamps max_depth to
+// what Morton keys can actually resolve.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+#include "math/morton.hpp"
+#include "tree/groupwalk.hpp"
+#include "tree/traversal_stack.hpp"
+#include "tree/tree.hpp"
+#include "tree/walk.hpp"
+
+namespace {
+
+using namespace g5;
+using tree::TraversalStack;
+
+TEST(DfsStackBound, MatchesOctreeWorstCase) {
+  EXPECT_EQ(tree::dfs_stack_bound(0), 8u);
+  EXPECT_EQ(tree::dfs_stack_bound(-3), 8u);
+  EXPECT_EQ(tree::dfs_stack_bound(1), 15u);
+  EXPECT_EQ(tree::dfs_stack_bound(21), 7u * 21u + 8u);
+  // The inline capacity covers the deepest Morton-built tree.
+  EXPECT_GE(TraversalStack::kInlineCapacity,
+            tree::dfs_stack_bound(math::kMortonBitsPerDim));
+}
+
+TEST(TraversalStack, LifoThroughInlineRegion) {
+  TraversalStack s;
+  EXPECT_TRUE(s.empty());
+  for (std::int32_t v = 0; v < 100; ++v) s.push(v);
+  EXPECT_EQ(s.size(), 100u);
+  for (std::int32_t v = 99; v >= 0; --v) ASSERT_EQ(s.pop(), v);
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.max_size(), 100u);
+}
+
+TEST(TraversalStack, SpillsPastInlineCapacityAndOld512Bound) {
+  // Push far past both the inline capacity and the 512 entries the old
+  // fixed arrays held — the regression this class exists to prevent.
+  constexpr std::int32_t kCount = 5000;
+  static_assert(kCount > 512);
+  static_assert(static_cast<std::size_t>(kCount) >
+                TraversalStack::kInlineCapacity);
+  TraversalStack s;
+  for (std::int32_t v = 0; v < kCount; ++v) s.push(v * 3 + 1);
+  EXPECT_EQ(s.size(), static_cast<std::size_t>(kCount));
+  for (std::int32_t v = kCount - 1; v >= 0; --v) {
+    ASSERT_EQ(s.pop(), v * 3 + 1) << v;
+  }
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.max_size(), static_cast<std::size_t>(kCount));
+}
+
+TEST(TraversalStack, InterleavedPushPopAcrossSpillBoundary) {
+  TraversalStack s;
+  const auto cap = static_cast<std::int32_t>(TraversalStack::kInlineCapacity);
+  for (std::int32_t v = 0; v < cap - 1; ++v) s.push(v);
+  // Oscillate across the inline/spill boundary.
+  for (int round = 0; round < 10; ++round) {
+    s.push(1000 + round);
+    s.push(2000 + round);
+    s.push(3000 + round);
+    ASSERT_EQ(s.pop(), 3000 + round);
+    ASSERT_EQ(s.pop(), 2000 + round);
+  }
+  for (int round = 9; round >= 0; --round) ASSERT_EQ(s.pop(), 1000 + round);
+  ASSERT_EQ(s.size(), static_cast<std::size_t>(cap - 1));
+}
+
+TEST(MortonOctant, BeyondKeyResolutionIsZeroNotUB) {
+  const std::uint64_t key = math::morton_encode(
+      math::kMortonCoordMax, math::kMortonCoordMax, math::kMortonCoordMax);
+  EXPECT_EQ(math::morton_octant(key, math::kMortonBitsPerDim - 1), 7u);
+  // These levels used to compute a negative shift count.
+  EXPECT_EQ(math::morton_octant(key, math::kMortonBitsPerDim), 0u);
+  EXPECT_EQ(math::morton_octant(key, 100), 0u);
+}
+
+/// Adversarially clustered snapshot: a tight knot whose extent is far
+/// below the Morton cell size at max depth (so the builder is pushed to
+/// its depth cap), plus a broad shell that keeps the root cube large.
+model::ParticleSet clustered_set() {
+  model::ParticleSet pset;
+  const math::Vec3d knot{0.4999999, 0.4999999, 0.4999999};
+  for (int i = 0; i < 64; ++i) {
+    const double d = 1e-13 * static_cast<double>(i);
+    pset.add({knot.x + d, knot.y - d, knot.z + 0.5 * d}, {}, 1.0 / 128.0);
+  }
+  // Exactly coincident bodies: no depth of splitting can separate these.
+  for (int i = 0; i < 8; ++i) pset.add(knot, {}, 1.0 / 128.0);
+  for (int i = 0; i < 56; ++i) {
+    const double t = static_cast<double>(i);
+    pset.add({std::cos(t), std::sin(t), std::cos(2.0 * t)}, {}, 1.0 / 128.0);
+  }
+  return pset;
+}
+
+TEST(DeepTree, BuildClampsConfiguredDepthToMortonResolution) {
+  const auto pset = clustered_set();
+  tree::BhTree tree;
+  tree::TreeBuildConfig cfg;
+  cfg.leaf_max = 1;      // force maximal splitting
+  cfg.max_depth = 1000;  // far beyond what a Morton key can resolve
+  tree.build(pset, cfg);
+  ASSERT_FALSE(tree.empty());
+  int deepest = 0;
+  for (const auto& node : tree.nodes()) {
+    deepest = std::max(deepest, static_cast<int>(node.depth));
+  }
+  EXPECT_LT(deepest, math::kMortonBitsPerDim);
+  std::size_t covered = 0;
+  for (const auto& node : tree.nodes()) {
+    if (node.leaf) covered += node.count;
+  }
+  EXPECT_EQ(covered, pset.size());
+}
+
+TEST(DeepTree, WalksTraverseMaximallyDeepTree) {
+  // Regression for the unguarded stacks: walk a leaf_max = 1 tree of
+  // clustered + coincident bodies, original and grouped, and check the
+  // list masses are conserved. Under UBSan the old code trips here.
+  const auto pset = clustered_set();
+  tree::BhTree tree;
+  tree::TreeBuildConfig cfg;
+  cfg.leaf_max = 1;
+  cfg.max_depth = 1000;
+  tree.build(pset, cfg);
+
+  const tree::WalkConfig walk_cfg{.theta = 0.01};  // open nearly everything
+  tree::InteractionList list;
+  double total_mass = 0.0;
+  for (double m : pset.mass()) total_mass += m;
+
+  tree::walk_original(tree, pset.pos()[0], walk_cfg, list);
+  double list_mass = 0.0;
+  for (double m : list.mass) list_mass += m;
+  EXPECT_NEAR(list_mass, total_mass, 1e-12);
+
+  const auto groups = tree::collect_groups(tree, tree::GroupConfig{4});
+  ASSERT_FALSE(groups.empty());
+  std::size_t grouped = 0;
+  for (const auto& g : groups) grouped += g.count;
+  EXPECT_EQ(grouped, pset.size());
+  for (const auto& g : groups) {
+    tree::walk_group(tree, g, walk_cfg, list);
+    list_mass = 0.0;
+    for (double m : list.mass) list_mass += m;
+    ASSERT_NEAR(list_mass, total_mass, 1e-12);
+  }
+}
+
+}  // namespace

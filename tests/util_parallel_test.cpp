@@ -1,0 +1,129 @@
+// ThreadPool / parallel_for: coverage of every index, chunking edge
+// cases, exception propagation, pool reuse, and lane-local accumulation —
+// the contract the parallel tree walks build their determinism on.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "util/parallel.hpp"
+
+namespace {
+
+using g5::util::ThreadPool;
+using g5::util::resolve_thread_count;
+
+TEST(ResolveThreadCount, ExplicitRequestWins) {
+  EXPECT_EQ(resolve_thread_count(1), 1u);
+  EXPECT_EQ(resolve_thread_count(5), 5u);
+}
+
+TEST(ResolveThreadCount, AutoIsAtLeastOne) {
+  EXPECT_GE(resolve_thread_count(0), 1u);
+}
+
+TEST(ThreadPool, SizeMatchesRequest) {
+  EXPECT_EQ(ThreadPool(1).size(), 1u);
+  EXPECT_EQ(ThreadPool(3).size(), 3u);
+}
+
+TEST(ThreadPool, EveryIndexProcessedExactlyOnce) {
+  for (unsigned threads : {1u, 2u, 4u}) {
+    ThreadPool pool(threads);
+    for (std::size_t n : {std::size_t{0}, std::size_t{1}, std::size_t{7},
+                          std::size_t{1000}}) {
+      for (std::size_t grain : {std::size_t{0}, std::size_t{1},
+                                std::size_t{7}, std::size_t{5000}}) {
+        std::vector<std::atomic<int>> hits(n);
+        pool.parallel_for(n, grain,
+                          [&](std::size_t begin, std::size_t end, unsigned) {
+                            for (std::size_t i = begin; i < end; ++i) {
+                              hits[i].fetch_add(1);
+                            }
+                          });
+        for (std::size_t i = 0; i < n; ++i) {
+          ASSERT_EQ(hits[i].load(), 1)
+              << "threads=" << threads << " n=" << n << " grain=" << grain
+              << " i=" << i;
+        }
+      }
+    }
+  }
+}
+
+TEST(ThreadPool, ChunksAreContiguousAndLaneValid) {
+  ThreadPool pool(4);
+  const std::size_t n = 503;
+  std::vector<int> owner(n, -1);
+  std::mutex m;
+  pool.parallel_for(n, 16,
+                    [&](std::size_t begin, std::size_t end, unsigned lane) {
+                      ASSERT_LT(lane, pool.size());
+                      ASSERT_LT(begin, end);
+                      ASSERT_LE(end, n);
+                      std::scoped_lock lock(m);
+                      for (std::size_t i = begin; i < end; ++i) {
+                        owner[i] = static_cast<int>(lane);
+                      }
+                    });
+  for (std::size_t i = 0; i < n; ++i) ASSERT_GE(owner[i], 0) << i;
+}
+
+TEST(ThreadPool, LaneLocalAccumulatorsReduceToTotal) {
+  // The engines' pattern: each lane sums into its own slot, the caller
+  // reduces after the join.
+  ThreadPool pool(3);
+  const std::size_t n = 10'000;
+  std::vector<std::uint64_t> partial(pool.size(), 0);
+  pool.parallel_for(n, 64,
+                    [&](std::size_t begin, std::size_t end, unsigned lane) {
+                      for (std::size_t i = begin; i < end; ++i) {
+                        partial[lane] += i;
+                      }
+                    });
+  const std::uint64_t total =
+      std::accumulate(partial.begin(), partial.end(), std::uint64_t{0});
+  EXPECT_EQ(total, n * (n - 1) / 2);
+}
+
+TEST(ThreadPool, PropagatesBodyException) {
+  ThreadPool pool(2);
+  EXPECT_THROW(
+      pool.parallel_for(100, 1,
+                        [](std::size_t begin, std::size_t, unsigned) {
+                          if (begin == 42) throw std::runtime_error("boom");
+                        }),
+      std::runtime_error);
+  // The pool must stay usable after an exception.
+  std::atomic<std::size_t> count{0};
+  pool.parallel_for(100, 1, [&](std::size_t begin, std::size_t end, unsigned) {
+    count += end - begin;
+  });
+  EXPECT_EQ(count.load(), 100u);
+}
+
+TEST(ThreadPool, ReusableAcrossManyJobs) {
+  ThreadPool pool(4);
+  for (int round = 0; round < 50; ++round) {
+    std::atomic<std::size_t> count{0};
+    pool.parallel_for(round, 1,
+                      [&](std::size_t begin, std::size_t end, unsigned) {
+                        count += end - begin;
+                      });
+    ASSERT_EQ(count.load(), static_cast<std::size_t>(round)) << round;
+  }
+}
+
+TEST(ResolveThreadCount, ReadsEnvironmentOverride) {
+  ::setenv("G5_THREADS", "3", 1);
+  EXPECT_EQ(resolve_thread_count(0), 3u);
+  EXPECT_EQ(resolve_thread_count(2), 2u);  // explicit request still wins
+  ::setenv("G5_THREADS", "not-a-number", 1);
+  EXPECT_GE(resolve_thread_count(0), 1u);
+  ::unsetenv("G5_THREADS");
+}
+
+}  // namespace
