@@ -8,7 +8,10 @@
 // image next to the binary, plus clustering summary statistics that show
 // structure actually formed (the point of the figure).
 //
-//   ./bench_e6_figure4 [--grid 32] [--steps 48] [--pgm figure4.pgm]
+//   ./bench_e6_figure4 [--grid 32] [--steps 48] [--pgm out.pgm]
+//
+// --pgm defaults to figure4.pgm inside the build's bench/ directory
+// (G5_BENCH_OUT_DIR), never the source tree.
 
 #include <cmath>
 #include <cstdio>
@@ -106,7 +109,14 @@ int main(int argc, char** argv) {
               "R = 50):\n%s\n", slab.hi0 - slab.lo0, slab.hi1 - slab.lo1,
               slab.slab_hi - slab.slab_lo, img.ascii().c_str());
 
-  const std::string pgm = opt.get_string("pgm", "figure4.pgm");
+  // Default into the build tree (G5_BENCH_OUT_DIR, set by CMake) so
+  // running from the repo root doesn't litter the source tree.
+#ifdef G5_BENCH_OUT_DIR
+  const char* default_pgm = G5_BENCH_OUT_DIR "/figure4.pgm";
+#else
+  const char* default_pgm = "figure4.pgm";
+#endif
+  const std::string pgm = opt.get_string("pgm", default_pgm);
   img.write_pgm(pgm);
   std::printf("wrote %s (%zux%zu, %llu particles in slab, peak cell %llu)\n",
               pgm.c_str(), img.config().width, img.config().height,

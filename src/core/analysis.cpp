@@ -40,7 +40,7 @@ struct CellHash {
 
   static std::uint64_t key(long ix, long iy, long iz) {
     // Offset into positive range and pack 21 bits each.
-    const std::uint64_t bias = 1 << 20;
+    const long bias = 1L << 20;
     return ((static_cast<std::uint64_t>(ix + bias) & 0x1fffff) << 42) |
            ((static_cast<std::uint64_t>(iy + bias) & 0x1fffff) << 21) |
            (static_cast<std::uint64_t>(iz + bias) & 0x1fffff);
@@ -85,8 +85,9 @@ CorrelationFunction correlation_function(const model::ParticleSet& pset,
   double sample_r = config.sample_radius;
   if (sample_r <= 0.0) {
     std::vector<double> sorted = radii;
-    std::nth_element(sorted.begin(), sorted.begin() + 9 * sorted.size() / 10,
-                     sorted.end());
+    const auto p90 =
+        static_cast<std::ptrdiff_t>(9 * sorted.size() / 10);
+    std::nth_element(sorted.begin(), sorted.begin() + p90, sorted.end());
     sample_r = sorted[9 * sorted.size() / 10];
   }
   out.sample_radius = sample_r;

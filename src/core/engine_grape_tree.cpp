@@ -52,6 +52,8 @@ void GrapeTreeEngine::compute(model::ParticleSet& pset) {
   }
   for (std::size_t base = 0; base < groups.size(); base += batch) {
     const std::size_t m = std::min(batch, groups.size() - base);
+    // Lane-ownership contract (WalkScratch doc): each lane touches only
+    // scratch_[lane] and its own batch_lists_ slots, checked by TSan.
     pool.parallel_for(
         m, 1, [&](std::size_t begin, std::size_t end, unsigned lane) {
           WalkScratch& ws = scratch_[lane];

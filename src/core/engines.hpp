@@ -15,6 +15,13 @@ namespace g5::core {
 /// Per-lane scratch for parallel tree walks: each pool lane owns an
 /// interaction list, acc/pot buffers and private stat/timer accumulators,
 /// reduced into EngineStats in lane order after the parallel region.
+///
+/// Thread-safety contract (lane ownership, not a lock): inside a
+/// parallel_for body, lane `k` may touch only `scratch[k]`; outside any
+/// parallel region the calling thread owns the whole vector (resize in
+/// ensure_walk_pool, reduction in reduce_scratch). This partition is not
+/// expressible with G5_GUARDED_BY — it is what the TSan CI job checks
+/// dynamically; see docs/static_analysis.md.
 struct WalkScratch {
   tree::InteractionList list;
   std::vector<math::Vec3d> acc;

@@ -31,7 +31,7 @@ void Pipeline::configure(const PipelineScaling& scaling) {
 
 JWord Pipeline::encode_j(const Vec3d& pos, double mass) const {
   JWord j;
-  for (int c = 0; c < 3; ++c) j.x[c] = codec_.encode(pos[c]);
+  for (std::size_t c = 0; c < 3; ++c) j.x[c] = codec_.encode(pos[c]);
   j.mass = lns_.from_double(mass);
   j.mass_exact = mass;
   return j;
@@ -39,7 +39,7 @@ JWord Pipeline::encode_j(const Vec3d& pos, double mass) const {
 
 IState Pipeline::encode_i(const Vec3d& pos) const {
   IState s;
-  for (int c = 0; c < 3; ++c) s.x[c] = codec_.encode(pos[c]);
+  for (std::size_t c = 0; c < 3; ++c) s.x[c] = codec_.encode(pos[c]);
   s.x_exact = pos;
   for (auto& a : s.acc) a = FixedAccumulator(scaling_.force_quantum);
   s.pot = FixedAccumulator(scaling_.potential_quantum);
@@ -93,7 +93,7 @@ void Pipeline::interact(IState& i_state, const JWord& j) const {
 void Pipeline::interact_exact(IState& i_state, const JWord& j) const {
   const double q = codec_.quantum();
   Vec3d dx;
-  for (int c = 0; c < 3; ++c) {
+  for (std::size_t c = 0; c < 3; ++c) {
     dx[c] = static_cast<double>(j.x[c] - i_state.x[c]) * q;
   }
   if (dx.norm2() == 0.0) return;  // the same i == j cut as the lns path
@@ -101,7 +101,7 @@ void Pipeline::interact_exact(IState& i_state, const JWord& j) const {
   if (r2 == 0.0) return;
   const double rinv = 1.0 / std::sqrt(r2);
   const double mg = j.mass_exact * rinv * rinv * rinv;
-  for (int c = 0; c < 3; ++c) i_state.acc[c].add(mg * dx[c]);
+  for (std::size_t c = 0; c < 3; ++c) i_state.acc[c].add(mg * dx[c]);
   i_state.pot.add(-j.mass_exact * rinv);
 }
 

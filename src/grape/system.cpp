@@ -102,7 +102,7 @@ std::size_t Grape5System::compute(std::span<const Vec3d> i_pos,
   if (ni == 0 || resident_j_ == 0) return 0;
 
   if (sat_flags_.size() < ni) sat_flags_.resize(ni);
-  std::fill(sat_flags_.begin(), sat_flags_.begin() + ni, std::uint8_t{0});
+  std::fill_n(sat_flags_.begin(), ni, std::uint8_t{0});
 
   util::Stopwatch watch;
   std::size_t interactions = 0;

@@ -1,0 +1,51 @@
+// Clang thread-safety annotation macros.
+//
+// Under Clang with -Wthread-safety (enabled by g5_warnings) these expand
+// to the static-analysis attributes, so lock discipline on annotated
+// classes — which mutex guards which field, which methods require or
+// acquire which capability — is checked at compile time, complementing
+// the dynamic TSan CI job. Under GCC (no such analysis) they expand to
+// nothing and cost nothing.
+//
+// Conventions (see docs/static_analysis.md):
+//  * Every mutex-protected field of a shared class carries G5_GUARDED_BY.
+//  * Methods that assume a lock is held carry G5_REQUIRES.
+//  * Lock-free publication protocols the analysis cannot express (e.g.
+//    ThreadPool's epoch handshake) are opted out per-function with
+//    G5_NO_THREAD_SAFETY_ANALYSIS and documented at the opt-out site.
+#pragma once
+
+#if defined(__clang__) && (!defined(SWIG))
+#define G5_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define G5_THREAD_ANNOTATION(x)  // no-op outside Clang
+#endif
+
+/// Marks a class as a lockable capability (mutex wrappers).
+#define G5_CAPABILITY(x) G5_THREAD_ANNOTATION(capability(x))
+
+/// Marks an RAII class whose lifetime holds a capability.
+#define G5_SCOPED_CAPABILITY G5_THREAD_ANNOTATION(scoped_lockable)
+
+/// Field is protected by the given mutex.
+#define G5_GUARDED_BY(x) G5_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointed-to data is protected by the given mutex.
+#define G5_PT_GUARDED_BY(x) G5_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Function may only be called with the capability held.
+#define G5_REQUIRES(...) \
+  G5_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// Function acquires the capability and holds it on return.
+#define G5_ACQUIRE(...) G5_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// Function releases the capability.
+#define G5_RELEASE(...) G5_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// Function must NOT be called with the capability held (deadlock guard).
+#define G5_EXCLUDES(...) G5_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Opt a function out of the analysis; justify at the use site.
+#define G5_NO_THREAD_SAFETY_ANALYSIS \
+  G5_THREAD_ANNOTATION(no_thread_safety_analysis)

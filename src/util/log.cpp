@@ -5,13 +5,19 @@
 #include <cstdlib>
 #include <mutex>
 
+#include "util/mutex.hpp"
+
 namespace g5::util {
 
 namespace {
 
 std::atomic<LogLevel> g_level{LogLevel::Info};
 std::once_flag g_env_once;
-std::mutex g_emit_mutex;
+// Serializes the fprintf below so concurrent log records never
+// interleave. The guarded resource is the stderr stream itself, which
+// the capability analysis cannot name; MutexLock still gives the lock
+// acquisition static visibility.
+Mutex g_emit_mutex;
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -64,7 +70,7 @@ LogLevel parse_log_level(std::string_view name) noexcept {
 
 void log_emit(LogLevel level, std::string_view msg) {
   if (static_cast<int>(level) < static_cast<int>(log_level())) return;
-  std::lock_guard<std::mutex> lock(g_emit_mutex);
+  const MutexLock lock(g_emit_mutex);
   std::fprintf(stderr, "[g5 %s] %.*s\n", level_name(level),
                static_cast<int>(msg.size()), msg.data());
 }

@@ -1,0 +1,52 @@
+// Annotated mutex primitives for the thread-safety analysis.
+//
+// libstdc++'s std::mutex / std::lock_guard carry no capability
+// attributes, so Clang's -Wthread-safety cannot see locks taken through
+// them and every G5_GUARDED_BY field would false-positive. These thin
+// wrappers (the pattern from the Clang thread-safety docs) restore the
+// analysis: Mutex is the capability, MutexLock the scoped acquisition.
+//
+// Condition variables use std::condition_variable_any waiting on the
+// Mutex itself (it is BasicLockable), so predicate loops evaluate with
+// the capability visibly held:
+//
+//   MutexLock lock(mutex_);
+//   while (!ready_) cv_.wait(mutex_);   // ready_ is G5_GUARDED_BY(mutex_)
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+#include "util/annotations.hpp"
+
+namespace g5::util {
+
+class G5_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() G5_ACQUIRE() { m_.lock(); }
+  void unlock() G5_RELEASE() { m_.unlock(); }
+
+ private:
+  std::mutex m_;
+};
+
+/// Scoped lock on a Mutex (annotated std::lock_guard equivalent).
+class G5_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& m) G5_ACQUIRE(m) : m_(m) { m_.lock(); }
+  ~MutexLock() G5_RELEASE() { m_.unlock(); }
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& m_;
+};
+
+/// Condition variable usable with Mutex (see header comment).
+using CondVar = std::condition_variable_any;
+
+}  // namespace g5::util

@@ -25,7 +25,7 @@ ThreadPool::ThreadPool(unsigned threads)
 
 ThreadPool::~ThreadPool() {
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const MutexLock lock(mutex_);
     stop_ = true;
   }
   start_cv_.notify_all();
@@ -41,7 +41,7 @@ void ThreadPool::run_chunks(unsigned lane) {
     try {
       (*body_)(begin, end, lane);
     } catch (...) {
-      const std::lock_guard<std::mutex> lock(mutex_);
+      const MutexLock lock(mutex_);
       if (!error_) error_ = std::current_exception();
       return;  // stop claiming; other lanes drain the rest
     }
@@ -52,14 +52,14 @@ void ThreadPool::worker_loop(unsigned lane) {
   std::uint64_t seen = 0;
   for (;;) {
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      start_cv_.wait(lock, [&] { return stop_ || epoch_ != seen; });
+      const MutexLock lock(mutex_);
+      while (!stop_ && epoch_ == seen) start_cv_.wait(mutex_);
       if (stop_) return;
       seen = epoch_;
     }
     run_chunks(lane);
     {
-      const std::lock_guard<std::mutex> lock(mutex_);
+      const MutexLock lock(mutex_);
       if (--active_ == 0) done_cv_.notify_one();
     }
   }
@@ -75,7 +75,7 @@ void ThreadPool::parallel_for(std::size_t n, std::size_t grain,
   }
   std::exception_ptr error;
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const MutexLock lock(mutex_);
     body_ = &body;
     n_ = n;
     grain_ = grain;
@@ -87,8 +87,8 @@ void ThreadPool::parallel_for(std::size_t n, std::size_t grain,
   start_cv_.notify_all();
   run_chunks(0);
   {
-    std::unique_lock<std::mutex> lock(mutex_);
-    done_cv_.wait(lock, [&] { return active_ == 0; });
+    const MutexLock lock(mutex_);
+    while (active_ != 0) done_cv_.wait(mutex_);
     error = error_;
   }
   if (error) std::rethrow_exception(error);

@@ -15,15 +15,16 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <exception>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/annotations.hpp"
+#include "util/mutex.hpp"
 
 namespace g5::util {
 
@@ -55,24 +56,32 @@ class ThreadPool {
 
  private:
   void worker_loop(unsigned lane);
-  void run_chunks(unsigned lane);
+  // Reads the job fields lock-free under the epoch-publication protocol
+  // (see the comment on body_ below), which the static analysis cannot
+  // express — hence the per-function opt-out.
+  void run_chunks(unsigned lane) G5_NO_THREAD_SAFETY_ANALYSIS;
 
   const unsigned lanes_;
   std::vector<std::thread> workers_;
 
-  std::mutex mutex_;
-  std::condition_variable start_cv_;
-  std::condition_variable done_cv_;
-  bool stop_ = false;
-  std::uint64_t epoch_ = 0;   ///< bumped per parallel_for, wakes workers
-  unsigned active_ = 0;       ///< workers still draining the current job
+  Mutex mutex_;
+  CondVar start_cv_;
+  CondVar done_cv_;
+  bool stop_ G5_GUARDED_BY(mutex_) = false;
+  /// Bumped per parallel_for, wakes workers.
+  std::uint64_t epoch_ G5_GUARDED_BY(mutex_) = 0;
+  /// Workers still draining the current job.
+  unsigned active_ G5_GUARDED_BY(mutex_) = 0;
 
-  // Current job; written under mutex_ before the epoch bump publishes it.
-  const Body* body_ = nullptr;
-  std::size_t n_ = 0;
-  std::size_t grain_ = 1;
+  // Current job. Written under mutex_ before the epoch bump publishes
+  // it; workers read it without the lock only after observing the new
+  // epoch under mutex_ (so the writes happened-before), and the fields
+  // stay frozen until every worker has re-checked in under the lock.
+  const Body* body_ G5_GUARDED_BY(mutex_) = nullptr;
+  std::size_t n_ G5_GUARDED_BY(mutex_) = 0;
+  std::size_t grain_ G5_GUARDED_BY(mutex_) = 1;
   std::atomic<std::size_t> next_{0};
-  std::exception_ptr error_;
+  std::exception_ptr error_ G5_GUARDED_BY(mutex_);
 };
 
 }  // namespace g5::util

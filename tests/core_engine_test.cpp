@@ -180,6 +180,28 @@ TEST(Engines, FactoryRejectsUnknown) {
                std::invalid_argument);
 }
 
+// The error must name the offending engine and list the valid ones, so a
+// CLI typo ("--engine grape_tree") is self-explanatory.
+TEST(Engines, FactoryErrorNamesOffenderAndAlternatives) {
+  try {
+    core::make_engine("grape_tree", ForceParams{});
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("grape_tree"), std::string::npos) << msg;
+    for (const char* known : {"host-direct", "host-tree", "host-tree-modified",
+                              "grape-direct", "grape-tree"}) {
+      EXPECT_NE(msg.find(known), std::string::npos)
+          << "message should list '" << known << "': " << msg;
+    }
+  }
+}
+
+// Empty names take the same rejection path.
+TEST(Engines, FactoryRejectsEmptyName) {
+  EXPECT_THROW(core::make_engine("", ForceParams{}), std::invalid_argument);
+}
+
 TEST(Engines, SharedDeviceAcrossEngines) {
   auto device = std::make_shared<grape::Grape5Device>();
   ForceParams fp;

@@ -1,0 +1,436 @@
+// g5lint — repo-specific invariant linter.
+//
+// Generic tools (clang-tidy, -Wconversion, -Wthread-safety) cannot see
+// the invariants this codebase actually relies on; g5lint closes that
+// gap with three rules, each tied to a defect class that has bitten (or
+// would silently bite) the paper's error budget:
+//
+//   raw-stack     No fixed-size traversal stack arrays outside
+//                 tree::TraversalStack. PR 1 replaced the bare
+//                 `std::int32_t stack[512]` walkers (which overflowed on
+//                 deep trees) with the guarded TraversalStack; this rule
+//                 keeps the pattern from creeping back.
+//
+//   codec-bypass  No narrowing static_cast on particle-data expressions
+//                 in src/grape/. Host<->pipeline number-format
+//                 conversions must go through FixedPointCodec / the LNS
+//                 codecs: a silent narrowing cast corrupts the 0.3 %
+//                 pairwise-error budget invisibly.
+//
+//   raw-stdio     No std::cout / std::cerr / bare printf in library
+//                 code outside util/log and util/table. Bench/table
+//                 output on stdout must stay machine-parsable and log
+//                 records must stay serialized (log.cpp's emit mutex).
+//
+// A violation line can be exempted with a trailing comment:
+//     ... // g5lint: allow(rule-name) reason
+// Exemptions are themselves grep-able, so the audit trail stays visible.
+//
+// Usage:
+//   g5lint <src-root>...      lint every .hpp/.cpp under the roots
+//   g5lint --self-test        run the built-in seeded-violation fixtures
+//
+// Exit status: 0 clean, 1 violations (or failed self-test), 2 usage.
+//
+// Implementation notes: comments and string/char literals are blanked
+// (line structure preserved) before rules run, so prose mentioning
+// `stack[512]` or a format string containing "printf" cannot trip a
+// rule; the allow() scan runs on the raw line because the exemption
+// lives in a comment on purpose. Plain std::regex over stripped lines —
+// the whole tree is ~100 files, speed is irrelevant.
+
+#include <cctype>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <regex>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace fs = std::filesystem;
+
+namespace {
+
+struct Violation {
+  std::string file;
+  std::size_t line = 0;
+  std::string rule;
+  std::string message;
+};
+
+std::string to_lower(std::string s) {
+  for (char& c : s) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return s;
+}
+
+/// Blank out //, /* */ comments and string/char literals, preserving
+/// newlines so line numbers survive. Escapes inside literals handled;
+/// raw strings are not (none in this codebase; g5lint would flag the
+/// file, which is the safe direction).
+std::string strip_comments_and_strings(const std::string& text) {
+  std::string out = text;
+  enum class State { Code, Line, Block, Str, Chr } st = State::Code;
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    const char n = i + 1 < text.size() ? text[i + 1] : '\0';
+    switch (st) {
+      case State::Code:
+        if (c == '/' && n == '/') {
+          st = State::Line;
+          out[i] = ' ';
+        } else if (c == '/' && n == '*') {
+          st = State::Block;
+          out[i] = ' ';
+        } else if (c == '"') {
+          st = State::Str;
+        } else if (c == '\'') {
+          st = State::Chr;
+        }
+        break;
+      case State::Line:
+        if (c == '\n') st = State::Code;
+        else out[i] = ' ';
+        break;
+      case State::Block:
+        if (c == '*' && n == '/') {
+          out[i] = ' ';
+          out[i + 1] = ' ';
+          ++i;
+          st = State::Code;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case State::Str:
+        if (c == '\\') {
+          out[i] = ' ';
+          if (n != '\n' && n != '\0') out[++i] = ' ';
+        } else if (c == '"') {
+          st = State::Code;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case State::Chr:
+        if (c == '\\') {
+          out[i] = ' ';
+          if (n != '\n' && n != '\0') out[++i] = ' ';
+        } else if (c == '\'') {
+          st = State::Code;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> split_lines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::string cur;
+  for (char c : text) {
+    if (c == '\n') {
+      lines.push_back(cur);
+      cur.clear();
+    } else {
+      cur.push_back(c);
+    }
+  }
+  if (!cur.empty()) lines.push_back(cur);
+  return lines;
+}
+
+bool line_allows(const std::string& raw_line, const std::string& rule) {
+  const auto pos = raw_line.find("g5lint: allow(");
+  if (pos == std::string::npos) return false;
+  const auto close = raw_line.find(')', pos);
+  if (close == std::string::npos) return false;
+  const auto open = pos + std::string("g5lint: allow(").size();
+  return raw_line.substr(open, close - open) == rule;
+}
+
+/// One lintable file: `path` uses forward slashes relative to the lint
+/// root (fixtures fake it), `raw` is the original text.
+struct Source {
+  std::string path;
+  std::string raw;
+};
+
+bool path_contains(const std::string& path, const std::string& needle) {
+  return path.find(needle) != std::string::npos;
+}
+
+// --- rule: raw-stack ------------------------------------------------
+
+// A declaration-looking `type name[N]` (or std::array<...> name) whose
+// name contains "stack" and whose extent is a literal or named constant.
+// Indexing expressions (`stack[i]` after = or () don't match: the match
+// must start at line begin or after ; { ( , and begin with a type-ish
+// token followed by whitespace and the identifier.
+const std::regex kRawStackDecl(
+    R"((^|[;{,(])\s*(?:static\s+|constexpr\s+|const\s+)*(?:std::)?)"
+    R"(([A-Za-z_][A-Za-z0-9_:]*)(?:\s*[*&])?\s+([A-Za-z_][A-Za-z0-9_]*)\s*)"
+    R"(\[\s*([0-9]+[uUlL]*|[A-Za-z_][A-Za-z0-9_:]*)\s*\])");
+// Statement keywords that the type-token position of kRawStackDecl can
+// also match (`return stack[sp]` is indexing, not a declaration).
+bool is_statement_keyword(const std::string& tok) {
+  return tok == "return" || tok == "throw" || tok == "delete" ||
+         tok == "case" || tok == "goto" || tok == "else" || tok == "new" ||
+         tok == "co_return" || tok == "co_yield";
+}
+const std::regex kRawStackArray(
+    R"(std::array\s*<[^;=]*>\s+([A-Za-z_][A-Za-z0-9_]*))");
+
+void rule_raw_stack(const Source& src, const std::vector<std::string>& code,
+                    const std::vector<std::string>& raw,
+                    std::vector<Violation>& out) {
+  if (path_contains(src.path, "tree/traversal_stack.hpp")) return;
+  for (std::size_t i = 0; i < code.size(); ++i) {
+    std::smatch m;
+    std::string name;
+    if (std::regex_search(code[i], m, kRawStackDecl) &&
+        !is_statement_keyword(m[2].str())) {
+      name = m[3].str();
+    } else if (std::regex_search(code[i], m, kRawStackArray)) {
+      name = m[1].str();
+    }
+    if (name.empty() || to_lower(name).find("stack") == std::string::npos) {
+      continue;
+    }
+    if (line_allows(raw[i], "raw-stack")) continue;
+    out.push_back({src.path, i + 1, "raw-stack",
+                   "fixed-size stack '" + name +
+                       "' — use tree::TraversalStack (guarded, spills)"});
+  }
+}
+
+// --- rule: codec-bypass ---------------------------------------------
+
+// Narrowing cast targets: float or sub-64-bit integer types.
+const std::regex kNarrowCast(
+    R"((?:static_cast|reinterpret_cast)\s*<\s*(?:const\s+)?)"
+    R"((float|short|int|unsigned|unsigned\s+int|unsigned\s+short|)"
+    R"(std::u?int(?:8|16|32)_t|u?int(?:8|16|32)_t)\s*>\s*\()");
+// Identifiers that mark an expression as particle data in the pipeline
+// sense (positions, masses, forces, potentials, softening).
+const std::regex kParticleData(
+    R"(\b(pos|mass|acc|pot|vel|force|eps|dx|dy|dz|x_exact|mass_exact)\w*\b|)"
+    R"(\b\w*(_pos|_mass|_acc|_pot|_vel|_force)\b)");
+
+void rule_codec_bypass(const Source& src, const std::vector<std::string>& code,
+                       const std::vector<std::string>& raw,
+                       std::vector<Violation>& out) {
+  if (!path_contains(src.path, "grape/")) return;
+  for (std::size_t i = 0; i < code.size(); ++i) {
+    std::smatch m;
+    if (!std::regex_search(code[i], m, kNarrowCast)) continue;
+    // Examine the cast operand (rest of line past the cast's open paren).
+    const std::string operand = m.suffix().str();
+    if (!std::regex_search(operand, kParticleData)) continue;
+    if (line_allows(raw[i], "codec-bypass")) continue;
+    out.push_back({src.path, i + 1, "codec-bypass",
+                   "narrowing cast on particle data — convert via "
+                   "math::FixedPointCodec / LnsFormat instead"});
+  }
+}
+
+// --- rule: raw-stdio ------------------------------------------------
+
+const std::regex kRawStdio(
+    R"(\bstd::cout\b|\bstd::cerr\b|\bstd::clog\b|)"
+    R"((?:std::)?\bprintf\s*\(|(?:std::)?\bputs\s*\(|\bputchar\s*\(|)"
+    R"(fprintf\s*\(\s*(?:std)?(?:out|err)\b|)"
+    R"(fputs\s*\([^,]*,\s*(?:std)?(?:out|err)\s*\))");
+
+void rule_raw_stdio(const Source& src, const std::vector<std::string>& code,
+                    const std::vector<std::string>& raw,
+                    std::vector<Violation>& out) {
+  if (path_contains(src.path, "util/log.") ||
+      path_contains(src.path, "util/table.")) {
+    return;
+  }
+  for (std::size_t i = 0; i < code.size(); ++i) {
+    if (!std::regex_search(code[i], kRawStdio)) continue;
+    if (line_allows(raw[i], "raw-stdio")) continue;
+    out.push_back({src.path, i + 1, "raw-stdio",
+                   "direct stdout/stderr write in library code — route "
+                   "through util::log / util::table or take a sink"});
+  }
+}
+
+// --- driver ---------------------------------------------------------
+
+std::vector<Violation> lint_source(const Source& src) {
+  const std::vector<std::string> raw = split_lines(src.raw);
+  const std::vector<std::string> code =
+      split_lines(strip_comments_and_strings(src.raw));
+  std::vector<Violation> out;
+  rule_raw_stack(src, code, raw, out);
+  rule_codec_bypass(src, code, raw, out);
+  rule_raw_stdio(src, code, raw, out);
+  return out;
+}
+
+bool lintable(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".hpp" || ext == ".cpp" || ext == ".h" || ext == ".cc";
+}
+
+int lint_tree(const std::vector<std::string>& roots) {
+  std::vector<Violation> all;
+  std::size_t files = 0;
+  for (const auto& root : roots) {
+    if (!fs::exists(root)) {
+      std::cerr << "g5lint: no such path: " << root << "\n";
+      return 2;
+    }
+    for (const auto& entry : fs::recursive_directory_iterator(root)) {
+      if (!entry.is_regular_file() || !lintable(entry.path())) continue;
+      std::ifstream in(entry.path(), std::ios::binary);
+      std::ostringstream ss;
+      ss << in.rdbuf();
+      std::string rel = fs::path(entry.path()).generic_string();
+      ++files;
+      for (auto& v : lint_source({rel, ss.str()})) all.push_back(std::move(v));
+    }
+  }
+  for (const auto& v : all) {
+    std::cerr << v.file << ":" << v.line << ": [" << v.rule << "] "
+              << v.message << "\n";
+  }
+  if (all.empty()) {
+    std::cout << "g5lint: " << files << " files clean\n";
+    return 0;
+  }
+  std::cerr << "g5lint: " << all.size() << " violation(s) in " << files
+            << " files\n";
+  return 1;
+}
+
+// --- self-test -------------------------------------------------------
+
+struct Fixture {
+  const char* name;
+  const char* path;
+  const char* content;
+  const char* expect_rule;  // nullptr => must be clean
+};
+
+const Fixture kFixtures[] = {
+    {"raw stack array is caught", "src/tree/bad_walk.cpp",
+     "void walk() {\n  std::int32_t stack[512];\n  (void)stack;\n}\n",
+     "raw-stack"},
+    {"named-constant stack extent is caught", "src/tree/bad_walk2.cpp",
+     "void walk() {\n  NodeId node_stack[kMaxDepth];\n}\n", "raw-stack"},
+    {"std::array stack is caught", "src/core/bad_walk3.cpp",
+     "void walk() {\n  std::array<std::uint32_t, 512> stack{};\n}\n",
+     "raw-stack"},
+    {"stack mention in comment is ignored", "src/tree/ok_comment.cpp",
+     "// the old code used std::int32_t stack[512]; never again\n"
+     "void walk();\n",
+     nullptr},
+    {"indexing an outside-provided stack is ignored", "src/tree/ok_index.cpp",
+     "int top(int* stack, int sp) {\n  return stack[sp];\n}\n", nullptr},
+    {"TraversalStack implementation is exempt",
+     "src/tree/traversal_stack.hpp",
+     "struct TraversalStack {\n  std::int32_t inline_stack[64];\n};\n",
+     nullptr},
+    {"allow() comment exempts a stack", "src/tree/ok_allow.cpp",
+     "void walk() {\n"
+     "  int stack[8];  // g5lint: allow(raw-stack) bounded by protocol\n"
+     "}\n",
+     nullptr},
+
+    {"narrowing cast on particle data in grape is caught",
+     "src/grape/bad_cast.cpp",
+     "float f(double* pos) {\n  return static_cast<float>(pos[0]);\n}\n",
+     "codec-bypass"},
+    {"narrowing cast on mass is caught", "src/grape/bad_cast2.cpp",
+     "int g(double mass) {\n  return static_cast<std::int32_t>(mass * s);\n}\n",
+     "codec-bypass"},
+    {"narrowing cast on counters is fine", "src/grape/ok_cast.cpp",
+     "int boards(const Config& cfg) {\n"
+     "  return static_cast<int>(cfg.boards * cfg.board.i_slots());\n}\n",
+     nullptr},
+    {"widening cast on particle data is fine", "src/grape/ok_cast2.cpp",
+     "double h(std::int64_t dx_code) {\n"
+     "  return static_cast<double>(dx_code) * q;\n}\n",
+     nullptr},
+    {"particle-data cast outside grape/ is out of scope",
+     "src/ic/ok_cast.cpp",
+     "float f(double mass) {\n  return static_cast<float>(mass);\n}\n",
+     nullptr},
+    {"allow() comment exempts a cast", "src/grape/ok_allow.cpp",
+     "int f(double pot) {\n"
+     "  return static_cast<int>(pot);  "
+     "// g5lint: allow(codec-bypass) display only\n}\n",
+     nullptr},
+
+    {"std::cout in library code is caught", "src/core/bad_io.cpp",
+     "void dump() {\n  std::cout << \"x\";\n}\n", "raw-stdio"},
+    {"bare printf is caught", "src/core/bad_io2.cpp",
+     "void dump() {\n  printf(\"%d\", 1);\n}\n", "raw-stdio"},
+    {"fprintf to stderr is caught", "src/grape/bad_io3.cpp",
+     "void dump() {\n  std::fprintf(stderr, \"x\");\n}\n", "raw-stdio"},
+    {"fprintf to an explicit FILE* sink is fine", "src/core/ok_io.cpp",
+     "void dump(std::FILE* f) {\n  std::fprintf(f, \"x\");\n}\n", nullptr},
+    {"snprintf into a buffer is fine", "src/core/ok_io2.cpp",
+     "void name(char* b, size_t n) {\n  std::snprintf(b, n, \"x\");\n}\n",
+     nullptr},
+    {"util/log.cpp is exempt", "src/util/log.cpp",
+     "void emit() {\n  std::fprintf(stderr, \"x\");\n}\n", nullptr},
+    {"printf inside a string literal is ignored", "src/core/ok_io3.cpp",
+     "const char* kHelp = \"use printf(3) formatting\";\n", nullptr},
+};
+
+int self_test() {
+  int failures = 0;
+  for (const auto& fx : kFixtures) {
+    const auto violations = lint_source({fx.path, fx.content});
+    std::string got;
+    for (const auto& v : violations) {
+      got += (got.empty() ? "" : ",") + v.rule;
+    }
+    const bool ok = fx.expect_rule
+                        ? (violations.size() == 1 &&
+                           violations[0].rule == fx.expect_rule)
+                        : violations.empty();
+    if (!ok) {
+      ++failures;
+      std::cerr << "FAIL: " << fx.name << " — expected "
+                << (fx.expect_rule ? fx.expect_rule : "clean") << ", got "
+                << (got.empty() ? "clean" : got) << "\n";
+    }
+  }
+  const auto total = sizeof(kFixtures) / sizeof(kFixtures[0]);
+  if (failures == 0) {
+    std::cout << "g5lint self-test: " << total << " fixtures ok\n";
+    return 0;
+  }
+  std::cerr << "g5lint self-test: " << failures << "/" << total
+            << " fixtures failed\n";
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> roots;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--self-test") return self_test();
+    if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: g5lint <src-root>... | g5lint --self-test\n";
+      return 0;
+    }
+    roots.push_back(arg);
+  }
+  if (roots.empty()) {
+    std::cerr << "usage: g5lint <src-root>... | g5lint --self-test\n";
+    return 2;
+  }
+  return lint_tree(roots);
+}
