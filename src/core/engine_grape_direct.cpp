@@ -5,6 +5,7 @@
 #include <limits>
 #include <stdexcept>
 
+#include "obs/span.hpp"
 #include "util/timer.hpp"
 
 namespace g5::core {
@@ -35,6 +36,7 @@ GrapeDirectEngine::GrapeDirectEngine(
 }
 
 void GrapeDirectEngine::compute(model::ParticleSet& pset) {
+  G5_OBS_SPAN("force", "engine");
   util::Stopwatch total;
   pset.zero_force();
   const std::size_t n = pset.size();
@@ -58,6 +60,7 @@ void GrapeDirectEngine::compute(model::ParticleSet& pset) {
 
 void GrapeDirectEngine::compute_targets(
     model::ParticleSet& pset, std::span<const std::uint32_t> targets) {
+  G5_OBS_SPAN("force", "engine");
   util::Stopwatch total;
   if (pset.empty() || targets.empty()) return;
 

@@ -3,9 +3,37 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "obs/registry.hpp"
+#include "obs/span.hpp"
 #include "util/timer.hpp"
 
 namespace g5::core {
+
+namespace {
+
+/// Reduce the per-lane walk scratch of one force phase into stats and,
+/// when instrumentation is on, the obs phase table and counters (same
+/// accounting as HostTreeEngine::reduce_scratch; kernel CPU time is
+/// absent here because evaluation runs on the device).
+void reduce_walk_scratch(const std::vector<WalkScratch>& scratch,
+                         EngineStats& stats) {
+  double walk_cpu = 0.0;
+  tree::WalkStats walked;
+  for (const auto& ws : scratch) {
+    stats.walk.merge(ws.walk);
+    stats.seconds_walk += ws.seconds_walk;
+    walked.merge(ws.walk);
+    walk_cpu += ws.seconds_walk;
+  }
+  if (obs::enabled()) {
+    obs::record_phase("walk.cpu", walk_cpu, walked.lists);
+    obs::counter("g5.walk.lists").add(walked.lists);
+    obs::counter("g5.walk.list_entries").add(walked.list_entries);
+    obs::counter("g5.walk.interactions").add(walked.interactions);
+  }
+}
+
+}  // namespace
 
 GrapeTreeEngine::GrapeTreeEngine(const ForceParams& params,
                                  std::shared_ptr<grape::Grape5Device> device)
@@ -14,6 +42,7 @@ GrapeTreeEngine::GrapeTreeEngine(const ForceParams& params,
 }
 
 void GrapeTreeEngine::compute(model::ParticleSet& pset) {
+  G5_OBS_SPAN("force", "engine");
   util::Stopwatch total;
   const std::size_t n = pset.size();
   pset.zero_force();
@@ -21,10 +50,17 @@ void GrapeTreeEngine::compute(model::ParticleSet& pset) {
 
   // Host phase 1: tree construction.
   util::Stopwatch phase;
-  tree::TreeBuildConfig build_cfg;
-  build_cfg.leaf_max = params_.leaf_max;
-  tree_.build(pset, build_cfg);
+  {
+    G5_OBS_SPAN("build", "tree");
+    tree::TreeBuildConfig build_cfg;
+    build_cfg.leaf_max = params_.leaf_max;
+    tree_.build(pset, build_cfg);
+  }
   stats_.seconds_tree_build += phase.lap();
+  if (obs::enabled()) {
+    obs::counter("g5.tree.builds").add(1);
+    obs::counter("g5.tree.nodes").add(tree_.node_count());
+  }
 
   // Hardware setup for this force phase: window from the current hull.
   configure_device_window(*device_, pset, params_.eps);
@@ -54,17 +90,21 @@ void GrapeTreeEngine::compute(model::ParticleSet& pset) {
     const std::size_t m = std::min(batch, groups.size() - base);
     // Lane-ownership contract (WalkScratch doc): each lane touches only
     // scratch_[lane] and its own batch_lists_ slots, checked by TSan.
-    pool.parallel_for(
-        m, 1, [&](std::size_t begin, std::size_t end, unsigned lane) {
-          WalkScratch& ws = scratch_[lane];
-          util::Stopwatch lap;
-          for (std::size_t i = begin; i < end; ++i) {
-            lap.restart();
-            tree::walk_group(tree_, groups[base + i], walk_cfg,
-                             batch_lists_[i], &ws.walk);
-            ws.seconds_walk += lap.lap();
-          }
-        });
+    {
+      G5_OBS_SPAN("walk", "tree");
+      pool.parallel_for(
+          m, 1, [&](std::size_t begin, std::size_t end, unsigned lane) {
+            WalkScratch& ws = scratch_[lane];
+            util::Stopwatch lap;
+            for (std::size_t i = begin; i < end; ++i) {
+              lap.restart();
+              tree::walk_group(tree_, groups[base + i], walk_cfg,
+                               batch_lists_[i], &ws.walk);
+              ws.seconds_walk += lap.lap();
+            }
+          });
+    }
+    G5_OBS_SPAN("eval", "grape");
     for (std::size_t i = 0; i < m; ++i) {
       const tree::Group& group = groups[base + i];
       const tree::InteractionList& list = batch_lists_[i];
@@ -82,9 +122,12 @@ void GrapeTreeEngine::compute(model::ParticleSet& pset) {
       ++stats_.groups;
     }
   }
-  for (const auto& ws : scratch_) {
-    stats_.walk.merge(ws.walk);
-    stats_.seconds_walk += ws.seconds_walk;
+  {
+    // Under a walk span so walk.cpu files at the same path as in
+    // HostTreeEngine ("/force/walk/walk.cpu"); the scope itself only
+    // adds the (negligible) reduction time to the walk phase.
+    G5_OBS_SPAN("walk", "tree");
+    reduce_walk_scratch(scratch_, stats_);
   }
 
   // Scatter sorted-order results back to the caller's ordering.
@@ -103,14 +146,22 @@ void GrapeTreeEngine::compute(model::ParticleSet& pset) {
 
 void GrapeTreeEngine::compute_targets(model::ParticleSet& pset,
                                       std::span<const std::uint32_t> targets) {
+  G5_OBS_SPAN("force", "engine");
   util::Stopwatch total;
   if (pset.empty() || targets.empty()) return;
 
   util::Stopwatch phase;
-  tree::TreeBuildConfig build_cfg;
-  build_cfg.leaf_max = params_.leaf_max;
-  tree_.build(pset, build_cfg);
+  {
+    G5_OBS_SPAN("build", "tree");
+    tree::TreeBuildConfig build_cfg;
+    build_cfg.leaf_max = params_.leaf_max;
+    tree_.build(pset, build_cfg);
+  }
   stats_.seconds_tree_build += phase.lap();
+  if (obs::enabled()) {
+    obs::counter("g5.tree.builds").add(1);
+    obs::counter("g5.tree.nodes").add(tree_.node_count());
+  }
 
   configure_device_window(*device_, pset, params_.eps);
 
@@ -128,17 +179,21 @@ void GrapeTreeEngine::compute_targets(model::ParticleSet& pset,
   }
   for (std::size_t base = 0; base < targets.size(); base += batch) {
     const std::size_t m = std::min(batch, targets.size() - base);
-    pool.parallel_for(
-        m, 8, [&](std::size_t begin, std::size_t end, unsigned lane) {
-          WalkScratch& ws = scratch_[lane];
-          util::Stopwatch lap;
-          for (std::size_t i = begin; i < end; ++i) {
-            lap.restart();
-            tree::walk_original(tree_, pset.pos()[targets[base + i]],
-                                walk_cfg, batch_lists_[i], &ws.walk);
-            ws.seconds_walk += lap.lap();
-          }
-        });
+    {
+      G5_OBS_SPAN("walk", "tree");
+      pool.parallel_for(
+          m, 8, [&](std::size_t begin, std::size_t end, unsigned lane) {
+            WalkScratch& ws = scratch_[lane];
+            util::Stopwatch lap;
+            for (std::size_t i = begin; i < end; ++i) {
+              lap.restart();
+              tree::walk_original(tree_, pset.pos()[targets[base + i]],
+                                  walk_cfg, batch_lists_[i], &ws.walk);
+              ws.seconds_walk += lap.lap();
+            }
+          });
+    }
+    G5_OBS_SPAN("eval", "grape");
     for (std::size_t i = 0; i < m; ++i) {
       const std::uint32_t t = targets[base + i];
       const tree::InteractionList& list = batch_lists_[i];
@@ -153,9 +208,9 @@ void GrapeTreeEngine::compute_targets(model::ParticleSet& pset,
       ++stats_.groups;
     }
   }
-  for (const auto& ws : scratch_) {
-    stats_.walk.merge(ws.walk);
-    stats_.seconds_walk += ws.seconds_walk;
+  {
+    G5_OBS_SPAN("walk", "tree");  // same path as compute(), see above
+    reduce_walk_scratch(scratch_, stats_);
   }
   ++stats_.evaluations;
   stats_.seconds_total += total.elapsed();

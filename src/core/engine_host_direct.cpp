@@ -1,11 +1,14 @@
 #include "core/engines.hpp"
 
 #include "grape/host_reference.hpp"
+#include "obs/span.hpp"
 #include "util/timer.hpp"
 
 namespace g5::core {
 
 void HostDirectEngine::compute(model::ParticleSet& pset) {
+  G5_OBS_SPAN("force", "engine");
+  G5_OBS_SPAN("kernel", "engine");
   util::Stopwatch watch;
   grape::host_direct_self(pset.pos(), pset.mass(), params_.eps, pset.acc(),
                           pset.pot());
@@ -18,6 +21,8 @@ void HostDirectEngine::compute(model::ParticleSet& pset) {
 
 void HostDirectEngine::compute_targets(model::ParticleSet& pset,
                                        std::span<const std::uint32_t> targets) {
+  G5_OBS_SPAN("force", "engine");
+  G5_OBS_SPAN("kernel", "engine");
   util::Stopwatch watch;
   for (const std::uint32_t t : targets) {
     const math::Vec3d xi = pset.pos()[t];

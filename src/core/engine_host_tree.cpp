@@ -1,5 +1,7 @@
 #include "core/engines.hpp"
 
+#include "obs/registry.hpp"
+#include "obs/span.hpp"
 #include "util/timer.hpp"
 
 namespace g5::core {
@@ -17,32 +19,62 @@ util::ThreadPool& ensure_walk_pool(std::unique_ptr<util::ThreadPool>& pool,
 }
 
 void HostTreeEngine::reduce_scratch() {
+  double walk_cpu = 0.0;
+  double kernel_cpu = 0.0;
+  std::uint64_t interactions = 0;
+  std::uint64_t groups = 0;
+  tree::WalkStats walked;
   for (const auto& s : scratch_) {
     stats_.walk.merge(s.walk);
     stats_.seconds_walk += s.seconds_walk;
     stats_.seconds_kernel += s.seconds_kernel;
     stats_.interactions += s.interactions;
     stats_.groups += s.groups;
+    walked.merge(s.walk);
+    walk_cpu += s.seconds_walk;
+    kernel_cpu += s.seconds_kernel;
+    interactions += s.interactions;
+    groups += s.groups;
+  }
+  if (obs::enabled()) {
+    // Lane CPU seconds overlap in wall time, so they enter the phase
+    // table by lap accumulation under the live walk span, not as scopes.
+    obs::record_phase("walk.cpu", walk_cpu, walked.lists);
+    obs::record_phase("kernel.cpu", kernel_cpu, walked.lists);
+    obs::counter("g5.walk.lists").add(walked.lists);
+    obs::counter("g5.walk.list_entries").add(walked.list_entries);
+    obs::counter("g5.walk.interactions").add(interactions);
+    obs::counter("g5.walk.groups").add(groups);
   }
 }
 
 void HostTreeEngine::compute(model::ParticleSet& pset) {
+  G5_OBS_SPAN("force", "engine");
   util::Stopwatch total;
   const std::size_t n = pset.size();
   pset.zero_force();
   if (n == 0) return;
 
   util::Stopwatch phase;
-  tree::TreeBuildConfig build_cfg;
-  build_cfg.leaf_max = params_.leaf_max;
-  build_cfg.quadrupole = params_.quadrupole;
-  tree_.build(pset, build_cfg);
+  {
+    G5_OBS_SPAN("build", "tree");
+    tree::TreeBuildConfig build_cfg;
+    build_cfg.leaf_max = params_.leaf_max;
+    build_cfg.quadrupole = params_.quadrupole;
+    tree_.build(pset, build_cfg);
+  }
   stats_.seconds_tree_build += phase.lap();
+  if (obs::enabled()) {
+    obs::counter("g5.tree.builds").add(1);
+    obs::counter("g5.tree.nodes").add(tree_.node_count());
+  }
 
   const tree::WalkConfig walk_cfg{params_.theta, params_.mac,
                                   params_.quadrupole};
   const auto& orig = tree_.original_index();
   auto& pool = ensure_walk_pool(pool_, params_.threads, scratch_);
+
+  G5_OBS_SPAN("walk", "tree");
 
   // Every particle belongs to exactly one group (modified) or slot
   // (original), so each lane writes disjoint acc/pot entries: the
@@ -125,15 +157,23 @@ void HostTreeEngine::compute(model::ParticleSet& pset) {
 
 void HostTreeEngine::compute_targets(model::ParticleSet& pset,
                                      std::span<const std::uint32_t> targets) {
+  G5_OBS_SPAN("force", "engine");
   util::Stopwatch total;
   if (pset.empty() || targets.empty()) return;
 
   util::Stopwatch phase;
-  tree::TreeBuildConfig build_cfg;
-  build_cfg.leaf_max = params_.leaf_max;
-  build_cfg.quadrupole = params_.quadrupole;
-  tree_.build(pset, build_cfg);
+  {
+    G5_OBS_SPAN("build", "tree");
+    tree::TreeBuildConfig build_cfg;
+    build_cfg.leaf_max = params_.leaf_max;
+    build_cfg.quadrupole = params_.quadrupole;
+    tree_.build(pset, build_cfg);
+  }
   stats_.seconds_tree_build += phase.lap();
+  if (obs::enabled()) {
+    obs::counter("g5.tree.builds").add(1);
+    obs::counter("g5.tree.nodes").add(tree_.node_count());
+  }
 
   // Per-target original walks (groups do not pay off for scattered
   // subsets), evaluated on the host. Target indices are distinct by the
@@ -141,6 +181,7 @@ void HostTreeEngine::compute_targets(model::ParticleSet& pset,
   const tree::WalkConfig walk_cfg{params_.theta, params_.mac,
                                   params_.quadrupole};
   auto& pool = ensure_walk_pool(pool_, params_.threads, scratch_);
+  G5_OBS_SPAN("walk", "tree");
   pool.parallel_for(
       targets.size(), 16,
       [&](std::size_t begin, std::size_t end, unsigned lane) {

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "obs/span.hpp"
+
 namespace g5::core {
 
 void LeapfrogIntegrator::prime(model::ParticleSet& pset, ForceEngine& engine) {
@@ -21,10 +23,16 @@ void LeapfrogIntegrator::step(model::ParticleSet& pset, ForceEngine& engine,
   auto& acc = pset.acc();
 
   const double half = 0.5 * dt;
-  for (std::size_t i = 0; i < n; ++i) vel[i] += half * acc[i];   // kick
-  for (std::size_t i = 0; i < n; ++i) pos[i] += dt * vel[i];     // drift
-  engine.compute(pset);                                          // force
-  for (std::size_t i = 0; i < n; ++i) vel[i] += half * acc[i];   // kick
+  {
+    G5_OBS_SPAN("integrate", "core");
+    for (std::size_t i = 0; i < n; ++i) vel[i] += half * acc[i];  // kick
+    for (std::size_t i = 0; i < n; ++i) pos[i] += dt * vel[i];    // drift
+  }
+  engine.compute(pset);                                           // force
+  {
+    G5_OBS_SPAN("integrate", "core");
+    for (std::size_t i = 0; i < n; ++i) vel[i] += half * acc[i];  // kick
+  }
   ++steps_;
 }
 

@@ -2,10 +2,15 @@
 
 #include <cmath>
 #include <cstdio>
+#include <optional>
 #include <stdexcept>
 
 #include "core/engines.hpp"
 #include "core/snapshot.hpp"
+#include "obs/metrics.hpp"
+#include "obs/registry.hpp"
+#include "obs/span.hpp"
+#include "obs/trace.hpp"
 #include "util/log.hpp"
 #include "util/timer.hpp"
 
@@ -13,13 +18,14 @@ namespace g5::core {
 
 namespace {
 
-/// Pull the GRAPE hardware account out of an engine if it drives one.
-const grape::HardwareAccount* grape_account(const ForceEngine& engine) {
+/// Pull the GRAPE system out of an engine if it drives one (its account
+/// and byte meters feed the summary and the per-step metrics).
+const grape::Grape5System* grape_system(const ForceEngine& engine) {
   if (const auto* e = dynamic_cast<const GrapeTreeEngine*>(&engine)) {
-    return &e->device().system().account();
+    return &e->device().system();
   }
   if (const auto* e = dynamic_cast<const GrapeDirectEngine*>(&engine)) {
-    return &e->device().system().account();
+    return &e->device().system();
   }
   return nullptr;
 }
@@ -93,17 +99,30 @@ SimulationSummary Simulation::run(model::ParticleSet& pset) {
   std::uint64_t prev_lists = engine_.stats().walk.lists;
   std::uint64_t prev_entries = engine_.stats().walk.list_entries;
 
+  // Per-step observability: baselines for StepMetrics deltas (taken after
+  // priming so step records carry step work only).
+  std::optional<obs::MetricsWriter> metrics;
+  if (!cfg_.metrics_jsonl.empty()) metrics.emplace(cfg_.metrics_jsonl);
+  const grape::Grape5System* gsys = grape_system(engine_);
+  EngineStats prev_stats = engine_.stats();
+  grape::HardwareAccount prev_grape =
+      gsys ? gsys->account() : grape::HardwareAccount{};
+  std::uint64_t prev_bytes = gsys ? gsys->bytes_moved() : 0;
+
   double t_elapsed = 0.0;
   for (std::uint64_t s = 1; s <= cfg_.steps; ++s) {
     const double dt = cfg_.dt_schedule.empty()
                           ? cfg_.dt
                           : cfg_.dt_schedule[static_cast<std::size_t>(s - 1)];
+    util::Stopwatch step_wall;
+    G5_OBS_SPAN("step", "sim");
     integrator.step(pset, engine_, dt);
     t_elapsed += dt;
 
     if (hook_) hook_(s, pset);
 
     if (csv) {
+      G5_OBS_SPAN("diagnostics", "sim");
       const auto& es = engine_.stats();
       const std::uint64_t d_inter = es.interactions - prev_inter;
       const std::uint64_t d_lists = es.walk.lists - prev_lists;
@@ -130,6 +149,7 @@ SimulationSummary Simulation::run(model::ParticleSet& pset) {
                        << " wall=" << wall.elapsed() << "s";
     }
     if (cfg_.diag_every > 0 && s % cfg_.diag_every == 0) {
+      G5_OBS_SPAN("diagnostics", "sim");
       const auto diag = diagnose(pset);
       util::log_info() << "  E=" << diag.energy.total()
                        << " drift=" << relative_energy_drift(
@@ -137,17 +157,62 @@ SimulationSummary Simulation::run(model::ParticleSet& pset) {
                        << " |p|=" << diag.momentum.norm();
     }
     if (cfg_.snapshot_every > 0 && s % cfg_.snapshot_every == 0) {
+      G5_OBS_SPAN("snapshot", "io");
       write_snapshot(snapshot_name(cfg_.snapshot_prefix, snap_index), pset,
                      t_elapsed, engine_.params().eps);
       ++snap_index;
       ++summary.snapshots_written;
+    }
+
+    // Step record: engine/hardware deltas over this step. Cheap enough
+    // (a couple of struct copies) to keep unconditionally in sync.
+    obs::StepMetrics m;
+    m.step = s;
+    m.t_sim = t_elapsed;
+    m.wall_s = step_wall.elapsed();
+    {
+      const EngineStats& es = engine_.stats();
+      m.build_s = es.seconds_tree_build - prev_stats.seconds_tree_build;
+      m.walk_s = es.seconds_walk - prev_stats.seconds_walk;
+      m.kernel_s = es.seconds_kernel - prev_stats.seconds_kernel;
+      m.engine_s = es.seconds_total - prev_stats.seconds_total;
+      m.interactions = es.interactions - prev_stats.interactions;
+      m.list_entries = es.walk.list_entries - prev_stats.walk.list_entries;
+      m.groups = es.groups - prev_stats.groups;
+      prev_stats = es;
+    }
+    if (gsys) {
+      const grape::HardwareAccount& ga = gsys->account();
+      m.grape_force_calls = ga.force_calls - prev_grape.force_calls;
+      m.grape_j_uploaded = ga.j_uploaded - prev_grape.j_uploaded;
+      m.grape_emulation_s = ga.emulation_wall - prev_grape.emulation_wall;
+      m.grape_modeled_dma_s =
+          (ga.modeled_dma_j + ga.modeled_dma_i + ga.modeled_dma_result) -
+          (prev_grape.modeled_dma_j + prev_grape.modeled_dma_i +
+           prev_grape.modeled_dma_result);
+      m.grape_modeled_compute_s =
+          ga.modeled_compute - prev_grape.modeled_compute;
+      m.grape_occupancy = ga.occupancy();
+      const std::uint64_t bytes = gsys->bytes_moved();
+      m.grape_bytes = bytes - prev_bytes;
+      prev_bytes = bytes;
+      prev_grape = ga;
+    }
+    if (metrics) metrics->write(m);
+    if (obs::enabled()) {
+      obs::counter("g5.sim.steps").add(1);
+      if (obs::tracing()) {
+        obs::trace_counter("g5.step.interactions",
+                           static_cast<double>(m.interactions));
+        obs::trace_counter("g5.step.wall_s", m.wall_s);
+      }
     }
   }
 
   summary.steps = cfg_.steps;
   summary.wall_seconds = wall.elapsed();
   summary.engine = engine_.stats();
-  if (const auto* acct = grape_account(engine_)) summary.grape = *acct;
+  if (gsys) summary.grape = gsys->account();
   summary.energy_final = diagnose(pset).energy;
   summary.energy_drift =
       relative_energy_drift(summary.energy_final, summary.energy_initial);

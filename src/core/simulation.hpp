@@ -37,6 +37,9 @@ struct SimulationConfig {
   /// If non-empty, write a per-step CSV time series to this path:
   /// step,time,interactions,lists,mean_list,kinetic,potential,total_energy.
   std::string stats_csv;
+  /// If non-empty, write one obs::StepMetrics JSON object per step to
+  /// this path (JSON Lines; schema in tools/schema/metrics.schema.json).
+  std::string metrics_jsonl;
 };
 
 struct SimulationSummary {

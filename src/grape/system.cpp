@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "obs/registry.hpp"
+#include "obs/span.hpp"
 #include "util/log.hpp"
 #include "util/timer.hpp"
 
@@ -49,8 +51,19 @@ void Grape5System::set_range(double lo, double hi, double eps,
   range_set_ = true;
 }
 
+void Grape5System::publish_obs_metrics() {
+  if (!obs::enabled()) return;
+  const std::uint64_t bytes = bytes_moved();
+  if (bytes > counted_bytes_) {
+    obs::counter("g5.grape.bytes").add(bytes - counted_bytes_);
+  }
+  counted_bytes_ = bytes;
+  obs::gauge("g5.grape.occupancy").set(account_.occupancy());
+}
+
 void Grape5System::set_j_particles(std::span<const Vec3d> pos,
                                    std::span<const double> mass) {
+  G5_OBS_SPAN("j_upload", "grape");
   if (!range_set_) {
     throw std::logic_error("set_range must be called before set_j_particles");
   }
@@ -85,6 +98,10 @@ void Grape5System::set_j_particles(std::span<const Vec3d> pos,
   resident_j_ = nj;
   account_.j_uploaded += nj;
   account_.modeled_dma_j += timing_.j_upload_time(nj);
+  if (obs::enabled()) {
+    obs::counter("g5.grape.j_uploaded").add(nj);
+    publish_obs_metrics();
+  }
 }
 
 std::size_t Grape5System::compute(std::span<const Vec3d> i_pos,
@@ -100,6 +117,7 @@ std::size_t Grape5System::compute(std::span<const Vec3d> i_pos,
   std::fill(out_acc.begin(), out_acc.end(), Vec3d{});
   std::fill(out_pot.begin(), out_pot.end(), 0.0);
   if (ni == 0 || resident_j_ == 0) return 0;
+  G5_OBS_SPAN("compute", "grape");
 
   if (sat_flags_.size() < ni) sat_flags_.resize(ni);
   std::fill_n(sat_flags_.begin(), ni, std::uint8_t{0});
@@ -122,6 +140,17 @@ std::size_t Grape5System::compute(std::span<const Vec3d> i_pos,
   ++account_.force_calls;
   account_.interactions += interactions;
   account_.i_processed += ni;
+  // Occupancy denominator: the VMP streams full i-chunks, so a call of
+  // ni i-particles occupies ceil(ni / i_slots) * i_slots slots.
+  const std::size_t slots = cfg_.board.i_slots();
+  account_.vmp_slots +=
+      static_cast<std::uint64_t>((ni + slots - 1) / slots) * slots;
+  if (obs::enabled()) {
+    obs::counter("g5.grape.force_calls").add(1);
+    obs::counter("g5.grape.interactions").add(interactions);
+    obs::counter("g5.grape.i_processed").add(ni);
+    publish_obs_metrics();
+  }
 
   if (call_saturated) {
     if (!saturated_) {
@@ -137,6 +166,7 @@ void Grape5System::reset_account() {
   account_.reset();
   saturated_ = false;
   for (auto& board : boards_) board->hib().reset();
+  counted_bytes_ = 0;  // HIB meters restart; keep the obs delta base in sync
 }
 
 std::uint64_t Grape5System::bytes_moved() const {

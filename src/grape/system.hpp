@@ -94,9 +94,16 @@ class Grape5System {
   bool range_set_ = false;
   bool saturated_ = false;
   HardwareAccount account_;
+  /// bytes_moved() value already published to the obs byte counter;
+  /// lets set_j_particles/compute emit per-call deltas cheaply.
+  std::uint64_t counted_bytes_ = 0;
 
   // Per-call saturation flags (byte array so boards can write through it).
   std::vector<std::uint8_t> sat_flags_;
+
+  /// Publish the HIB byte-meter delta and occupancy to g5::obs (no-op
+  /// when instrumentation is off).
+  void publish_obs_metrics();
 };
 
 }  // namespace g5::grape

@@ -72,6 +72,10 @@ struct HardwareAccount {
   std::uint64_t interactions = 0;       ///< ni * nj summed over calls
   std::uint64_t i_processed = 0;
   std::uint64_t j_uploaded = 0;
+  /// i-slots streamed: ceil(ni / board i_slots) * i_slots summed over
+  /// calls. i_processed / vmp_slots is the pipeline occupancy — the
+  /// VMP partial-fill fraction the n_g tradeoff (Section 3) fights.
+  std::uint64_t vmp_slots = 0;
   double modeled_dma_j = 0.0;
   double modeled_dma_i = 0.0;
   double modeled_compute = 0.0;
@@ -84,6 +88,13 @@ struct HardwareAccount {
   }
   [[nodiscard]] double flops() const {
     return static_cast<double>(interactions) * kFlopsPerInteraction;
+  }
+  /// Mean i-slot fill fraction over all calls (1.0 = every VMP slot
+  /// streamed a real i-particle; 0 before any call).
+  [[nodiscard]] double occupancy() const {
+    return vmp_slots > 0 ? static_cast<double>(i_processed) /
+                               static_cast<double>(vmp_slots)
+                         : 0.0;
   }
   void reset() { *this = HardwareAccount{}; }
 };

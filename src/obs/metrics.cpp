@@ -1,0 +1,53 @@
+#include "obs/metrics.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace g5::obs {
+
+namespace {
+
+double finite_or_zero(double v) { return std::isfinite(v) ? v : 0.0; }
+
+unsigned long long ull(std::uint64_t v) {
+  return static_cast<unsigned long long>(v);
+}
+
+}  // namespace
+
+MetricsWriter::MetricsWriter(const std::string& path) {
+  file_ = std::fopen(path.c_str(), "w");
+  if (file_ == nullptr) {
+    throw std::runtime_error("cannot open " + path + " for metrics output");
+  }
+}
+
+MetricsWriter::~MetricsWriter() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+void MetricsWriter::write(const StepMetrics& m) {
+  std::fprintf(
+      file_,
+      "{\"step\":%llu,\"t_sim\":%.10g,\"wall_s\":%.6g,"
+      "\"build_s\":%.6g,\"walk_s\":%.6g,\"kernel_s\":%.6g,"
+      "\"engine_s\":%.6g,"
+      "\"interactions\":%llu,\"list_entries\":%llu,\"groups\":%llu,"
+      "\"grape_force_calls\":%llu,\"grape_j_uploaded\":%llu,"
+      "\"grape_bytes\":%llu,\"grape_emulation_s\":%.6g,"
+      "\"grape_modeled_dma_s\":%.6g,\"grape_modeled_compute_s\":%.6g,"
+      "\"grape_occupancy\":%.6g}\n",
+      ull(m.step), finite_or_zero(m.t_sim), finite_or_zero(m.wall_s),
+      finite_or_zero(m.build_s), finite_or_zero(m.walk_s),
+      finite_or_zero(m.kernel_s), finite_or_zero(m.engine_s),
+      ull(m.interactions), ull(m.list_entries), ull(m.groups),
+      ull(m.grape_force_calls), ull(m.grape_j_uploaded), ull(m.grape_bytes),
+      finite_or_zero(m.grape_emulation_s),
+      finite_or_zero(m.grape_modeled_dma_s),
+      finite_or_zero(m.grape_modeled_compute_s),
+      finite_or_zero(m.grape_occupancy));
+  std::fflush(file_);
+  ++records_;
+}
+
+}  // namespace g5::obs

@@ -1,0 +1,18 @@
+// Umbrella header for the observability layer (g5::obs).
+//
+// The layer has four pieces, usable independently:
+//   * obs/span.hpp     — hierarchical RAII phase timers + phase table;
+//   * obs/registry.hpp — global counters and gauges;
+//   * obs/trace.hpp    — Chrome trace-event (Perfetto) collection/export;
+//   * obs/metrics.hpp  — per-step StepMetrics record + JSON-lines sink.
+//
+// Everything is off until obs::set_enabled(true); the instrumented hot
+// paths cost one relaxed atomic load while disabled. docs/observability.md
+// is the user guide (API, metric catalog, the measured-phase ↔ paper
+// Section 5 mapping, Perfetto walkthrough).
+#pragma once
+
+#include "obs/metrics.hpp"    // IWYU pragma: export
+#include "obs/registry.hpp"   // IWYU pragma: export
+#include "obs/span.hpp"       // IWYU pragma: export
+#include "obs/trace.hpp"      // IWYU pragma: export

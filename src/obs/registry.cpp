@@ -1,0 +1,86 @@
+#include "obs/registry.hpp"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+
+#include "util/mutex.hpp"
+
+namespace g5::obs {
+
+struct Registry::Impl {
+  util::Mutex mutex;
+  // unique_ptr slots: references handed out stay valid across rehash-free
+  // map growth and for the life of the process.
+  std::map<std::string, std::unique_ptr<Counter>> counters
+      G5_GUARDED_BY(mutex);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges G5_GUARDED_BY(mutex);
+};
+
+Registry& Registry::instance() {
+  static Registry registry;
+  return registry;
+}
+
+Registry::Impl& Registry::impl() {
+  static Impl impl;
+  return impl;
+}
+
+Counter& Registry::counter(std::string_view name) {
+  Impl& state = impl();
+  const util::MutexLock lock(state.mutex);
+  auto& slot = state.counters[std::string(name)];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+  Impl& state = impl();
+  const util::MutexLock lock(state.mutex);
+  auto& slot = state.gauges[std::string(name)];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+std::vector<MetricSample> Registry::snapshot() {
+  Impl& state = impl();
+  const util::MutexLock lock(state.mutex);
+  std::vector<MetricSample> out;
+  out.reserve(state.counters.size() + state.gauges.size());
+  for (const auto& [name, c] : state.counters) {
+    MetricSample s;
+    s.name = name;
+    s.is_counter = true;
+    s.count = c->value();
+    s.value = static_cast<double>(s.count);
+    out.push_back(std::move(s));
+  }
+  for (const auto& [name, g] : state.gauges) {
+    MetricSample s;
+    s.name = name;
+    s.is_counter = false;
+    s.value = g->value();
+    out.push_back(std::move(s));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const MetricSample& a, const MetricSample& b) {
+              return a.name < b.name;
+            });
+  return out;
+}
+
+void Registry::reset_values() {
+  Impl& state = impl();
+  const util::MutexLock lock(state.mutex);
+  for (auto& [name, c] : state.counters) {
+    static_cast<void>(name);
+    c->value_.store(0, std::memory_order_relaxed);
+  }
+  for (auto& [name, g] : state.gauges) {
+    static_cast<void>(name);
+    g->value_.store(0.0, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace g5::obs

@@ -1,0 +1,86 @@
+// Global metric registry: monotonic counters and point-in-time gauges.
+//
+// Counters are lock-free relaxed atomics — safe to bump from any lane
+// of a parallel walk (tests/obs_test.cpp exercises exactness under
+// TSan). Registration (name -> slot) takes a mutex, so hot paths look a
+// counter up once and keep the reference; slots are never invalidated
+// (reset zeroes values, it does not remove entries).
+//
+// The metric name catalog lives in docs/observability.md; names are
+// dotted lowercase ("g5.grape.interactions").
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace g5::obs {
+
+/// Monotonic counter (resettable only through Registry::reset_values).
+class Counter {
+ public:
+  void add(std::uint64_t delta = 1) noexcept {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend class Registry;
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-writer-wins instantaneous value (occupancy, queue depth, ...).
+class Gauge {
+ public:
+  void set(double v) noexcept { value_.store(v, std::memory_order_relaxed); }
+  [[nodiscard]] double value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend class Registry;
+  std::atomic<double> value_{0.0};
+};
+
+/// One registry entry at snapshot time.
+struct MetricSample {
+  std::string name;
+  bool is_counter = true;
+  std::uint64_t count = 0;  ///< counters
+  double value = 0.0;       ///< gauges (and count as double for counters)
+};
+
+class Registry {
+ public:
+  /// The process-wide registry.
+  static Registry& instance();
+
+  /// Find-or-create; the returned reference is valid forever.
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+
+  /// All metrics, sorted by name.
+  [[nodiscard]] std::vector<MetricSample> snapshot();
+
+  /// Zero every value (entries stay registered; references stay valid).
+  void reset_values();
+
+ private:
+  Registry() = default;
+  struct Impl;
+  Impl& impl();
+};
+
+/// Shorthands for the common call sites.
+inline Counter& counter(std::string_view name) {
+  return Registry::instance().counter(name);
+}
+inline Gauge& gauge(std::string_view name) {
+  return Registry::instance().gauge(name);
+}
+
+}  // namespace g5::obs

@@ -1,0 +1,140 @@
+#include "obs/span.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <map>
+#include <utility>
+
+#include "obs/trace.hpp"
+#include "util/mutex.hpp"
+
+namespace g5::obs {
+
+namespace {
+
+std::atomic<bool> g_enabled{false};
+
+/// Per-thread span bookkeeping. `path` is the concatenation of the open
+/// spans' names; `base` is a parent path propagated from another thread
+/// (ScopedParentPath), applied when the outermost span opens.
+struct ThreadState {
+  std::string path;
+  std::string base;
+  int depth = 0;
+};
+
+ThreadState& thread_state() {
+  thread_local ThreadState state;
+  return state;
+}
+
+struct PhaseAccumulator {
+  util::Mutex mutex;
+  /// path -> (count, total seconds)
+  std::map<std::string, std::pair<std::uint64_t, double>> table
+      G5_GUARDED_BY(mutex);
+};
+
+PhaseAccumulator& phases() {
+  static PhaseAccumulator acc;
+  return acc;
+}
+
+void add_phase(const std::string& path, double seconds, std::uint64_t count) {
+  PhaseAccumulator& acc = phases();
+  const util::MutexLock lock(acc.mutex);
+  auto& slot = acc.table[path];
+  slot.first += count;
+  slot.second += seconds;
+}
+
+}  // namespace
+
+bool enabled() noexcept {
+  return g_enabled.load(std::memory_order_relaxed);
+}
+
+void set_enabled(bool on) noexcept {
+  g_enabled.store(on, std::memory_order_relaxed);
+}
+
+double now_us() noexcept {
+  using clock = std::chrono::steady_clock;
+  static const clock::time_point t0 = clock::now();
+  return std::chrono::duration<double, std::micro>(clock::now() - t0).count();
+}
+
+Span::Span(std::string_view name, std::string_view category)
+    : category_(category) {
+  if (!g_enabled.load(std::memory_order_relaxed)) return;
+  ThreadState& ts = thread_state();
+  if (ts.depth == 0) ts.path = ts.base;
+  prev_len_ = ts.path.size();
+  ts.path += '/';
+  ts.path += name;
+  ++ts.depth;
+  active_ = true;
+  start_us_ = now_us();
+}
+
+Span::~Span() {
+  if (!active_) return;
+  const double dur_us = now_us() - start_us_;
+  ThreadState& ts = thread_state();
+  add_phase(ts.path, dur_us * 1e-6, 1);
+  if (tracing()) trace_complete_event(ts.path, category_, start_us_, dur_us);
+  ts.path.resize(prev_len_);
+  --ts.depth;
+}
+
+int Span::current_depth() noexcept { return thread_state().depth; }
+
+std::string Span::current_path() {
+  const ThreadState& ts = thread_state();
+  return ts.depth > 0 ? ts.path : ts.base;
+}
+
+ScopedParentPath::ScopedParentPath(const std::string& parent_path) {
+  if (!g_enabled.load(std::memory_order_relaxed)) return;
+  if (parent_path.empty()) return;
+  ThreadState& ts = thread_state();
+  // A thread that already has open spans (the fork-join caller re-entering
+  // its own job) or an active base keeps its context.
+  if (ts.depth != 0 || !ts.base.empty()) return;
+  ts.base = parent_path;
+  active_ = true;
+}
+
+ScopedParentPath::~ScopedParentPath() {
+  if (!active_) return;
+  ThreadState& ts = thread_state();
+  ts.base.clear();
+  if (ts.depth == 0) ts.path.clear();
+}
+
+void record_phase(std::string_view name, double seconds, std::uint64_t count) {
+  if (!g_enabled.load(std::memory_order_relaxed)) return;
+  std::string path = Span::current_path();
+  path += '/';
+  path += name;
+  add_phase(path, seconds, count);
+}
+
+std::vector<PhaseStat> phase_report() {
+  PhaseAccumulator& acc = phases();
+  const util::MutexLock lock(acc.mutex);
+  std::vector<PhaseStat> out;
+  out.reserve(acc.table.size());
+  for (const auto& [path, stat] : acc.table) {
+    out.push_back({path, stat.first, stat.second});
+  }
+  return out;  // std::map iteration order: already sorted by path
+}
+
+void reset_phases() {
+  PhaseAccumulator& acc = phases();
+  const util::MutexLock lock(acc.mutex);
+  acc.table.clear();
+}
+
+}  // namespace g5::obs

@@ -1,0 +1,45 @@
+// Chrome trace-event collection and export.
+//
+// When tracing is armed (start_trace) and the master switch is on
+// (obs/span.hpp), every closed Span appends one complete ("ph":"X")
+// event and trace_counter() appends counter ("ph":"C") series. The
+// buffer is bounded: past `max_events` new events are dropped and
+// counted, never reallocated without bound. write_trace() emits the
+// standard JSON object format that chrome://tracing and Perfetto load
+// directly (docs/observability.md walks through opening one).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace g5::obs {
+
+/// Arm trace collection: clears the buffer and sets the event cap.
+void start_trace(std::size_t max_events = 1u << 20);
+
+/// Disarm collection; the buffer is kept until the next start_trace().
+void stop_trace();
+
+/// True between start_trace() and stop_trace().
+[[nodiscard]] bool tracing() noexcept;
+
+/// Append a counter sample ("ph":"C"): one series per name, rendered as
+/// a stacked area track by the viewers. No-op unless enabled + tracing.
+void trace_counter(std::string_view name, double value);
+
+/// Internal: append a complete event (Span's destructor calls this).
+void trace_complete_event(std::string_view name, std::string_view category,
+                          double start_us, double duration_us);
+
+/// Events currently buffered / dropped at the cap since start_trace().
+[[nodiscard]] std::size_t trace_event_count();
+[[nodiscard]] std::uint64_t trace_dropped_count();
+
+/// Write the buffered events as Chrome trace JSON ({"traceEvents":[...]})
+/// with a counter/gauge registry snapshot under "otherData". Returns
+/// false (and leaves no partial file behind contractually — best effort)
+/// when the file cannot be opened.
+bool write_trace(const std::string& path);
+
+}  // namespace g5::obs

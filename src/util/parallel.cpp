@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <utility>
+
+#include "obs/span.hpp"
 
 namespace g5::util {
 
@@ -33,6 +36,12 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::run_chunks(unsigned lane) {
+  // Worker lanes inherit the submitting thread's span path (published
+  // with the job fields under the epoch protocol); lane 0 already runs
+  // on the submitting thread, where ScopedParentPath is a no-op. Both
+  // guards reduce to one relaxed load when instrumentation is off.
+  const obs::ScopedParentPath obs_parent(obs_parent_);
+  G5_OBS_SPAN("worker", "pool");
   for (;;) {
     const std::size_t begin =
         next_.fetch_add(grain_, std::memory_order_relaxed);
@@ -73,12 +82,15 @@ void ThreadPool::parallel_for(std::size_t n, std::size_t grain,
     body(0, n, 0);
     return;
   }
+  std::string obs_parent;
+  if (obs::enabled()) obs_parent = obs::Span::current_path();
   std::exception_ptr error;
   {
     const MutexLock lock(mutex_);
     body_ = &body;
     n_ = n;
     grain_ = grain;
+    obs_parent_ = std::move(obs_parent);
     next_.store(0, std::memory_order_relaxed);
     error_ = nullptr;
     active_ = lanes_ - 1;

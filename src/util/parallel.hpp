@@ -20,6 +20,7 @@
 #include <exception>
 #include <functional>
 #include <memory>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -80,6 +81,10 @@ class ThreadPool {
   const Body* body_ G5_GUARDED_BY(mutex_) = nullptr;
   std::size_t n_ G5_GUARDED_BY(mutex_) = 0;
   std::size_t grain_ G5_GUARDED_BY(mutex_) = 1;
+  /// Observability: the caller's span path at submit time, so worker
+  /// lanes' spans nest under the phase that forked them (obs/span.hpp).
+  /// Empty whenever instrumentation is off.
+  std::string obs_parent_ G5_GUARDED_BY(mutex_);
   std::atomic<std::size_t> next_{0};
   std::exception_ptr error_ G5_GUARDED_BY(mutex_);
 };

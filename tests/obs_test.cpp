@@ -1,0 +1,364 @@
+// Observability layer: spans, registry, trace export, step metrics.
+//
+// The concurrency tests (ObsCounter.ParallelIncrementsAreExact,
+// ObsSpan.WorkerSpansInheritParentPath) are in the TSan CI job's filter
+// (.github/workflows/ci.yml) — the registry and the thread-local span
+// stack are the only obs state shared across walk lanes.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/engines.hpp"
+#include "core/simulation.hpp"
+#include "ic/plummer.hpp"
+#include "obs/obs.hpp"
+#include "util/parallel.hpp"
+
+namespace {
+
+using namespace g5;
+
+/// Every obs test owns the global switch/accumulators for its scope.
+class ObsEnv : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    obs::set_enabled(true);
+    obs::reset_phases();
+    obs::Registry::instance().reset_values();
+  }
+  void TearDown() override {
+    obs::stop_trace();
+    obs::set_enabled(false);
+    obs::reset_phases();
+    obs::Registry::instance().reset_values();
+  }
+};
+
+double phase_seconds(const std::string& path) {
+  for (const auto& p : obs::phase_report()) {
+    if (p.path == path) return p.total_s;
+  }
+  return -1.0;
+}
+
+using ObsRegistry = ObsEnv;
+using ObsSpan = ObsEnv;
+using ObsCounter = ObsEnv;
+using ObsTrace = ObsEnv;
+using ObsMetrics = ObsEnv;
+
+TEST_F(ObsRegistry, CounterAndGaugeRoundTrip) {
+  obs::counter("test.reg.counter").add(3);
+  obs::counter("test.reg.counter").add(2);
+  obs::gauge("test.reg.gauge").set(0.625);
+  EXPECT_EQ(obs::counter("test.reg.counter").value(), 5u);
+  EXPECT_DOUBLE_EQ(obs::gauge("test.reg.gauge").value(), 0.625);
+
+  bool saw_counter = false;
+  bool saw_gauge = false;
+  for (const auto& s : obs::Registry::instance().snapshot()) {
+    if (s.name == "test.reg.counter") {
+      saw_counter = true;
+      EXPECT_TRUE(s.is_counter);
+      EXPECT_EQ(s.count, 5u);
+    }
+    if (s.name == "test.reg.gauge") {
+      saw_gauge = true;
+      EXPECT_FALSE(s.is_counter);
+      EXPECT_DOUBLE_EQ(s.value, 0.625);
+    }
+  }
+  EXPECT_TRUE(saw_counter);
+  EXPECT_TRUE(saw_gauge);
+
+  obs::Registry::instance().reset_values();
+  EXPECT_EQ(obs::counter("test.reg.counter").value(), 0u);
+  EXPECT_DOUBLE_EQ(obs::gauge("test.reg.gauge").value(), 0.0);
+}
+
+TEST_F(ObsRegistry, SnapshotIsSortedByName) {
+  obs::counter("test.sort.b");
+  obs::counter("test.sort.a");
+  obs::gauge("test.sort.c");
+  const auto snap = obs::Registry::instance().snapshot();
+  for (std::size_t i = 1; i < snap.size(); ++i) {
+    EXPECT_LT(snap[i - 1].name, snap[i].name);
+  }
+}
+
+TEST_F(ObsCounter, ParallelIncrementsAreExact) {
+  // A counter reference obtained once must take lock-free exact updates
+  // from every lane — the pattern the engines use per force phase.
+  obs::Counter& c = obs::counter("test.parallel.hits");
+  util::ThreadPool pool(4);
+  constexpr std::size_t kN = 100000;
+  pool.parallel_for(kN, 64, [&c](std::size_t begin, std::size_t end,
+                                 unsigned /*lane*/) {
+    for (std::size_t i = begin; i < end; ++i) c.add(1);
+  });
+  EXPECT_EQ(c.value(), kN);
+}
+
+TEST_F(ObsSpan, NestedPathsWithinThread) {
+  {
+    obs::Span outer("alpha", "test");
+    EXPECT_EQ(obs::Span::current_path(), "/alpha");
+    {
+      obs::Span inner("beta", "test");
+      EXPECT_EQ(obs::Span::current_path(), "/alpha/beta");
+      EXPECT_EQ(obs::Span::current_depth(), 2);
+    }
+    EXPECT_EQ(obs::Span::current_path(), "/alpha");
+  }
+  EXPECT_EQ(obs::Span::current_depth(), 0);
+  EXPECT_GE(phase_seconds("/alpha"), 0.0);
+  EXPECT_GE(phase_seconds("/alpha/beta"), 0.0);
+}
+
+TEST_F(ObsSpan, DisabledSpansRecordNothing) {
+  obs::set_enabled(false);
+  {
+    obs::Span s("ghost", "test");
+    EXPECT_EQ(obs::Span::current_depth(), 0);
+  }
+  EXPECT_EQ(phase_seconds("/ghost"), -1.0);
+}
+
+TEST_F(ObsSpan, WorkerSpansInheritParentPath) {
+  // Spans opened inside pool lanes must file under the submitting
+  // thread's phase — including lane 0, which runs on that thread.
+  util::ThreadPool pool(4);
+  std::atomic<int> bad_paths{0};
+  {
+    obs::Span parent("fork", "test");
+    pool.parallel_for(256, 1, [&bad_paths](std::size_t, std::size_t,
+                                           unsigned /*lane*/) {
+      obs::Span leaf("lane_work", "test");
+      if (obs::Span::current_path() != "/fork/worker/lane_work" &&
+          obs::Span::current_path() != "/fork/lane_work") {
+        bad_paths.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  EXPECT_EQ(bad_paths.load(), 0);
+  // Lane 0 nests directly under /fork; worker threads add the pool span.
+  const double direct = phase_seconds("/fork/lane_work");
+  const double pooled = phase_seconds("/fork/worker/lane_work");
+  EXPECT_TRUE(direct >= 0.0 || pooled >= 0.0);
+}
+
+TEST_F(ObsSpan, RecordPhaseExtendsCurrentPath) {
+  {
+    obs::Span s("reduce", "test");
+    obs::record_phase("cpu", 1.25, 3);
+  }
+  bool found = false;
+  for (const auto& p : obs::phase_report()) {
+    if (p.path == "/reduce/cpu") {
+      found = true;
+      EXPECT_EQ(p.count, 3u);
+      EXPECT_DOUBLE_EQ(p.total_s, 1.25);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+// --- minimal recursive-descent JSON validator (well-formedness only) ---
+
+struct JsonCursor {
+  const std::string& s;
+  std::size_t i = 0;
+  bool fail = false;
+
+  void skip_ws() {
+    while (i < s.size() && std::isspace(static_cast<unsigned char>(s[i]))) {
+      ++i;
+    }
+  }
+  bool consume(char c) {
+    skip_ws();
+    if (i < s.size() && s[i] == c) {
+      ++i;
+      return true;
+    }
+    return false;
+  }
+  void value() {  // NOLINT(misc-no-recursion)
+    skip_ws();
+    if (fail || i >= s.size()) {
+      fail = true;
+      return;
+    }
+    const char c = s[i];
+    if (c == '{') {
+      ++i;
+      if (consume('}')) return;
+      do {
+        skip_ws();
+        string();
+        if (!consume(':')) fail = true;
+        value();
+      } while (!fail && consume(','));
+      if (!consume('}')) fail = true;
+    } else if (c == '[') {
+      ++i;
+      if (consume(']')) return;
+      do {
+        value();
+      } while (!fail && consume(','));
+      if (!consume(']')) fail = true;
+    } else if (c == '"') {
+      string();
+    } else if (c == 't') {
+      literal("true");
+    } else if (c == 'f') {
+      literal("false");
+    } else if (c == 'n') {
+      literal("null");
+    } else {
+      number();
+    }
+  }
+  void string() {
+    if (i >= s.size() || s[i] != '"') {
+      fail = true;
+      return;
+    }
+    ++i;
+    while (i < s.size() && s[i] != '"') {
+      if (s[i] == '\\') ++i;
+      ++i;
+    }
+    if (i >= s.size()) {
+      fail = true;
+      return;
+    }
+    ++i;
+  }
+  void literal(const char* lit) {
+    for (const char* p = lit; *p != '\0'; ++p, ++i) {
+      if (i >= s.size() || s[i] != *p) {
+        fail = true;
+        return;
+      }
+    }
+  }
+  void number() {
+    const std::size_t start = i;
+    while (i < s.size() &&
+           (std::isdigit(static_cast<unsigned char>(s[i])) || s[i] == '-' ||
+            s[i] == '+' || s[i] == '.' || s[i] == 'e' || s[i] == 'E')) {
+      ++i;
+    }
+    if (i == start) fail = true;
+  }
+  bool whole_document() {
+    value();
+    skip_ws();
+    return !fail && i == s.size();
+  }
+};
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+TEST_F(ObsTrace, ChromeTraceWellFormed) {
+  obs::start_trace();
+  {
+    obs::Span a("phase_a", "test");
+    obs::Span b("phase \"b\"\\slash", "test");  // exercises escaping
+    obs::trace_counter("test.counter", 42.0);
+  }
+  obs::stop_trace();
+  EXPECT_GE(obs::trace_event_count(), 3u);
+  EXPECT_EQ(obs::trace_dropped_count(), 0u);
+
+  const std::string path = ::testing::TempDir() + "obs_trace_test.json";
+  ASSERT_TRUE(obs::write_trace(path));
+  const std::string doc = slurp(path);
+  ASSERT_FALSE(doc.empty());
+  JsonCursor cur{doc};
+  EXPECT_TRUE(cur.whole_document()) << "invalid JSON near offset " << cur.i;
+  EXPECT_NE(doc.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(doc.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(doc.find("\"ph\":\"C\""), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST_F(ObsTrace, BufferCapDropsAndCounts) {
+  obs::start_trace(4);
+  for (int k = 0; k < 10; ++k) {
+    obs::Span s("tiny", "test");
+  }
+  obs::stop_trace();
+  EXPECT_LE(obs::trace_event_count(), 4u);
+  EXPECT_GE(obs::trace_dropped_count(), 6u);
+}
+
+TEST_F(ObsMetrics, TwoStepSimulationEmitsRecords) {
+  ic::PlummerConfig pc;
+  pc.n = 256;
+  pc.seed = 7;
+  auto pset = ic::make_plummer(pc);
+
+  core::ForceParams fp;
+  fp.threads = 2;
+  core::HostTreeEngine engine(fp, core::HostTreeEngine::Mode::Modified);
+
+  const std::string path = ::testing::TempDir() + "obs_metrics_test.jsonl";
+  core::SimulationConfig sc;
+  sc.dt = 0.01;
+  sc.steps = 2;
+  sc.log_every = 0;
+  sc.metrics_jsonl = path;
+  core::Simulation sim(engine, sc);
+  sim.run(pset);
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string line;
+  std::string last;
+  std::uint64_t records = 0;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    ++records;
+    last = line;
+    JsonCursor cur{line};
+    EXPECT_TRUE(cur.whole_document()) << "bad JSONL record: " << line;
+    EXPECT_NE(line.find("\"step\":"), std::string::npos);
+    EXPECT_NE(line.find("\"interactions\":"), std::string::npos);
+    EXPECT_NE(line.find("\"grape_occupancy\":"), std::string::npos);
+  }
+  EXPECT_EQ(records, 2u);
+  // Host engine: grape account deltas stay zero.
+  EXPECT_NE(last.find("\"grape_force_calls\":0"), std::string::npos);
+  std::remove(path.c_str());
+
+  // The instrumented phases showed up under the step span.
+  EXPECT_GE(phase_seconds("/step"), 0.0);
+  EXPECT_GE(phase_seconds("/step/force/build"), 0.0);
+  EXPECT_GE(phase_seconds("/step/force/walk"), 0.0);
+  EXPECT_GE(phase_seconds("/step/integrate"), 0.0);
+  EXPECT_GE(obs::counter("g5.sim.steps").value(), 2u);
+  EXPECT_GT(obs::counter("g5.walk.interactions").value(), 0u);
+}
+
+TEST_F(ObsMetrics, WriterThrowsOnUnwritablePath) {
+  EXPECT_THROW(obs::MetricsWriter("/nonexistent-dir-g5/metrics.jsonl"),
+               std::runtime_error);
+}
+
+}  // namespace

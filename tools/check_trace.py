@@ -1,0 +1,132 @@
+#!/usr/bin/env python3
+"""Validate g5 observability artifacts against their checked-in schemas.
+
+Usage:
+  check_trace.py trace   FILE [--schema tools/schema/trace.schema.json]
+  check_trace.py metrics FILE [--schema tools/schema/metrics.schema.json]
+
+`trace` validates a Chrome trace written by g5run --trace (or
+obs::write_trace); `metrics` validates a JSON-lines file written by
+g5run --metrics (one obs::StepMetrics object per line).
+
+The validator implements the small JSON-Schema subset the two schemas
+use (type, required, properties, additionalProperties, items, enum,
+minimum) in pure stdlib Python, so CI needs no extra packages. Exits
+non-zero with one line per violation.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+_TYPES = {
+    "object": dict,
+    "array": list,
+    "string": str,
+    "boolean": bool,
+    "null": type(None),
+}
+
+
+def _type_ok(value, expected):
+    if expected == "number":
+        return isinstance(value, (int, float)) and not isinstance(value, bool)
+    if expected == "integer":
+        return isinstance(value, int) and not isinstance(value, bool)
+    return isinstance(value, _TYPES[expected])
+
+
+def validate(value, schema, path, errors):
+    """Append 'path: problem' strings to errors; subset of JSON Schema."""
+    expected = schema.get("type")
+    if expected is not None and not _type_ok(value, expected):
+        errors.append(f"{path}: expected {expected}, "
+                      f"got {type(value).__name__}")
+        return
+    if "enum" in schema and value not in schema["enum"]:
+        errors.append(f"{path}: {value!r} not in {schema['enum']}")
+    if "minimum" in schema and isinstance(value, (int, float)) \
+            and not isinstance(value, bool) and value < schema["minimum"]:
+        errors.append(f"{path}: {value} < minimum {schema['minimum']}")
+    if isinstance(value, dict):
+        for key in schema.get("required", []):
+            if key not in value:
+                errors.append(f"{path}: missing required key '{key}'")
+        props = schema.get("properties", {})
+        extra_ok = schema.get("additionalProperties", True)
+        for key, sub in value.items():
+            if key in props:
+                validate(sub, props[key], f"{path}.{key}", errors)
+            elif extra_ok is False:
+                errors.append(f"{path}: unexpected key '{key}'")
+            elif isinstance(extra_ok, dict):
+                validate(sub, extra_ok, f"{path}.{key}", errors)
+    if isinstance(value, list) and "items" in schema:
+        for i, item in enumerate(value):
+            validate(item, schema["items"], f"{path}[{i}]", errors)
+
+
+def check_trace(doc, schema, errors):
+    validate(doc, schema, "$", errors)
+    # Semantic checks beyond the schema: spans must have non-negative
+    # extent and land on a known thread row.
+    for i, ev in enumerate(doc.get("traceEvents", [])):
+        if not isinstance(ev, dict):
+            continue
+        if ev.get("ph") == "X" and ev.get("dur", 0) < 0:
+            errors.append(f"$.traceEvents[{i}]: negative dur")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("mode", choices=["trace", "metrics"])
+    parser.add_argument("file")
+    parser.add_argument("--schema", default=None)
+    args = parser.parse_args()
+
+    schema_dir = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                              "schema")
+    schema_path = args.schema or os.path.join(
+        schema_dir, f"{args.mode}.schema.json")
+    with open(schema_path, encoding="utf-8") as f:
+        schema = json.load(f)
+
+    errors = []
+    if args.mode == "trace":
+        with open(args.file, encoding="utf-8") as f:
+            try:
+                doc = json.load(f)
+            except json.JSONDecodeError as e:
+                print(f"{args.file}: not valid JSON: {e}", file=sys.stderr)
+                return 1
+        check_trace(doc, schema, errors)
+        count = len(doc.get("traceEvents", []))
+    else:
+        count = 0
+        with open(args.file, encoding="utf-8") as f:
+            for lineno, line in enumerate(f, 1):
+                line = line.strip()
+                if not line:
+                    continue
+                count += 1
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError as e:
+                    errors.append(f"line {lineno}: not valid JSON: {e}")
+                    continue
+                validate(record, schema, f"line {lineno}", errors)
+        if count == 0:
+            errors.append("no records found")
+
+    if errors:
+        for err in errors:
+            print(f"{args.file}: {err}", file=sys.stderr)
+        return 1
+    print(f"{args.file}: OK ({count} "
+          f"{'events' if args.mode == 'trace' else 'records'})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

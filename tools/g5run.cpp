@@ -9,26 +9,39 @@
 //         --engine grape-tree|grape-direct|host-tree|host-tree-modified|
 //                  host-direct
 //         [--n 8192] [--steps 100] [--dt 0.01] [--eps 0.02] [--theta 0.75]
-//         [--ncrit 256] [--mac edge|bmax] [--quadrupole]
+//         [--ncrit 256] [--mac edge|bmax] [--quadrupole] [--threads 0]
 //         [--snapshots K --snapshot-prefix out]
 //         [--analyze] [--selftest] [--seed 42]
 //         [--out final.g5snap] [--tipsy final.tipsy]
 //         [--resume earlier.g5snap]   (continue from a saved snapshot)
 //         [--stats-csv run.csv]       (per-step time series)
 //
+// Observability (docs/observability.md):
+//   --timing             print the measured per-phase table and the
+//                        measured-vs-modeled Section 5 breakdown
+//   --timing-json FILE   write the same breakdown as JSON (implies --timing
+//                        accounting; BENCH_obs.json uses this format)
+//   --trace FILE         write a Chrome trace (chrome://tracing, Perfetto)
+//   --metrics FILE       write per-step metrics as JSON lines
+//
 // Cosmological runs (--ic cosmo) integrate z=24 -> 0 with a log-a step
 // schedule (or --comoving for the comoving-coordinate integrator) and set
 // dt/eps from the lattice automatically.
 
 #include <cstdio>
+#include <stdexcept>
 #include <string>
+#include <string_view>
+#include <vector>
 
 #include "core/analysis.hpp"
 #include "core/comoving.hpp"
 #include "core/engines.hpp"
+#include "core/perf.hpp"
 #include "core/simulation.hpp"
 #include "core/snapshot.hpp"
 #include "grape/selftest.hpp"
+#include "obs/obs.hpp"
 #include "ic/galaxy.hpp"
 #include "ic/hernquist.hpp"
 #include "ic/plummer.hpp"
@@ -38,6 +51,7 @@
 #include "model/units.hpp"
 #include "util/log.hpp"
 #include "util/options.hpp"
+#include "util/parallel.hpp"
 #include "util/table.hpp"
 
 namespace {
@@ -167,6 +181,134 @@ void print_analysis(const model::ParticleSet& pset) {
   xt.print();
 }
 
+/// Sum of every measured phase whose path ends in "/<leaf>".
+double phase_total(const std::vector<obs::PhaseStat>& report,
+                   std::string_view leaf) {
+  double total = 0.0;
+  for (const auto& p : report) {
+    if (p.path.size() > leaf.size() + 1 &&
+        p.path.compare(p.path.size() - leaf.size(), leaf.size(), leaf) == 0 &&
+        p.path[p.path.size() - leaf.size() - 1] == '/') {
+      total += p.total_s;
+    }
+  }
+  return total;
+}
+
+/// The measured side of the Section 5 story: the per-phase wall/CPU table
+/// from the span accumulators, then measured vs modeled rows (modeled =
+/// HostCostModel + TimingModel, the same models bench_e1_section5 checks
+/// against the paper's published row). See docs/observability.md.
+void print_measured_timing(const core::SimulationSummary& summary,
+                           const core::ForceParams& fp, std::size_t n) {
+  const auto report = obs::phase_report();
+  std::printf("\nmeasured phases (wall seconds; .cpu rows are per-lane CPU "
+              "seconds summed over lanes):\n");
+  util::Table pt({"phase", "count", "total s", "mean s"});
+  for (const auto& p : report) {
+    char c1[24], c2[24], c3[24];
+    std::snprintf(c1, sizeof(c1), "%llu",
+                  static_cast<unsigned long long>(p.count));
+    std::snprintf(c2, sizeof(c2), "%.4g", p.total_s);
+    std::snprintf(c3, sizeof(c3), "%.4g", p.mean_s());
+    pt.add_row({p.path, c1, c2, c3});
+  }
+  pt.print();
+
+  core::HostCostModel host;
+  host.threads = util::resolve_thread_count(fp.threads);
+  const auto& es = summary.engine;
+  const double steps = static_cast<double>(summary.steps);
+  const double dn = static_cast<double>(n);
+  const double modeled_build = 1e-6 * host.per_particle_build_us * dn * steps;
+  const double modeled_walk =
+      1e-6 * (host.per_list_entry_us *
+                  static_cast<double>(es.walk.list_entries) +
+              host.per_group_us * static_cast<double>(es.groups));
+  const double modeled_step = 1e-6 * host.per_particle_step_us * dn * steps;
+
+  std::printf("\nmeasured vs modeled (paper Section 5 breakdown; host model "
+              "is the 1999 Alpha, so ratios, not equality, are the point):\n");
+  util::Table mt({"phase", "measured s", "modeled s"});
+  char m1[24], m2[24];
+  auto row = [&](const char* name, double measured, double modeled) {
+    std::snprintf(m1, sizeof(m1), "%.4g", measured);
+    std::snprintf(m2, sizeof(m2), "%.4g", modeled);
+    mt.add_row({name, m1, m2});
+  };
+  row("tree build", es.seconds_tree_build, modeled_build);
+  row("tree walk (CPU s, 1-core model)", es.seconds_walk, modeled_walk);
+  row("integrate + bookkeeping", phase_total(report, "integrate"),
+      modeled_step);
+  if (summary.grape.force_calls > 0) {
+    row("GRAPE compute (emulated vs silicon)", summary.grape.emulation_wall,
+        summary.grape.modeled_compute);
+    row("GRAPE DMA (modeled only)", 0.0,
+        summary.grape.modeled_total() - summary.grape.modeled_compute);
+    std::snprintf(m1, sizeof(m1), "%.3f", summary.grape.occupancy());
+    mt.add_row({"pipeline occupancy (measured)", m1, "-"});
+  }
+  mt.print();
+
+  core::RunWorkload work;
+  work.n_particles = n;
+  work.steps = summary.steps;
+  work.interactions = es.interactions;
+  work.list_entries = es.walk.list_entries;
+  work.groups = es.groups;
+  const auto pr = core::project_performance(grape::SystemConfig::paper_system(),
+                                            host, grape::CostModel{}, work);
+  std::printf("\nmodeled on the paper's hardware: host %.4g s + GRAPE %.4g s "
+              "= %.4g s total, %.4g Gflops sustained\n",
+              pr.host_s, pr.grape_compute_s + pr.grape_dma_s, pr.total_s,
+              pr.raw_flops * 1e-9);
+}
+
+/// Timing/metrics JSON for regression baselines (BENCH_obs.json): the
+/// phase table plus a registry snapshot, one self-contained object.
+void write_timing_json(const std::string& path,
+                       const core::SimulationSummary& summary,
+                       const std::string& engine_name, std::size_t n) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    throw std::runtime_error("cannot open " + path + " for writing");
+  }
+  std::fprintf(f,
+               "{\n  \"run\": {\"engine\": \"%s\", \"n\": %llu, \"steps\": "
+               "%llu, \"wall_s\": %.6g},\n  \"phases\": [",
+               engine_name.c_str(), static_cast<unsigned long long>(n),
+               static_cast<unsigned long long>(summary.steps),
+               summary.wall_seconds);
+  bool first = true;
+  for (const auto& p : obs::phase_report()) {
+    std::fprintf(f,
+                 "%s\n    {\"path\": \"%s\", \"count\": %llu, \"total_s\": "
+                 "%.6g, \"mean_s\": %.6g}",
+                 first ? "" : ",", p.path.c_str(),
+                 static_cast<unsigned long long>(p.count), p.total_s,
+                 p.mean_s());
+    first = false;
+  }
+  std::fprintf(f, "\n  ],\n  \"metrics\": [");
+  first = true;
+  for (const auto& s : obs::Registry::instance().snapshot()) {
+    if (s.is_counter) {
+      std::fprintf(f, "%s\n    {\"name\": \"%s\", \"type\": \"counter\", "
+                   "\"value\": %llu}",
+                   first ? "" : ",", s.name.c_str(),
+                   static_cast<unsigned long long>(s.count));
+    } else {
+      std::fprintf(f, "%s\n    {\"name\": \"%s\", \"type\": \"gauge\", "
+                   "\"value\": %.6g}",
+                   first ? "" : ",", s.name.c_str(), s.value);
+    }
+    first = false;
+  }
+  std::fprintf(f, "\n  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -177,6 +319,19 @@ int main(int argc, char** argv) {
       return 0;
     }
 
+    // Observability surface: any of these flags flips the master switch
+    // for the run; without them every span is a single relaxed load.
+    const std::string trace_path = opt.get_string("trace", "");
+    const std::string metrics_path = opt.get_string("metrics", "");
+    const std::string timing_json = opt.get_string("timing-json", "");
+    const bool timing = opt.get_bool("timing", false) || !timing_json.empty();
+    if (timing || !trace_path.empty() || !metrics_path.empty()) {
+      obs::set_enabled(true);
+      obs::reset_phases();
+      obs::Registry::instance().reset_values();
+    }
+    if (!trace_path.empty()) obs::start_trace();
+
     Prepared ic = prepare_ic(opt);
 
     core::ForceParams fp;
@@ -184,6 +339,7 @@ int main(int argc, char** argv) {
     fp.theta = opt.get_double("theta", 0.75);
     fp.n_crit = static_cast<std::uint32_t>(opt.get_int("ncrit", 256));
     fp.quadrupole = opt.get_bool("quadrupole", false);
+    fp.threads = static_cast<std::uint32_t>(opt.get_int("threads", 0));
     const std::string mac = opt.get_string("mac", "edge");
     fp.mac = mac == "bmax" ? tree::Mac::Bmax : tree::Mac::Edge;
 
@@ -212,6 +368,10 @@ int main(int argc, char** argv) {
 
     core::SimulationSummary summary;
     if (ic.cosmological && opt.get_bool("comoving", false)) {
+      if (!metrics_path.empty()) {
+        std::fprintf(stderr, "g5run: --metrics is not available for "
+                     "--comoving runs (no per-step record); ignoring\n");
+      }
       const model::Cosmology cosmo(ic.cosmo_cfg.cosmo);
       core::ComovingSimulation::physical_to_comoving(ic.pset, cosmo,
                                                      ic.cosmo_meta.a_start);
@@ -244,8 +404,10 @@ int main(int argc, char** argv) {
           static_cast<std::uint64_t>(opt.get_int("snapshots", 0));
       sc.snapshot_prefix = opt.get_string("snapshot-prefix", "g5run");
       sc.stats_csv = opt.get_string("stats-csv", "");
+      sc.metrics_jsonl = metrics_path;
       core::Simulation sim(*engine, sc);
       summary = sim.run(ic.pset);
+      if (!metrics_path.empty()) std::printf("wrote %s\n", metrics_path.c_str());
     }
 
     util::Table t({"quantity", "value"});
@@ -268,6 +430,23 @@ int main(int argc, char** argv) {
                                    summary.grape.modeled_total())});
     }
     t.print();
+
+    if (timing) print_measured_timing(summary, fp, ic.pset.size());
+    if (!timing_json.empty()) {
+      write_timing_json(timing_json, summary, engine_name, ic.pset.size());
+    }
+    if (!trace_path.empty()) {
+      obs::stop_trace();
+      if (obs::write_trace(trace_path)) {
+        std::printf("wrote %s (%zu events, %llu dropped) — open in "
+                    "chrome://tracing or https://ui.perfetto.dev\n",
+                    trace_path.c_str(), obs::trace_event_count(),
+                    static_cast<unsigned long long>(obs::trace_dropped_count()));
+      } else {
+        std::fprintf(stderr, "g5run: cannot write trace to %s\n",
+                     trace_path.c_str());
+      }
+    }
 
     if (opt.get_bool("analyze", false)) print_analysis(ic.pset);
 
