@@ -37,6 +37,15 @@ struct ForceParams {
   /// the G5_THREADS environment variable, else hardware concurrency.
   /// Results are bitwise-identical for any thread count.
   std::uint32_t threads = 0;
+  /// GRAPE engines: interaction-list batch buffers in flight. >= 2 runs
+  /// the asynchronous pipeline — the host walks batch k+1 while the
+  /// device thread evaluates batch k (grape::AsyncDevice), with the
+  /// emulated boards running board-parallel inside each job. 0 or 1
+  /// evaluates synchronously on the calling thread, as the pre-pipeline
+  /// code did. Groups are submitted in the same order with the same
+  /// chunking either way, so results are bitwise-identical across all
+  /// values (determinism_test checks this).
+  std::uint32_t pipeline_depth = 2;
 };
 
 /// Per-engine cumulative statistics (reset with reset_stats()).
@@ -51,7 +60,9 @@ struct EngineStats {
   /// seconds_total; divide by the thread count for a wall-clock estimate.
   double seconds_walk = 0.0;
   /// Force kernel (host, same per-lane summing as seconds_walk) or
-  /// emulator wall (grape engines, serial).
+  /// emulator wall (grape engines; with pipeline_depth >= 2 this runs
+  /// concurrently with the walk, so it can overlap seconds_walk and
+  /// exceed its share of seconds_total).
   double seconds_kernel = 0.0;
   std::uint64_t groups = 0;          ///< interaction lists shipped
 };

@@ -29,6 +29,26 @@ std::pair<double, double> configure_device_window(
   return {lo, hi};
 }
 
+grape::AsyncDevice* ensure_async_device(
+    std::unique_ptr<grape::AsyncDevice>& async,
+    const std::shared_ptr<grape::Grape5Device>& device,
+    std::uint32_t pipeline_depth, std::size_t queue_capacity) {
+  if (pipeline_depth < 2) {
+    async.reset();  // switch back to the synchronous path
+    return nullptr;
+  }
+  if (async &&
+      (async->failed() || async->queue_capacity() < queue_capacity)) {
+    async.reset();  // poisoned by a device error, or the batch grew
+  }
+  if (!async) {
+    grape::AsyncDevice::Config cfg;
+    cfg.queue_capacity = queue_capacity;
+    async = std::make_unique<grape::AsyncDevice>(device, cfg);
+  }
+  return async.get();
+}
+
 GrapeDirectEngine::GrapeDirectEngine(
     const ForceParams& params, std::shared_ptr<grape::Grape5Device> device)
     : ForceEngine(params), device_(std::move(device)) {
@@ -44,12 +64,40 @@ void GrapeDirectEngine::compute(model::ParticleSet& pset) {
 
   configure_device_window(*device_, pset, params_.eps);
 
-  const auto before = device_->system().account();
-  device_->compute_forces_chunked(pset.pos(), pset.pos(), pset.mass(),
-                                  pset.acc(), pset.pot());
-  const auto& after = device_->system().account();
-  stats_.interactions += after.interactions - before.interactions;
-  stats_.seconds_kernel += after.emulation_wall - before.emulation_wall;
+  grape::AsyncDevice* async =
+      ensure_async_device(async_, device_, params_.pipeline_depth, 1);
+  if (async != nullptr) {
+    // One job covering the whole set: direct summation has no walk to
+    // overlap, but the async layer's board-parallel evaluation still
+    // applies (bitwise-identical; see Grape5System::set_eval_pool).
+    job_ = grape::ForceJob{};
+    job_.i_pos = pset.pos();
+    job_.j_pos = pset.pos();
+    job_.j_mass = pset.mass();
+    job_.acc = pset.acc();
+    job_.pot = pset.pot();
+    try {
+      async->submit(job_);
+      async->drain();
+    } catch (...) {
+      try {
+        async_->drain();
+      } catch (...) {
+      }
+      async_.reset();
+      throw;
+    }
+    const grape::AsyncDevice::Completed done = async->take_completed();
+    stats_.interactions += done.interactions;
+    stats_.seconds_kernel += done.emulation_seconds;
+  } else {
+    const auto before = device_->system().account();
+    device_->compute_forces_chunked(pset.pos(), pset.pos(), pset.mass(),
+                                    pset.acc(), pset.pot());
+    const auto& after = device_->system().account();
+    stats_.interactions += after.interactions - before.interactions;
+    stats_.seconds_kernel += after.emulation_wall - before.emulation_wall;
+  }
 
   // j includes every i; the pipeline's coincident-pair cut drops the
   // self term, so no correction is needed.
@@ -66,23 +114,51 @@ void GrapeDirectEngine::compute_targets(
 
   configure_device_window(*device_, pset, params_.eps);
 
-  // Gather targets as i-particles against the whole set as j.
-  std::vector<math::Vec3d> i_pos(targets.size());
-  std::vector<math::Vec3d> acc(targets.size());
-  std::vector<double> pot(targets.size());
+  // Gather targets as i-particles against the whole set as j. The
+  // buffers are members: an in-flight async job reads/writes them.
+  i_pos_.resize(targets.size());
+  acc_.resize(targets.size());
+  pot_.resize(targets.size());
   for (std::size_t k = 0; k < targets.size(); ++k) {
-    i_pos[k] = pset.pos()[targets[k]];
+    i_pos_[k] = pset.pos()[targets[k]];
   }
-  const auto before = device_->system().account();
-  device_->compute_forces_chunked(i_pos, pset.pos(), pset.mass(), acc, pot);
-  const auto& after = device_->system().account();
-  stats_.interactions += after.interactions - before.interactions;
-  stats_.seconds_kernel += after.emulation_wall - before.emulation_wall;
+
+  grape::AsyncDevice* async =
+      ensure_async_device(async_, device_, params_.pipeline_depth, 1);
+  if (async != nullptr) {
+    job_ = grape::ForceJob{};
+    job_.i_pos = i_pos_;
+    job_.j_pos = pset.pos();
+    job_.j_mass = pset.mass();
+    job_.acc = acc_;
+    job_.pot = pot_;
+    try {
+      async->submit(job_);
+      async->drain();
+    } catch (...) {
+      try {
+        async_->drain();
+      } catch (...) {
+      }
+      async_.reset();
+      throw;
+    }
+    const grape::AsyncDevice::Completed done = async->take_completed();
+    stats_.interactions += done.interactions;
+    stats_.seconds_kernel += done.emulation_seconds;
+  } else {
+    const auto before = device_->system().account();
+    device_->compute_forces_chunked(i_pos_, pset.pos(), pset.mass(), acc_,
+                                    pot_);
+    const auto& after = device_->system().account();
+    stats_.interactions += after.interactions - before.interactions;
+    stats_.seconds_kernel += after.emulation_wall - before.emulation_wall;
+  }
 
   for (std::size_t k = 0; k < targets.size(); ++k) {
     const std::uint32_t t = targets[k];
-    pset.acc()[t] = acc[k];
-    pset.pot()[t] = pot[k];
+    pset.acc()[t] = acc_[k];
+    pset.pot()[t] = pot_[k];
   }
   ++stats_.evaluations;
   stats_.seconds_total += total.elapsed();

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <vector>
 
 #include "obs/registry.hpp"
 #include "obs/span.hpp"
@@ -33,7 +34,63 @@ void reduce_walk_scratch(const std::vector<WalkScratch>& scratch,
   }
 }
 
+/// Publish the pipeline concurrency fraction: how much of the shorter of
+/// {host walk wall, device busy wall} was hidden behind the other. 1 =
+/// the cheaper phase was fully overlapped, 0 = the phases ran serially
+/// (the additive Section 5 model).
+void publish_overlap(double walk_wall, double device_busy,
+                     double pipeline_wall) {
+  if (!obs::enabled()) return;
+  const double additive = walk_wall + device_busy;
+  const double overlap = std::max(0.0, additive - pipeline_wall);
+  const double denom = std::min(walk_wall, device_busy);
+  obs::gauge("g5.pipeline.overlap")
+      .set(denom > 0.0 ? std::min(overlap / denom, 1.0) : 0.0);
+}
+
+std::size_t list_reserved_bytes(const tree::InteractionList& list) {
+  return list.pos.capacity() * sizeof(math::Vec3d) +
+         list.mass.capacity() * sizeof(double) +
+         list.quad.capacity() * sizeof(tree::Quadrupole);
+}
+
 }  // namespace
+
+void ListBufferPool::ensure(std::size_t slots) {
+  if (slots_.size() < slots) {
+    slots_.resize(slots);
+    used_.resize(slots, 0);
+  }
+}
+
+void ListBufferPool::record_use(std::size_t i) {
+  used_[i] = std::max(used_[i], slots_[i].size());
+}
+
+void ListBufferPool::end_phase() {
+  std::size_t total = 0;
+  for (const auto& list : slots_) total += list_reserved_bytes(list);
+  peak_bytes_ = std::max(peak_bytes_, total);
+  if (obs::enabled() && peak_bytes_ > counted_peak_bytes_) {
+    // Monotone counter tracking the high-water mark: publish the delta so
+    // the counter's value always equals peak_bytes().
+    obs::counter("g5.walk.list_bytes_peak")
+        .add(peak_bytes_ - counted_peak_bytes_);
+    counted_peak_bytes_ = peak_bytes_;
+  }
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    tree::InteractionList& list = slots_[i];
+    const std::size_t used = std::max(used_[i], kMinEntries);
+    if (list.pos.capacity() > kShrinkFactor * used) {
+      // Swap-shrink: shrink_to_fit is a non-binding request, a fresh
+      // vector with an exact reserve is not.
+      tree::InteractionList fresh;
+      fresh.reserve(used);
+      list = std::move(fresh);
+    }
+    used_[i] = 0;
+  }
+}
 
 GrapeTreeEngine::GrapeTreeEngine(const ForceParams& params,
                                  std::shared_ptr<grape::Grape5Device> device)
@@ -65,8 +122,7 @@ void GrapeTreeEngine::compute(model::ParticleSet& pset) {
   // Hardware setup for this force phase: window from the current hull.
   configure_device_window(*device_, pset, params_.eps);
 
-  const auto groups =
-      tree::collect_groups(tree_, tree::GroupConfig{params_.n_crit});
+  tree::collect_groups(tree_, tree::GroupConfig{params_.n_crit}, groups_);
   const tree::WalkConfig walk_cfg{params_.theta, params_.mac};
   const auto& orig = tree_.original_index();
 
@@ -76,59 +132,151 @@ void GrapeTreeEngine::compute(model::ParticleSet& pset) {
   }
 
   // Per batch of groups: host lanes build the shared interaction lists in
-  // parallel (phase 2), then GRAPE evaluates them serially in group order
-  // (phase 3, the device is a single shared resource) and the host
-  // scatters results. Batching bounds the lists held in memory while
-  // keeping every lane busy during the walk phase.
+  // parallel (phase 2), then GRAPE evaluates them in group order (phase
+  // 3). Batching bounds the lists held in memory while keeping every lane
+  // busy during the walk phase.
+  //
+  // With pipeline_depth >= 2 the evaluation moves to the AsyncDevice
+  // submitter thread and the batches double-buffer: while the device
+  // grinds batch k's jobs, the lanes walk batch k+1 into the next buffer
+  // set. Group order, chunking, and the per-board reduction order are
+  // unchanged, so the result is bitwise-identical to the synchronous
+  // path (determinism_test pins this).
   auto& pool = ensure_walk_pool(pool_, params_.threads, scratch_);
   const std::size_t batch =
       std::max<std::size_t>(std::size_t{4} * pool.size(), 8);
-  if (batch_lists_.size() < std::min(batch, groups.size())) {
-    batch_lists_.resize(std::min(batch, groups.size()));
-  }
-  for (std::size_t base = 0; base < groups.size(); base += batch) {
-    const std::size_t m = std::min(batch, groups.size() - base);
-    // Lane-ownership contract (WalkScratch doc): each lane touches only
-    // scratch_[lane] and its own batch_lists_ slots, checked by TSan.
+  const std::size_t depth = std::min<std::size_t>(
+      std::max<std::size_t>(params_.pipeline_depth, 2), 8);
+  grape::AsyncDevice* async = ensure_async_device(
+      async_, device_, params_.pipeline_depth, depth * batch);
+
+  if (async != nullptr) {
+    lists_.ensure(depth * batch);
+    if (jobs_.size() < depth) jobs_.resize(depth);
+    // Last ticket submitted per buffer set: the set is recycled only
+    // once that ticket has completed.
+    std::vector<grape::AsyncDevice::Ticket> last_ticket(depth, 0);
+    double walk_wall = 0.0;
+    double pipeline_wall = 0.0;
+    util::Stopwatch pipe_watch;
+    try {
+      G5_OBS_SPAN("pipeline", "engine");
+      std::size_t set_index = 0;
+      for (std::size_t base = 0; base < groups_.size();
+           base += batch, ++set_index) {
+        const std::size_t m = std::min(batch, groups_.size() - base);
+        const std::size_t set = set_index % depth;
+        async->wait_for(last_ticket[set]);
+        util::Stopwatch walk_watch;
+        {
+          // Lane-ownership contract (WalkScratch doc): each lane touches
+          // only scratch_[lane] and the list slots of the groups it was
+          // assigned, checked by TSan.
+          G5_OBS_SPAN("walk", "tree");
+          pool.parallel_for(
+              m, 1, [&](std::size_t begin, std::size_t end, unsigned lane) {
+                WalkScratch& ws = scratch_[lane];
+                util::Stopwatch lap;
+                for (std::size_t i = begin; i < end; ++i) {
+                  lap.restart();
+                  const std::size_t slot = set * batch + i;
+                  tree::walk_group(tree_, groups_[base + i], walk_cfg,
+                                   lists_.slot(slot), &ws.walk);
+                  lists_.record_use(slot);
+                  ws.seconds_walk += lap.lap();
+                }
+              });
+        }
+        walk_wall += walk_watch.elapsed();
+        auto& jobs = jobs_[set];
+        if (jobs.size() < m) jobs.resize(m);
+        for (std::size_t i = 0; i < m; ++i) {
+          const tree::Group& group = groups_[base + i];
+          const tree::InteractionList& list = lists_.slot(set * batch + i);
+          grape::ForceJob& job = jobs[i];
+          job = grape::ForceJob{};
+          job.i_pos = std::span<const math::Vec3d>(
+              tree_.sorted_pos().data() + group.first, group.count);
+          job.j_pos = list.pos;
+          job.j_mass = list.mass;
+          job.acc = std::span<math::Vec3d>(acc_sorted_.data() + group.first,
+                                           group.count);
+          job.pot =
+              std::span<double>(pot_sorted_.data() + group.first, group.count);
+          last_ticket[set] = async->submit(job);
+          ++stats_.groups;
+        }
+      }
+      async->drain();
+      {
+        // Under a walk span so walk.cpu files at a ".../walk/walk.cpu"
+        // path like the synchronous engines'.
+        G5_OBS_SPAN("walk", "tree");
+        reduce_walk_scratch(scratch_, stats_);
+      }
+      pipeline_wall = pipe_watch.elapsed();
+    } catch (...) {
+      // Let the submitter finish/skip whatever is queued (our buffers are
+      // members, still alive), then rebuild it on the next compute.
+      try {
+        async_->drain();
+      } catch (...) {
+      }
+      async_.reset();
+      throw;
+    }
+    const grape::AsyncDevice::Completed done = async->take_completed();
+    stats_.interactions += done.interactions;
+    stats_.seconds_kernel += done.emulation_seconds;
+    publish_overlap(walk_wall, done.busy_seconds, pipeline_wall);
+  } else {
+    lists_.ensure(std::min(batch, groups_.size()));
+    for (std::size_t base = 0; base < groups_.size(); base += batch) {
+      const std::size_t m = std::min(batch, groups_.size() - base);
+      // Lane-ownership contract (WalkScratch doc): each lane touches only
+      // scratch_[lane] and its own list slots, checked by TSan.
+      {
+        G5_OBS_SPAN("walk", "tree");
+        pool.parallel_for(
+            m, 1, [&](std::size_t begin, std::size_t end, unsigned lane) {
+              WalkScratch& ws = scratch_[lane];
+              util::Stopwatch lap;
+              for (std::size_t i = begin; i < end; ++i) {
+                lap.restart();
+                tree::walk_group(tree_, groups_[base + i], walk_cfg,
+                                 lists_.slot(i), &ws.walk);
+                lists_.record_use(i);
+                ws.seconds_walk += lap.lap();
+              }
+            });
+      }
+      G5_OBS_SPAN("eval", "grape");
+      for (std::size_t i = 0; i < m; ++i) {
+        const tree::Group& group = groups_[base + i];
+        const tree::InteractionList& list = lists_.slot(i);
+        std::span<const math::Vec3d> targets(
+            tree_.sorted_pos().data() + group.first, group.count);
+        const auto before = device_->system().account();
+        device_->compute_forces_chunked(
+            targets, list.pos, list.mass,
+            std::span<math::Vec3d>(acc_sorted_.data() + group.first,
+                                   group.count),
+            std::span<double>(pot_sorted_.data() + group.first, group.count));
+        const auto& after = device_->system().account();
+        stats_.interactions += after.interactions - before.interactions;
+        stats_.seconds_kernel += after.emulation_wall - before.emulation_wall;
+        ++stats_.groups;
+      }
+    }
     {
+      // Under a walk span so walk.cpu files at the same path as in
+      // HostTreeEngine ("/force/walk/walk.cpu"); the scope itself only
+      // adds the (negligible) reduction time to the walk phase.
       G5_OBS_SPAN("walk", "tree");
-      pool.parallel_for(
-          m, 1, [&](std::size_t begin, std::size_t end, unsigned lane) {
-            WalkScratch& ws = scratch_[lane];
-            util::Stopwatch lap;
-            for (std::size_t i = begin; i < end; ++i) {
-              lap.restart();
-              tree::walk_group(tree_, groups[base + i], walk_cfg,
-                               batch_lists_[i], &ws.walk);
-              ws.seconds_walk += lap.lap();
-            }
-          });
-    }
-    G5_OBS_SPAN("eval", "grape");
-    for (std::size_t i = 0; i < m; ++i) {
-      const tree::Group& group = groups[base + i];
-      const tree::InteractionList& list = batch_lists_[i];
-      std::span<const math::Vec3d> targets(
-          tree_.sorted_pos().data() + group.first, group.count);
-      const auto before = device_->system().account();
-      device_->compute_forces_chunked(
-          targets, list.pos, list.mass,
-          std::span<math::Vec3d>(acc_sorted_.data() + group.first,
-                                 group.count),
-          std::span<double>(pot_sorted_.data() + group.first, group.count));
-      const auto& after = device_->system().account();
-      stats_.interactions += after.interactions - before.interactions;
-      stats_.seconds_kernel += after.emulation_wall - before.emulation_wall;
-      ++stats_.groups;
+      reduce_walk_scratch(scratch_, stats_);
     }
   }
-  {
-    // Under a walk span so walk.cpu files at the same path as in
-    // HostTreeEngine ("/force/walk/walk.cpu"); the scope itself only
-    // adds the (negligible) reduction time to the walk phase.
-    G5_OBS_SPAN("walk", "tree");
-    reduce_walk_scratch(scratch_, stats_);
-  }
+  lists_.end_phase();
 
   // Scatter sorted-order results back to the caller's ordering.
   for (std::size_t slot = 0; slot < n; ++slot) {
@@ -169,49 +317,131 @@ void GrapeTreeEngine::compute_targets(model::ParticleSet& pset,
   // with the target as the single i-particle. (The grouped algorithm
   // pays off for full-set evaluations; scattered subsets use the
   // original per-particle lists, as individual-timestep GRAPE codes did.)
-  // Walks run batched across the host lanes; the device stays serial.
+  // Walks run batched across the host lanes; with pipeline_depth >= 2
+  // the evaluations run on the AsyncDevice thread, double-buffered
+  // against the next batch's walks, exactly as in compute().
   const tree::WalkConfig walk_cfg{params_.theta, params_.mac};
   auto& pool = ensure_walk_pool(pool_, params_.threads, scratch_);
   const std::size_t batch =
       std::max<std::size_t>(std::size_t{16} * pool.size(), 64);
-  if (batch_lists_.size() < std::min(batch, targets.size())) {
-    batch_lists_.resize(std::min(batch, targets.size()));
-  }
-  for (std::size_t base = 0; base < targets.size(); base += batch) {
-    const std::size_t m = std::min(batch, targets.size() - base);
+  const std::size_t depth = std::min<std::size_t>(
+      std::max<std::size_t>(params_.pipeline_depth, 2), 8);
+  grape::AsyncDevice* async = ensure_async_device(
+      async_, device_, params_.pipeline_depth, depth * batch);
+
+  if (async != nullptr) {
+    lists_.ensure(depth * batch);
+    if (jobs_.size() < depth) jobs_.resize(depth);
+    if (target_pos_.size() < depth) target_pos_.resize(depth);
+    std::vector<grape::AsyncDevice::Ticket> last_ticket(depth, 0);
+    double walk_wall = 0.0;
+    double pipeline_wall = 0.0;
+    util::Stopwatch pipe_watch;
+    try {
+      G5_OBS_SPAN("pipeline", "engine");
+      std::size_t set_index = 0;
+      for (std::size_t base = 0; base < targets.size();
+           base += batch, ++set_index) {
+        const std::size_t m = std::min(batch, targets.size() - base);
+        const std::size_t set = set_index % depth;
+        async->wait_for(last_ticket[set]);
+        util::Stopwatch walk_watch;
+        {
+          G5_OBS_SPAN("walk", "tree");
+          pool.parallel_for(
+              m, 8, [&](std::size_t begin, std::size_t end, unsigned lane) {
+                WalkScratch& ws = scratch_[lane];
+                util::Stopwatch lap;
+                for (std::size_t i = begin; i < end; ++i) {
+                  lap.restart();
+                  const std::size_t slot = set * batch + i;
+                  tree::walk_original(tree_, pset.pos()[targets[base + i]],
+                                      walk_cfg, lists_.slot(slot), &ws.walk);
+                  lists_.record_use(slot);
+                  ws.seconds_walk += lap.lap();
+                }
+              });
+        }
+        walk_wall += walk_watch.elapsed();
+        auto& jobs = jobs_[set];
+        if (jobs.size() < m) jobs.resize(m);
+        // Target positions must outlive the in-flight job — persist them
+        // in the set's buffer (a stack local would dangle).
+        auto& tpos = target_pos_[set];
+        if (tpos.size() < m) tpos.resize(m);
+        for (std::size_t i = 0; i < m; ++i) {
+          const std::uint32_t t = targets[base + i];
+          const tree::InteractionList& list = lists_.slot(set * batch + i);
+          tpos[i] = pset.pos()[t];
+          grape::ForceJob& job = jobs[i];
+          job = grape::ForceJob{};
+          job.i_pos = std::span<const math::Vec3d>(&tpos[i], 1);
+          job.j_pos = list.pos;
+          job.j_mass = list.mass;
+          job.acc = std::span<math::Vec3d>(&pset.acc()[t], 1);
+          job.pot = std::span<double>(&pset.pot()[t], 1);
+          last_ticket[set] = async->submit(job);
+          ++stats_.groups;
+        }
+      }
+      async->drain();
+      {
+        G5_OBS_SPAN("walk", "tree");
+        reduce_walk_scratch(scratch_, stats_);
+      }
+      pipeline_wall = pipe_watch.elapsed();
+    } catch (...) {
+      try {
+        async_->drain();
+      } catch (...) {
+      }
+      async_.reset();
+      throw;
+    }
+    const grape::AsyncDevice::Completed done = async->take_completed();
+    stats_.interactions += done.interactions;
+    stats_.seconds_kernel += done.emulation_seconds;
+    publish_overlap(walk_wall, done.busy_seconds, pipeline_wall);
+  } else {
+    lists_.ensure(std::min(batch, targets.size()));
+    for (std::size_t base = 0; base < targets.size(); base += batch) {
+      const std::size_t m = std::min(batch, targets.size() - base);
+      {
+        G5_OBS_SPAN("walk", "tree");
+        pool.parallel_for(
+            m, 8, [&](std::size_t begin, std::size_t end, unsigned lane) {
+              WalkScratch& ws = scratch_[lane];
+              util::Stopwatch lap;
+              for (std::size_t i = begin; i < end; ++i) {
+                lap.restart();
+                tree::walk_original(tree_, pset.pos()[targets[base + i]],
+                                    walk_cfg, lists_.slot(i), &ws.walk);
+                lists_.record_use(i);
+                ws.seconds_walk += lap.lap();
+              }
+            });
+      }
+      G5_OBS_SPAN("eval", "grape");
+      for (std::size_t i = 0; i < m; ++i) {
+        const std::uint32_t t = targets[base + i];
+        const tree::InteractionList& list = lists_.slot(i);
+        const math::Vec3d xi = pset.pos()[t];
+        const auto before = device_->system().account();
+        device_->compute_forces_chunked({&xi, 1}, list.pos, list.mass,
+                                        {&pset.acc()[t], 1},
+                                        {&pset.pot()[t], 1});
+        const auto& after = device_->system().account();
+        stats_.interactions += after.interactions - before.interactions;
+        stats_.seconds_kernel += after.emulation_wall - before.emulation_wall;
+        ++stats_.groups;
+      }
+    }
     {
-      G5_OBS_SPAN("walk", "tree");
-      pool.parallel_for(
-          m, 8, [&](std::size_t begin, std::size_t end, unsigned lane) {
-            WalkScratch& ws = scratch_[lane];
-            util::Stopwatch lap;
-            for (std::size_t i = begin; i < end; ++i) {
-              lap.restart();
-              tree::walk_original(tree_, pset.pos()[targets[base + i]],
-                                  walk_cfg, batch_lists_[i], &ws.walk);
-              ws.seconds_walk += lap.lap();
-            }
-          });
-    }
-    G5_OBS_SPAN("eval", "grape");
-    for (std::size_t i = 0; i < m; ++i) {
-      const std::uint32_t t = targets[base + i];
-      const tree::InteractionList& list = batch_lists_[i];
-      const math::Vec3d xi = pset.pos()[t];
-      const auto before = device_->system().account();
-      device_->compute_forces_chunked({&xi, 1}, list.pos, list.mass,
-                                      {&pset.acc()[t], 1},
-                                      {&pset.pot()[t], 1});
-      const auto& after = device_->system().account();
-      stats_.interactions += after.interactions - before.interactions;
-      stats_.seconds_kernel += after.emulation_wall - before.emulation_wall;
-      ++stats_.groups;
+      G5_OBS_SPAN("walk", "tree");  // same path as compute(), see above
+      reduce_walk_scratch(scratch_, stats_);
     }
   }
-  {
-    G5_OBS_SPAN("walk", "tree");  // same path as compute(), see above
-    reduce_walk_scratch(scratch_, stats_);
-  }
+  lists_.end_phase();
   ++stats_.evaluations;
   stats_.seconds_total += total.elapsed();
 }

@@ -105,15 +105,14 @@ void HostTreeEngine::compute(model::ParticleSet& pset) {
           }
         });
   } else {
-    const auto groups =
-        tree::collect_groups(tree_, tree::GroupConfig{params_.n_crit});
+    tree::collect_groups(tree_, tree::GroupConfig{params_.n_crit}, groups_);
     pool.parallel_for(
-        groups.size(), 1,
+        groups_.size(), 1,
         [&](std::size_t begin, std::size_t end, unsigned lane) {
           WalkScratch& ws = scratch_[lane];
           util::Stopwatch lap;
           for (std::size_t gi = begin; gi < end; ++gi) {
-            const tree::Group& group = groups[gi];
+            const tree::Group& group = groups_[gi];
             lap.restart();
             tree::walk_group(tree_, group, walk_cfg, ws.list, &ws.walk);
             ws.seconds_walk += lap.lap();

@@ -5,12 +5,56 @@
 #include <string>
 
 #include "core/engine.hpp"
+#include "grape/async_device.hpp"
 #include "grape/driver.hpp"
 #include "tree/groupwalk.hpp"
 #include "tree/tree.hpp"
 #include "util/parallel.hpp"
 
 namespace g5::core {
+
+/// Recycled interaction-list buffers for the device pipeline. Slots keep
+/// their heap capacity across batches and steps so steady-state walks
+/// allocate nothing; record_use() tracks the high-water entry count per
+/// slot and end_phase() (a) publishes the reserved-bytes peak to the
+/// monotone g5.walk.list_bytes_peak counter and (b) releases the excess
+/// capacity of slots that hold more than kShrinkFactor x their observed
+/// use, so one pathological batch cannot pin memory for a whole run.
+///
+/// Threading follows the WalkScratch lane-ownership contract: inside a
+/// parallel walk each lane touches only the slots of the groups it was
+/// assigned; ensure()/end_phase() run on the calling thread outside any
+/// parallel region (and after the device drained, for pipelined slots).
+class ListBufferPool {
+ public:
+  /// Grow to at least `slots` buffers (never shrinks the slot count).
+  void ensure(std::size_t slots);
+  [[nodiscard]] std::size_t size() const noexcept { return slots_.size(); }
+  [[nodiscard]] tree::InteractionList& slot(std::size_t i) {
+    return slots_[i];
+  }
+  /// Record slot i's current entry count toward its high-water mark.
+  /// Call after each walk into the slot, from the owning lane.
+  void record_use(std::size_t i);
+  /// End of a force phase: publish the peak and apply the shrink policy.
+  void end_phase();
+  /// High-water total of bytes reserved across slots (whole lifetime).
+  [[nodiscard]] std::size_t peak_bytes() const noexcept { return peak_bytes_; }
+
+ private:
+  /// Shrink a slot once its capacity exceeds this multiple of its
+  /// observed use; 4x leaves comfortable headroom for step-to-step
+  /// list-length jitter while still bounding the waste.
+  static constexpr std::size_t kShrinkFactor = 4;
+  /// Never shrink below this many entries; tiny lists are not worth the
+  /// reallocation churn.
+  static constexpr std::size_t kMinEntries = 256;
+
+  std::vector<tree::InteractionList> slots_;
+  std::vector<std::size_t> used_;  ///< per-slot high-water entries, per phase
+  std::size_t peak_bytes_ = 0;
+  std::size_t counted_peak_bytes_ = 0;  ///< already published to obs
+};
 
 /// Per-lane scratch for parallel tree walks: each pool lane owns an
 /// interaction list, acc/pot buffers and private stat/timer accumulators,
@@ -86,6 +130,7 @@ class HostTreeEngine final : public ForceEngine {
   tree::BhTree tree_;
   std::unique_ptr<util::ThreadPool> pool_;
   std::vector<WalkScratch> scratch_;
+  std::vector<tree::Group> groups_;  ///< reused across steps (Modified mode)
 
   /// Reduce per-lane accumulators into stats_ (lane order).
   void reduce_scratch();
@@ -111,6 +156,17 @@ class GrapeDirectEngine final : public ForceEngine {
 
  private:
   std::shared_ptr<grape::Grape5Device> device_;
+  /// Async submission layer (pipeline_depth >= 2). Direct summation has
+  /// no walk to overlap, but routing through AsyncDevice still buys the
+  /// board-parallel evaluation it attaches to the device. Declared after
+  /// device_ so it is destroyed (joining its thread) first.
+  std::unique_ptr<grape::AsyncDevice> async_;
+  /// Job + gathered-target buffers; must outlive the in-flight job, so
+  /// they are members rather than locals.
+  grape::ForceJob job_;
+  std::vector<math::Vec3d> i_pos_;
+  std::vector<math::Vec3d> acc_;
+  std::vector<double> pot_;
 };
 
 /// The paper's system: Barnes' modified treecode with interaction lists
@@ -132,12 +188,24 @@ class GrapeTreeEngine final : public ForceEngine {
 
  private:
   std::shared_ptr<grape::Grape5Device> device_;
+  /// Async submission layer (pipeline_depth >= 2): walk batch k+1
+  /// overlaps device evaluation of batch k. Declared after device_ so it
+  /// is destroyed (joining its thread) before the device and the list /
+  /// output buffers it reads. nullptr on the synchronous path.
+  std::unique_ptr<grape::AsyncDevice> async_;
   tree::BhTree tree_;
   std::unique_ptr<util::ThreadPool> pool_;
   std::vector<WalkScratch> scratch_;
-  /// Lists of the group batch in flight: walked in parallel, then
-  /// streamed through the device serially in group order.
-  std::vector<tree::InteractionList> batch_lists_;
+  std::vector<tree::Group> groups_;  ///< reused across steps
+  /// Interaction lists of the batches in flight: pipeline_depth sets of
+  /// `batch` slots each (slot = set * batch + i); a set is recycled only
+  /// after its last job's ticket completes.
+  ListBufferPool lists_;
+  /// Per-set job descriptors and (compute_targets only) target
+  /// positions; like the lists, they must stay valid until the set's
+  /// tickets complete, so they are members indexed by set.
+  std::vector<std::vector<grape::ForceJob>> jobs_;
+  std::vector<std::vector<math::Vec3d>> target_pos_;
   std::vector<math::Vec3d> acc_sorted_;
   std::vector<double> pot_sorted_;
 };
@@ -153,5 +221,15 @@ std::unique_ptr<ForceEngine> make_engine(
 /// softening before a force phase. Returns the window used.
 std::pair<double, double> configure_device_window(
     grape::Grape5Device& device, const model::ParticleSet& pset, double eps);
+
+/// Shared helper: lazily (re)build the async submission layer of a grape
+/// engine. Returns nullptr when pipeline_depth < 2 (synchronous path);
+/// otherwise ensures `async` wraps `device` with at least
+/// `queue_capacity` queue slots, rebuilding it if a previous device
+/// error poisoned it. Called between phases only (no jobs in flight).
+grape::AsyncDevice* ensure_async_device(
+    std::unique_ptr<grape::AsyncDevice>& async,
+    const std::shared_ptr<grape::Grape5Device>& device,
+    std::uint32_t pipeline_depth, std::size_t queue_capacity);
 
 }  // namespace g5::core

@@ -7,6 +7,7 @@
 #include "obs/registry.hpp"
 #include "obs/span.hpp"
 #include "util/log.hpp"
+#include "util/parallel.hpp"
 #include "util/timer.hpp"
 
 namespace g5::grape {
@@ -123,11 +124,19 @@ std::size_t Grape5System::compute(std::span<const Vec3d> i_pos,
   std::fill_n(sat_flags_.begin(), ni, std::uint8_t{0});
 
   util::Stopwatch watch;
+  std::size_t active_boards = 0;
+  for (const auto& board : boards_) {
+    if (board->j_count() > 0) ++active_boards;
+  }
   std::size_t interactions = 0;
-  for (auto& board : boards_) {
-    if (board->j_count() == 0) continue;
-    interactions += board->run(i_pos.data(), ni, out_acc.data(),
-                               out_pot.data(), sat_flags_.data());
+  if (eval_pool_ != nullptr && eval_pool_->size() > 1 && active_boards > 1) {
+    interactions = run_boards_parallel(i_pos, out_acc, out_pot);
+  } else {
+    for (auto& board : boards_) {
+      if (board->j_count() == 0) continue;
+      interactions += board->run(i_pos.data(), ni, out_acc.data(),
+                                 out_pot.data(), sat_flags_.data());
+    }
   }
   bool call_saturated = false;
   for (std::size_t i = 0; i < ni; ++i) call_saturated |= (sat_flags_[i] != 0);
@@ -158,6 +167,48 @@ std::size_t Grape5System::compute(std::span<const Vec3d> i_pos,
                           "range window or mass scale is mis-set";
     }
     saturated_ = true;  // latched until reset_account()
+  }
+  return interactions;
+}
+
+std::size_t Grape5System::run_boards_parallel(std::span<const Vec3d> i_pos,
+                                              std::span<Vec3d> out_acc,
+                                              std::span<double> out_pot) {
+  const std::size_t ni = i_pos.size();
+  eval_scratch_.resize(boards_.size());
+  for (std::size_t b = 0; b < boards_.size(); ++b) {
+    if (boards_[b]->j_count() == 0) continue;
+    BoardScratch& sc = eval_scratch_[b];
+    sc.acc.assign(ni, Vec3d{});
+    sc.pot.assign(ni, 0.0);
+    sc.sat.assign(ni, 0);
+    sc.interactions = 0;
+  }
+  // One lane per board; board b touches only eval_scratch_[b] (lane
+  // ownership, checked by TSan — the scratch doc in system.hpp).
+  eval_pool_->parallel_for(
+      boards_.size(), 1,
+      [&](std::size_t begin, std::size_t end, unsigned /*lane*/) {
+        for (std::size_t b = begin; b < end; ++b) {
+          if (boards_[b]->j_count() == 0) continue;
+          BoardScratch& sc = eval_scratch_[b];
+          sc.interactions = boards_[b]->run(i_pos.data(), ni, sc.acc.data(),
+                                            sc.pot.data(), sc.sat.data());
+        }
+      });
+  // Reduce in board order: out[i] accumulates (0 + f_b0) + f_b1 + ...,
+  // the exact double-addition sequence of the serial board loop, so the
+  // result is bitwise-identical.
+  std::size_t interactions = 0;
+  for (std::size_t b = 0; b < boards_.size(); ++b) {
+    if (boards_[b]->j_count() == 0) continue;
+    const BoardScratch& sc = eval_scratch_[b];
+    interactions += sc.interactions;
+    for (std::size_t i = 0; i < ni; ++i) {
+      out_acc[i] += sc.acc[i];
+      out_pot[i] += sc.pot[i];
+      sat_flags_[i] = static_cast<std::uint8_t>(sat_flags_[i] | sc.sat[i]);
+    }
   }
   return interactions;
 }

@@ -20,6 +20,10 @@
 #include "grape/timing.hpp"
 #include "math/vec3.hpp"
 
+namespace g5::util {
+class ThreadPool;
+}
+
 namespace g5::grape {
 
 class Grape5System {
@@ -64,6 +68,19 @@ class Grape5System {
   /// Communication meters (aggregated over boards).
   [[nodiscard]] std::uint64_t bytes_moved() const;
 
+  /// Attach a worker pool that compute() uses to run the emulated boards
+  /// concurrently (the silicon boards always ran concurrently; the
+  /// emulation is serial only for want of host cores). Each board writes
+  /// a private partial-force scratch and the host reduces them in board
+  /// order, so results are bitwise-identical to the serial path. The
+  /// caller owns the pool and must keep it alive until it detaches with
+  /// nullptr; compute() itself remains single-caller (one compute at a
+  /// time), as before.
+  void set_eval_pool(util::ThreadPool* pool) noexcept { eval_pool_ = pool; }
+  [[nodiscard]] util::ThreadPool* eval_pool() const noexcept {
+    return eval_pool_;
+  }
+
   [[nodiscard]] const PipelineScaling& scaling() const noexcept {
     return scaling_;
   }
@@ -100,6 +117,23 @@ class Grape5System {
 
   // Per-call saturation flags (byte array so boards can write through it).
   std::vector<std::uint8_t> sat_flags_;
+
+  util::ThreadPool* eval_pool_ = nullptr;  ///< not owned; see set_eval_pool
+  /// Per-board partial sums for the board-parallel path: board b runs
+  /// into slot b (lane ownership, no lock), reduced in board order.
+  struct BoardScratch {
+    std::vector<Vec3d> acc;
+    std::vector<double> pot;
+    std::vector<std::uint8_t> sat;
+    std::size_t interactions = 0;
+  };
+  std::vector<BoardScratch> eval_scratch_;
+
+  /// Board loop of compute() on eval_pool_ (one lane per board, private
+  /// scratch, in-order reduction). Returns interactions computed.
+  std::size_t run_boards_parallel(std::span<const Vec3d> i_pos,
+                                  std::span<Vec3d> out_acc,
+                                  std::span<double> out_pot);
 
   /// Publish the HIB byte-meter delta and occupancy to g5::obs (no-op
   /// when instrumentation is off).

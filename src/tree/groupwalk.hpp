@@ -39,6 +39,12 @@ struct Group {
 std::vector<Group> collect_groups(const BhTree& tree,
                                   const GroupConfig& config);
 
+/// Same, into a caller-owned vector (cleared first). The engines call
+/// this every step with a reused member so the group array's heap
+/// allocation is paid once per run, not once per step.
+void collect_groups(const BhTree& tree, const GroupConfig& config,
+                    std::vector<Group>& out);
+
 /// Build the shared interaction list of one group (external terms via the
 /// group MAC + the group's own bodies as direct terms). Returns list size.
 std::size_t walk_group(const BhTree& tree, const Group& group,

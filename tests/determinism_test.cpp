@@ -84,6 +84,59 @@ TEST(Determinism, ComovingRuns) {
   });
 }
 
+TEST(Determinism, PipelinedGrapePathsMatchSynchronous) {
+  // The async pipeline (walks overlapping device evaluation, boards
+  // running in parallel) must be bitwise-identical to the synchronous
+  // single-lane path: same group order, same chunking, same per-board
+  // reduction order.
+  for (const char* name : {"grape-tree", "grape-direct"}) {
+    auto run = [&](std::uint32_t threads, std::uint32_t depth) {
+      auto pset = ic::make_plummer(ic::PlummerConfig{.n = 512, .seed = 21});
+      ForceParams fp{.eps = 0.05, .theta = 0.6, .n_crit = 64};
+      fp.threads = threads;
+      fp.pipeline_depth = depth;
+      auto engine = core::make_engine(name, fp);
+      engine->compute(pset);
+      return pset;
+    };
+    const auto ref = run(1, 0);  // synchronous reference
+    const std::pair<std::uint32_t, std::uint32_t> combos[] = {
+        {1, 2}, {4, 2}, {4, 3}, {2, 8}};
+    for (const auto& [threads, depth] : combos) {
+      const auto got = run(threads, depth);
+      ASSERT_EQ(got.size(), ref.size());
+      for (std::size_t i = 0; i < ref.size(); ++i) {
+        ASSERT_EQ(got.acc()[i], ref.acc()[i])
+            << name << " threads=" << threads << " depth=" << depth << " " << i;
+        ASSERT_EQ(got.pot()[i], ref.pot()[i])
+            << name << " threads=" << threads << " depth=" << depth << " " << i;
+      }
+    }
+  }
+}
+
+TEST(Determinism, PipelinedTargetForcesMatchSynchronous) {
+  // Same check for the scattered-subset path (block-timestep style).
+  std::vector<std::uint32_t> targets;
+  for (std::uint32_t t = 1; t < 256; t += 3) targets.push_back(t);
+  auto run = [&](std::uint32_t threads, std::uint32_t depth) {
+    auto pset = ic::make_plummer(ic::PlummerConfig{.n = 256, .seed = 29});
+    pset.zero_force();
+    ForceParams fp{.eps = 0.05, .theta = 0.6, .n_crit = 32};
+    fp.threads = threads;
+    fp.pipeline_depth = depth;
+    auto engine = core::make_engine("grape-tree", fp);
+    engine->compute_targets(pset, targets);
+    return pset;
+  };
+  const auto ref = run(1, 0);
+  const auto got = run(4, 2);
+  for (std::size_t i = 0; i < ref.size(); ++i) {
+    ASSERT_EQ(got.acc()[i], ref.acc()[i]) << i;
+    ASSERT_EQ(got.pot()[i], ref.pot()[i]) << i;
+  }
+}
+
 TEST(Determinism, FreshDevicePerRun) {
   // Two devices constructed from the same config behave identically even
   // after one has processed unrelated work (no cross-device state).

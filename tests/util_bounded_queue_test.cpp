@@ -1,0 +1,138 @@
+// util::BoundedQueue: FIFO order, blocking backpressure, and the close
+// semantics (drain, then false) the AsyncDevice pipeline builds on. The
+// cross-thread cases run under the TSan CI job.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <vector>
+
+#include "util/bounded_queue.hpp"
+#include "util/mutex.hpp"
+#include "util/thread.hpp"
+
+namespace {
+
+using g5::util::BoundedQueue;
+
+TEST(BoundedQueue, CapacityClampsToOne) {
+  BoundedQueue<int> q(0);
+  EXPECT_EQ(q.capacity(), 1u);
+  BoundedQueue<int> r(7);
+  EXPECT_EQ(r.capacity(), 7u);
+}
+
+TEST(BoundedQueue, FifoWithinCapacity) {
+  BoundedQueue<int> q(8);
+  for (int v = 0; v < 5; ++v) EXPECT_TRUE(q.push(v));
+  EXPECT_EQ(q.size(), 5u);
+  int out = -1;
+  for (int v = 0; v < 5; ++v) {
+    ASSERT_TRUE(q.pop(out));
+    EXPECT_EQ(out, v);
+  }
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(BoundedQueue, CloseDrainsThenReturnsFalse) {
+  BoundedQueue<int> q(4);
+  EXPECT_TRUE(q.push(1));
+  EXPECT_TRUE(q.push(2));
+  q.close();
+  EXPECT_TRUE(q.closed());
+  EXPECT_FALSE(q.push(3));  // rejected after close
+  int out = 0;
+  ASSERT_TRUE(q.pop(out));
+  EXPECT_EQ(out, 1);
+  ASSERT_TRUE(q.pop(out));
+  EXPECT_EQ(out, 2);
+  EXPECT_FALSE(q.pop(out));  // drained and closed
+  q.close();                 // idempotent
+}
+
+TEST(BoundedQueue, FullPushBlocksUntilPop) {
+  BoundedQueue<int> q(1);
+  EXPECT_TRUE(q.push(1));
+  std::atomic<bool> pushed{false};
+  g5::util::Thread producer([&] {
+    EXPECT_TRUE(q.push(2));  // blocks until the main thread pops
+    pushed.store(true, std::memory_order_release);
+  });
+  int out = 0;
+  ASSERT_TRUE(q.pop(out));
+  EXPECT_EQ(out, 1);
+  ASSERT_TRUE(q.pop(out));  // waits for the producer as needed
+  EXPECT_EQ(out, 2);
+  producer.join();
+  EXPECT_TRUE(pushed.load(std::memory_order_acquire));
+}
+
+TEST(BoundedQueue, CloseWakesBlockedPop) {
+  BoundedQueue<int> q(2);
+  std::atomic<bool> finished{false};
+  g5::util::Thread consumer([&] {
+    int out = 0;
+    EXPECT_FALSE(q.pop(out));  // blocks empty, then close() wakes it
+    finished.store(true, std::memory_order_release);
+  });
+  q.close();
+  consumer.join();
+  EXPECT_TRUE(finished.load(std::memory_order_acquire));
+}
+
+TEST(BoundedQueue, SingleConsumerSeesProducerOrder) {
+  // One producer, one consumer, capacity far below the item count so the
+  // backpressure path is exercised continuously.
+  constexpr int kItems = 10000;
+  BoundedQueue<int> q(4);
+  std::vector<int> seen;
+  seen.reserve(kItems);
+  g5::util::Thread consumer([&] {
+    int out = 0;
+    while (q.pop(out)) seen.push_back(out);
+  });
+  for (int v = 0; v < kItems; ++v) ASSERT_TRUE(q.push(v));
+  q.close();
+  consumer.join();
+  ASSERT_EQ(seen.size(), static_cast<std::size_t>(kItems));
+  for (int v = 0; v < kItems; ++v) EXPECT_EQ(seen[static_cast<size_t>(v)], v);
+}
+
+TEST(BoundedQueue, MpmcDeliversEveryItemExactlyOnce) {
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 500;
+  BoundedQueue<int> q(8);
+  g5::util::Mutex sink_mutex;
+  std::vector<int> sink;
+
+  std::vector<g5::util::Thread> consumers;
+  for (int c = 0; c < 2; ++c) {
+    consumers.emplace_back([&] {
+      int out = 0;
+      while (q.pop(out)) {
+        g5::util::MutexLock lock(sink_mutex);
+        sink.push_back(out);
+      }
+    });
+  }
+  {
+    std::vector<g5::util::Thread> producers;
+    for (int p = 0; p < kProducers; ++p) {
+      producers.emplace_back([&q, p] {
+        for (int v = 0; v < kPerProducer; ++v) {
+          ASSERT_TRUE(q.push(p * kPerProducer + v));
+        }
+      });
+    }
+  }  // producers joined
+  q.close();
+  consumers.clear();  // joined
+
+  ASSERT_EQ(sink.size(), static_cast<std::size_t>(kProducers * kPerProducer));
+  std::sort(sink.begin(), sink.end());
+  for (int v = 0; v < kProducers * kPerProducer; ++v) {
+    EXPECT_EQ(sink[static_cast<std::size_t>(v)], v);
+  }
+}
+
+}  // namespace

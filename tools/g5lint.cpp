@@ -2,7 +2,7 @@
 //
 // Generic tools (clang-tidy, -Wconversion, -Wthread-safety) cannot see
 // the invariants this codebase actually relies on; g5lint closes that
-// gap with three rules, each tied to a defect class that has bitten (or
+// gap with four rules, each tied to a defect class that has bitten (or
 // would silently bite) the paper's error budget:
 //
 //   raw-stack     No fixed-size traversal stack arrays outside
@@ -21,6 +21,15 @@
 //                 code outside util/log and util/table. Bench/table
 //                 output on stdout must stay machine-parsable and log
 //                 records must stay serialized (log.cpp's emit mutex).
+//
+//   raw-thread    No std::thread / std::jthread objects outside
+//                 src/util/. Every long-lived thread must sit behind
+//                 util::Thread or util::ThreadPool so it is joined
+//                 deterministically by a destructor and synchronizes
+//                 through the annotated Mutex/CondVar primitives (see
+//                 util/thread.hpp; the AsyncDevice submitter is the
+//                 pattern to copy). Type/static-member uses such as
+//                 std::thread::id stay legal.
 //
 // A violation line can be exempted with a trailing comment:
 //     ... // g5lint: allow(rule-name) reason
@@ -261,6 +270,27 @@ void rule_raw_stdio(const Source& src, const std::vector<std::string>& code,
   }
 }
 
+// --- rule: raw-thread -----------------------------------------------
+
+// A std::thread / std::jthread mention that is not a scope access
+// (std::thread::id, std::thread::hardware_concurrency): those construct
+// or hold thread objects. The lookahead keeps type/static-member uses
+// legal anywhere.
+const std::regex kRawThread(R"(\bstd::j?thread\b(?!\s*::))");
+
+void rule_raw_thread(const Source& src, const std::vector<std::string>& code,
+                     const std::vector<std::string>& raw,
+                     std::vector<Violation>& out) {
+  if (path_contains(src.path, "util/")) return;
+  for (std::size_t i = 0; i < code.size(); ++i) {
+    if (!std::regex_search(code[i], kRawThread)) continue;
+    if (line_allows(raw[i], "raw-thread")) continue;
+    out.push_back({src.path, i + 1, "raw-thread",
+                   "raw std::thread outside util/ — use util::Thread or "
+                   "util::ThreadPool (destructor-joined, annotated sync)"});
+  }
+}
+
 // --- driver ---------------------------------------------------------
 
 std::vector<Violation> lint_source(const Source& src) {
@@ -271,6 +301,7 @@ std::vector<Violation> lint_source(const Source& src) {
   rule_raw_stack(src, code, raw, out);
   rule_codec_bypass(src, code, raw, out);
   rule_raw_stdio(src, code, raw, out);
+  rule_raw_thread(src, code, raw, out);
   return out;
 }
 
@@ -384,6 +415,22 @@ const Fixture kFixtures[] = {
      "void emit() {\n  std::fprintf(stderr, \"x\");\n}\n", nullptr},
     {"printf inside a string literal is ignored", "src/core/ok_io3.cpp",
      "const char* kHelp = \"use printf(3) formatting\";\n", nullptr},
+
+    {"raw std::thread outside util/ is caught", "src/core/bad_thread.cpp",
+     "void f() {\n  std::thread t([] {});\n  t.join();\n}\n", "raw-thread"},
+    {"std::jthread is caught too", "src/grape/bad_thread2.cpp",
+     "struct S {\n  std::jthread worker;\n};\n", "raw-thread"},
+    {"util/ may hold the raw thread", "src/util/thread.hpp",
+     "class Thread {\n  std::thread t_;\n};\n", nullptr},
+    {"std::thread::id is a type use, not a spawn", "src/obs/ok_tid.cpp",
+     "std::map<std::thread::id, int> tids;\n", nullptr},
+    {"thread mention in a comment is ignored", "src/core/ok_thread.cpp",
+     "// never use std::thread here\nvoid f();\n", nullptr},
+    {"allow() comment exempts a thread", "src/core/ok_thread2.cpp",
+     "void f() {\n"
+     "  std::thread t(fn);  // g5lint: allow(raw-thread) test harness\n"
+     "  t.join();\n}\n",
+     nullptr},
 };
 
 int self_test() {
