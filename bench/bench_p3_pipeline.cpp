@@ -115,9 +115,10 @@ int main(int argc, char** argv) {
              identical ? "yes" : "NO"});
   t.print();
   std::printf(
-      "\noverlap = fraction of the cheaper of {walk wall, device busy wall}"
-      "\nhidden behind the other (g5.pipeline.overlap; 1 = fully hidden)."
-      "\ndevice s = emulated-datapath wall from per-job accounting.\n");
+      "\noverlap = fraction of the pipeline wall the producer spent walking/"
+      "\nsubmitting while device jobs were in flight (g5.pipeline.overlap;"
+      "\n0 = strictly serial phases). device s = emulated-datapath wall"
+      "\nfrom per-job accounting.\n");
 
   if (!json.empty()) {
     std::FILE* f = std::fopen(json.c_str(), "w");

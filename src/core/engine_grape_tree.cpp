@@ -34,18 +34,22 @@ void reduce_walk_scratch(const std::vector<WalkScratch>& scratch,
   }
 }
 
-/// Publish the pipeline concurrency fraction: how much of the shorter of
-/// {host walk wall, device busy wall} was hidden behind the other. 1 =
-/// the cheaper phase was fully overlapped, 0 = the phases ran serially
-/// (the additive Section 5 model).
-void publish_overlap(double walk_wall, double device_busy,
-                     double pipeline_wall) {
+/// Publish the pipeline concurrency fraction, the additive-model excess
+/// (host_busy + device_busy − wall) / wall. That difference equals the
+/// time both sides were active at once, so we measure it directly from
+/// the producer: walk/submit wall accumulated while the device had jobs
+/// in flight. The old walk-wall formulation subtracted two large nearly
+/// equal numbers and reported 0 for runs with a real 1.08× pipelined
+/// speedup; the direct form stays positive whenever the device ground
+/// jobs while the host kept walking — even on a single host core, where
+/// the interleaving still hides walk latency behind device turnaround.
+/// 0 = the phases ran serially (the additive Section 5 model).
+void publish_overlap(double hidden_s, double pipeline_wall) {
   if (!obs::enabled()) return;
-  const double additive = walk_wall + device_busy;
-  const double overlap = std::max(0.0, additive - pipeline_wall);
-  const double denom = std::min(walk_wall, device_busy);
   obs::gauge("g5.pipeline.overlap")
-      .set(denom > 0.0 ? std::min(overlap / denom, 1.0) : 0.0);
+      .set(pipeline_wall > 0.0
+               ? std::min(std::max(hidden_s, 0.0) / pipeline_wall, 1.0)
+               : 0.0);
 }
 
 std::size_t list_reserved_bytes(const tree::InteractionList& list) {
@@ -150,13 +154,20 @@ void GrapeTreeEngine::compute(model::ParticleSet& pset) {
   grape::AsyncDevice* async = ensure_async_device(
       async_, device_, params_.pipeline_depth, depth * batch);
 
+  // Distribution telemetry: hoisted once per phase (one enabled() check);
+  // the walk lanes then publish through the pinned slots lock-free.
+  obs::Histogram* h_list =
+      obs::enabled() ? &obs::histogram("g5.walk.list_len") : nullptr;
+  obs::Histogram* h_group =
+      obs::enabled() ? &obs::histogram("g5.walk.group_size") : nullptr;
+
   if (async != nullptr) {
     lists_.ensure(depth * batch);
     if (jobs_.size() < depth) jobs_.resize(depth);
     // Last ticket submitted per buffer set: the set is recycled only
     // once that ticket has completed.
     std::vector<grape::AsyncDevice::Ticket> last_ticket(depth, 0);
-    double walk_wall = 0.0;
+    double hidden_s = 0.0;  // producer work done while jobs were in flight
     double pipeline_wall = 0.0;
     util::Stopwatch pipe_watch;
     try {
@@ -167,7 +178,8 @@ void GrapeTreeEngine::compute(model::ParticleSet& pset) {
         const std::size_t m = std::min(batch, groups_.size() - base);
         const std::size_t set = set_index % depth;
         async->wait_for(last_ticket[set]);
-        util::Stopwatch walk_watch;
+        const bool overlapping = async->in_flight() > 0;
+        util::Stopwatch batch_watch;
         {
           // Lane-ownership contract (WalkScratch doc): each lane touches
           // only scratch_[lane] and the list slots of the groups it was
@@ -184,10 +196,15 @@ void GrapeTreeEngine::compute(model::ParticleSet& pset) {
                                    lists_.slot(slot), &ws.walk);
                   lists_.record_use(slot);
                   ws.seconds_walk += lap.lap();
+                  if (h_list != nullptr) {
+                    h_list->observe(
+                        static_cast<double>(lists_.slot(slot).pos.size()));
+                    h_group->observe(
+                        static_cast<double>(groups_[base + i].count));
+                  }
                 }
               });
         }
-        walk_wall += walk_watch.elapsed();
         auto& jobs = jobs_[set];
         if (jobs.size() < m) jobs.resize(m);
         for (std::size_t i = 0; i < m; ++i) {
@@ -206,6 +223,7 @@ void GrapeTreeEngine::compute(model::ParticleSet& pset) {
           last_ticket[set] = async->submit(job);
           ++stats_.groups;
         }
+        if (overlapping) hidden_s += batch_watch.elapsed();
       }
       async->drain();
       {
@@ -228,7 +246,7 @@ void GrapeTreeEngine::compute(model::ParticleSet& pset) {
     const grape::AsyncDevice::Completed done = async->take_completed();
     stats_.interactions += done.interactions;
     stats_.seconds_kernel += done.emulation_seconds;
-    publish_overlap(walk_wall, done.busy_seconds, pipeline_wall);
+    publish_overlap(hidden_s, pipeline_wall);
   } else {
     lists_.ensure(std::min(batch, groups_.size()));
     for (std::size_t base = 0; base < groups_.size(); base += batch) {
@@ -247,6 +265,12 @@ void GrapeTreeEngine::compute(model::ParticleSet& pset) {
                                  lists_.slot(i), &ws.walk);
                 lists_.record_use(i);
                 ws.seconds_walk += lap.lap();
+                if (h_list != nullptr) {
+                  h_list->observe(
+                      static_cast<double>(lists_.slot(i).pos.size()));
+                  h_group->observe(
+                      static_cast<double>(groups_[base + i].count));
+                }
               }
             });
       }
@@ -329,12 +353,17 @@ void GrapeTreeEngine::compute_targets(model::ParticleSet& pset,
   grape::AsyncDevice* async = ensure_async_device(
       async_, device_, params_.pipeline_depth, depth * batch);
 
+  // Per-target original walks always have a single i-particle, so only
+  // the list-length distribution is published (no group sizes).
+  obs::Histogram* h_list =
+      obs::enabled() ? &obs::histogram("g5.walk.list_len") : nullptr;
+
   if (async != nullptr) {
     lists_.ensure(depth * batch);
     if (jobs_.size() < depth) jobs_.resize(depth);
     if (target_pos_.size() < depth) target_pos_.resize(depth);
     std::vector<grape::AsyncDevice::Ticket> last_ticket(depth, 0);
-    double walk_wall = 0.0;
+    double hidden_s = 0.0;  // producer work done while jobs were in flight
     double pipeline_wall = 0.0;
     util::Stopwatch pipe_watch;
     try {
@@ -345,7 +374,8 @@ void GrapeTreeEngine::compute_targets(model::ParticleSet& pset,
         const std::size_t m = std::min(batch, targets.size() - base);
         const std::size_t set = set_index % depth;
         async->wait_for(last_ticket[set]);
-        util::Stopwatch walk_watch;
+        const bool overlapping = async->in_flight() > 0;
+        util::Stopwatch batch_watch;
         {
           G5_OBS_SPAN("walk", "tree");
           pool.parallel_for(
@@ -359,10 +389,13 @@ void GrapeTreeEngine::compute_targets(model::ParticleSet& pset,
                                       walk_cfg, lists_.slot(slot), &ws.walk);
                   lists_.record_use(slot);
                   ws.seconds_walk += lap.lap();
+                  if (h_list != nullptr) {
+                    h_list->observe(
+                        static_cast<double>(lists_.slot(slot).pos.size()));
+                  }
                 }
               });
         }
-        walk_wall += walk_watch.elapsed();
         auto& jobs = jobs_[set];
         if (jobs.size() < m) jobs.resize(m);
         // Target positions must outlive the in-flight job — persist them
@@ -383,6 +416,7 @@ void GrapeTreeEngine::compute_targets(model::ParticleSet& pset,
           last_ticket[set] = async->submit(job);
           ++stats_.groups;
         }
+        if (overlapping) hidden_s += batch_watch.elapsed();
       }
       async->drain();
       {
@@ -401,7 +435,7 @@ void GrapeTreeEngine::compute_targets(model::ParticleSet& pset,
     const grape::AsyncDevice::Completed done = async->take_completed();
     stats_.interactions += done.interactions;
     stats_.seconds_kernel += done.emulation_seconds;
-    publish_overlap(walk_wall, done.busy_seconds, pipeline_wall);
+    publish_overlap(hidden_s, pipeline_wall);
   } else {
     lists_.ensure(std::min(batch, targets.size()));
     for (std::size_t base = 0; base < targets.size(); base += batch) {
@@ -418,6 +452,10 @@ void GrapeTreeEngine::compute_targets(model::ParticleSet& pset,
                                     walk_cfg, lists_.slot(i), &ws.walk);
                 lists_.record_use(i);
                 ws.seconds_walk += lap.lap();
+                if (h_list != nullptr) {
+                  h_list->observe(
+                      static_cast<double>(lists_.slot(i).pos.size()));
+                }
               }
             });
       }

@@ -76,6 +76,13 @@ void HostTreeEngine::compute(model::ParticleSet& pset) {
 
   G5_OBS_SPAN("walk", "tree");
 
+  // Distribution telemetry: hoisted once per phase (one enabled() check);
+  // lanes publish through the pinned slots lock-free.
+  obs::Histogram* h_list =
+      obs::enabled() ? &obs::histogram("g5.walk.list_len") : nullptr;
+  obs::Histogram* h_group =
+      obs::enabled() ? &obs::histogram("g5.walk.group_size") : nullptr;
+
   // Every particle belongs to exactly one group (modified) or slot
   // (original), so each lane writes disjoint acc/pot entries: the
   // parallel result is bitwise-identical to the serial one regardless of
@@ -90,6 +97,9 @@ void HostTreeEngine::compute(model::ParticleSet& pset) {
             tree::walk_original(tree_, tree_.sorted_pos()[slot], walk_cfg,
                                 ws.list, &ws.walk);
             ws.seconds_walk += lap.lap();
+            if (h_list != nullptr) {
+              h_list->observe(static_cast<double>(ws.list.size()));
+            }
 
             math::Vec3d acc{};
             double pot = 0.0;
@@ -116,6 +126,10 @@ void HostTreeEngine::compute(model::ParticleSet& pset) {
             lap.restart();
             tree::walk_group(tree_, group, walk_cfg, ws.list, &ws.walk);
             ws.seconds_walk += lap.lap();
+            if (h_list != nullptr) {
+              h_list->observe(static_cast<double>(ws.list.size()));
+              h_group->observe(static_cast<double>(group.count));
+            }
 
             if (ws.acc.size() < group.count) {
               ws.acc.resize(group.count);
@@ -181,6 +195,8 @@ void HostTreeEngine::compute_targets(model::ParticleSet& pset,
                                   params_.quadrupole};
   auto& pool = ensure_walk_pool(pool_, params_.threads, scratch_);
   G5_OBS_SPAN("walk", "tree");
+  obs::Histogram* h_list =
+      obs::enabled() ? &obs::histogram("g5.walk.list_len") : nullptr;
   pool.parallel_for(
       targets.size(), 16,
       [&](std::size_t begin, std::size_t end, unsigned lane) {
@@ -192,6 +208,9 @@ void HostTreeEngine::compute_targets(model::ParticleSet& pset,
           tree::walk_original(tree_, pset.pos()[t], walk_cfg, ws.list,
                               &ws.walk);
           ws.seconds_walk += lap.lap();
+          if (h_list != nullptr) {
+            h_list->observe(static_cast<double>(ws.list.size()));
+          }
           const math::Vec3d xi = pset.pos()[t];
           tree::evaluate_list_host(ws.list, {&xi, 1}, params_.eps,
                                    {&pset.acc()[t], 1}, {&pset.pot()[t], 1},

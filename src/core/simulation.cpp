@@ -103,6 +103,20 @@ SimulationSummary Simulation::run(model::ParticleSet& pset) {
   // priming so step records carry step work only).
   std::optional<obs::MetricsWriter> metrics;
   if (!cfg_.metrics_jsonl.empty()) metrics.emplace(cfg_.metrics_jsonl);
+  // Fresh probe per run: its sampling stream restarts at call 0, so a
+  // rerun with the same seed reproduces the same subsets.
+  std::optional<obs::ForceErrorProbe> probe;
+  if (cfg_.probe_every > 0) {
+    obs::ProbeConfig pc;
+    pc.samples = cfg_.probe_samples;
+    pc.seed = cfg_.probe_seed;
+    pc.eps = engine_.params().eps;
+    pc.theta = engine_.params().theta;
+    pc.mac = engine_.params().mac;
+    pc.leaf_max = engine_.params().leaf_max;
+    pc.quadrupole = engine_.params().quadrupole;
+    probe.emplace(pc);
+  }
   const grape::Grape5System* gsys = grape_system(engine_);
   EngineStats prev_stats = engine_.stats();
   grape::HardwareAccount prev_grape =
@@ -167,6 +181,31 @@ SimulationSummary Simulation::run(model::ParticleSet& pset) {
     // Step record: engine/hardware deltas over this step. Cheap enough
     // (a couple of struct copies) to keep unconditionally in sync.
     obs::StepMetrics m;
+    if (probe && s % cfg_.probe_every == 0) {
+      G5_OBS_SPAN("diagnostics", "sim");
+      // Accuracy telemetry: conservation drifts against the primed state
+      // and the sampled force-error split. acc/pot are current — the
+      // integrator's closing kick just recomputed them.
+      const auto diag = diagnose(pset);
+      const double e_drift =
+          relative_energy_drift(diag.energy, summary.energy_initial);
+      const double p_drift = (diag.momentum - p0).norm();
+      if (obs::enabled()) {
+        obs::gauge("g5.sim.energy_drift").set(e_drift);
+        obs::gauge("g5.sim.momentum_drift").set(p_drift);
+      }
+      const obs::ProbeResult pr = probe->measure(pset);
+      summary.probe_last = pr;
+      ++summary.probe_calls;
+      m.energy_drift = e_drift;
+      m.momentum_drift = p_drift;
+      m.err_total_p50 = pr.total_p50;
+      m.err_total_p99 = pr.total_p99;
+      m.err_tree_p50 = pr.tree_p50;
+      m.err_tree_p99 = pr.tree_p99;
+      m.err_codec_p50 = pr.codec_p50;
+      m.err_codec_p99 = pr.codec_p99;
+    }
     m.step = s;
     m.t_sim = t_elapsed;
     m.wall_s = step_wall.elapsed();

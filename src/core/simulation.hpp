@@ -17,6 +17,7 @@
 #include "core/integrator.hpp"
 #include "grape/timing.hpp"
 #include "model/particles.hpp"
+#include "obs/probe.hpp"
 
 namespace g5::core {
 
@@ -40,6 +41,13 @@ struct SimulationConfig {
   /// If non-empty, write one obs::StepMetrics JSON object per step to
   /// this path (JSON Lines; schema in tools/schema/metrics.schema.json).
   std::string metrics_jsonl;
+  /// Run the force-error probe (obs/probe.hpp) and the conservation
+  /// drift gauges every k steps (0 = off). The probe re-evaluates
+  /// probe_samples particles with the exact host kernel — O(samples * N)
+  /// per call — and is bitwise-invariant across threads/pipeline depth.
+  std::uint64_t probe_every = 0;
+  std::uint32_t probe_samples = 64;
+  std::uint64_t probe_seed = 0x5eedULL;
 };
 
 struct SimulationSummary {
@@ -53,6 +61,10 @@ struct SimulationSummary {
   math::Vec3d momentum_drift{};    ///< |p_final - p_initial| per component
   double angular_momentum_drift = 0.0;  ///< |L_final - L_initial|
   std::uint64_t snapshots_written = 0;
+  /// Force-error probe results (probe_every > 0): the last measurement
+  /// of the run and how many times the probe fired.
+  obs::ProbeResult probe_last;
+  std::uint64_t probe_calls = 0;
 };
 
 class Simulation {

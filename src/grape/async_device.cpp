@@ -114,6 +114,11 @@ void AsyncDevice::process(Item& item) {
     }
   }
   delta.busy_seconds = busy.elapsed();
+  if (obs::enabled()) {
+    // Per-batch device occupancy distribution: how long each submitted
+    // job held the submitter thread, in microseconds.
+    obs::histogram("g5.grape.job_us").observe(delta.busy_seconds * 1e6);
+  }
   {
     util::MutexLock lock(mutex_);
     totals_.jobs += delta.jobs;

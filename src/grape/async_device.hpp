@@ -134,6 +134,14 @@ class AsyncDevice {
     return submitted_;
   }
 
+  /// Jobs submitted but not yet completed. Producers use it to tell
+  /// whether work they do right now overlaps device evaluation (the
+  /// g5.pipeline.overlap gauge); a snapshot, racy by nature.
+  [[nodiscard]] std::uint64_t in_flight() const {
+    util::MutexLock lock(mutex_);
+    return submitted_ - completed_;
+  }
+
  private:
   struct Item {
     ForceJob* job = nullptr;

@@ -1,13 +1,22 @@
 #include "obs/metrics.hpp"
 
 #include <cmath>
+#include <cstdio>
 #include <stdexcept>
 
 namespace g5::obs {
 
 namespace {
 
-double finite_or_zero(double v) { return std::isfinite(v) ? v : 0.0; }
+/// JSON has no NaN/Inf: non-finite values (a diverged energy, an
+/// unmeasured probe field) are emitted as null so every line stays
+/// parseable. Returned by value; fits in SSO.
+std::string json_number(double v) {
+  if (!std::isfinite(v)) return "null";
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.10g", v);
+  return buf;
+}
 
 unsigned long long ull(std::uint64_t v) {
   return static_cast<unsigned long long>(v);
@@ -29,23 +38,36 @@ MetricsWriter::~MetricsWriter() {
 void MetricsWriter::write(const StepMetrics& m) {
   std::fprintf(
       file_,
-      "{\"step\":%llu,\"t_sim\":%.10g,\"wall_s\":%.6g,"
-      "\"build_s\":%.6g,\"walk_s\":%.6g,\"kernel_s\":%.6g,"
-      "\"engine_s\":%.6g,"
+      "{\"step\":%llu,\"t_sim\":%s,\"wall_s\":%s,"
+      "\"build_s\":%s,\"walk_s\":%s,\"kernel_s\":%s,"
+      "\"engine_s\":%s,"
       "\"interactions\":%llu,\"list_entries\":%llu,\"groups\":%llu,"
       "\"grape_force_calls\":%llu,\"grape_j_uploaded\":%llu,"
-      "\"grape_bytes\":%llu,\"grape_emulation_s\":%.6g,"
-      "\"grape_modeled_dma_s\":%.6g,\"grape_modeled_compute_s\":%.6g,"
-      "\"grape_occupancy\":%.6g}\n",
-      ull(m.step), finite_or_zero(m.t_sim), finite_or_zero(m.wall_s),
-      finite_or_zero(m.build_s), finite_or_zero(m.walk_s),
-      finite_or_zero(m.kernel_s), finite_or_zero(m.engine_s),
-      ull(m.interactions), ull(m.list_entries), ull(m.groups),
-      ull(m.grape_force_calls), ull(m.grape_j_uploaded), ull(m.grape_bytes),
-      finite_or_zero(m.grape_emulation_s),
-      finite_or_zero(m.grape_modeled_dma_s),
-      finite_or_zero(m.grape_modeled_compute_s),
-      finite_or_zero(m.grape_occupancy));
+      "\"grape_bytes\":%llu,\"grape_emulation_s\":%s,"
+      "\"grape_modeled_dma_s\":%s,\"grape_modeled_compute_s\":%s,"
+      "\"grape_occupancy\":%s,"
+      "\"energy_drift\":%s,\"momentum_drift\":%s,"
+      "\"err_total_p50\":%s,\"err_total_p99\":%s,"
+      "\"err_tree_p50\":%s,\"err_tree_p99\":%s,"
+      "\"err_codec_p50\":%s,\"err_codec_p99\":%s}\n",
+      ull(m.step), json_number(m.t_sim).c_str(),
+      json_number(m.wall_s).c_str(), json_number(m.build_s).c_str(),
+      json_number(m.walk_s).c_str(), json_number(m.kernel_s).c_str(),
+      json_number(m.engine_s).c_str(), ull(m.interactions),
+      ull(m.list_entries), ull(m.groups), ull(m.grape_force_calls),
+      ull(m.grape_j_uploaded), ull(m.grape_bytes),
+      json_number(m.grape_emulation_s).c_str(),
+      json_number(m.grape_modeled_dma_s).c_str(),
+      json_number(m.grape_modeled_compute_s).c_str(),
+      json_number(m.grape_occupancy).c_str(),
+      json_number(m.energy_drift).c_str(),
+      json_number(m.momentum_drift).c_str(),
+      json_number(m.err_total_p50).c_str(),
+      json_number(m.err_total_p99).c_str(),
+      json_number(m.err_tree_p50).c_str(),
+      json_number(m.err_tree_p99).c_str(),
+      json_number(m.err_codec_p50).c_str(),
+      json_number(m.err_codec_p99).c_str());
   std::fflush(file_);
   ++records_;
 }

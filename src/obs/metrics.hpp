@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <cstdio>
+#include <limits>
 #include <string>
 
 namespace g5::obs {
@@ -39,6 +40,22 @@ struct StepMetrics {
   double grape_modeled_dma_s = 0.0;      ///< modeled silicon DMA
   double grape_modeled_compute_s = 0.0;  ///< modeled silicon compute
   double grape_occupancy = 0.0;          ///< i-slot fill fraction [0,1]
+
+  // Accuracy telemetry, filled only on steps where the conservation
+  // diagnostics / force-error probe ran (SimulationConfig::probe_every).
+  // NaN means "not measured this step" and is emitted as JSON null (the
+  // sink turns every non-finite double into null — JSON has no NaN/Inf).
+  double energy_drift = kUnmeasured;    ///< |(E - E0) / E0|
+  double momentum_drift = kUnmeasured;  ///< |p - p0|
+  double err_total_p50 = kUnmeasured;   ///< sampled |dF|/|F| medians...
+  double err_total_p99 = kUnmeasured;
+  double err_tree_p50 = kUnmeasured;    ///< ...tree component
+  double err_tree_p99 = kUnmeasured;
+  double err_codec_p50 = kUnmeasured;   ///< ...GRAPE codec component
+  double err_codec_p99 = kUnmeasured;
+
+  static constexpr double kUnmeasured =
+      std::numeric_limits<double>::quiet_NaN();
 };
 
 /// Appends StepMetrics as one JSON object per line (JSON Lines). The

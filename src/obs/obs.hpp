@@ -1,10 +1,14 @@
 // Umbrella header for the observability layer (g5::obs).
 //
-// The layer has four pieces, usable independently:
+// The layer has five pieces, usable independently:
 //   * obs/span.hpp     — hierarchical RAII phase timers + phase table;
-//   * obs/registry.hpp — global counters and gauges;
+//   * obs/registry.hpp — global counters, gauges and histograms;
 //   * obs/trace.hpp    — Chrome trace-event (Perfetto) collection/export;
-//   * obs/metrics.hpp  — per-step StepMetrics record + JSON-lines sink.
+//   * obs/metrics.hpp  — per-step StepMetrics record + JSON-lines sink;
+//   * obs/probe.hpp    — sampling force-error / conservation probe
+//                        (separate library g5_obs_probe — it sits above
+//                        tree/grape, so it is NOT included here to keep
+//                        this umbrella usable from the bottom layer).
 //
 // Everything is off until obs::set_enabled(true); the instrumented hot
 // paths cost one relaxed atomic load while disabled. docs/observability.md

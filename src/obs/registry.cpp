@@ -15,7 +15,71 @@ struct Registry::Impl {
   std::map<std::string, std::unique_ptr<Counter>> counters
       G5_GUARDED_BY(mutex);
   std::map<std::string, std::unique_ptr<Gauge>> gauges G5_GUARDED_BY(mutex);
+  std::map<std::string, std::unique_ptr<Histogram>> histograms
+      G5_GUARDED_BY(mutex);
 };
+
+std::size_t Histogram::shard_index() noexcept {
+  // Threads round-robin onto shards at first observe; the assignment is
+  // stable per thread, so a lane's observations never migrate.
+  static std::atomic<std::size_t> next{0};
+  thread_local const std::size_t idx =
+      next.fetch_add(1, std::memory_order_relaxed) % kShards;
+  return idx;
+}
+
+Histogram::Snapshot Histogram::snapshot() const noexcept {
+  Snapshot out;
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -std::numeric_limits<double>::infinity();
+  for (const Shard& s : shards_) {
+    out.count += s.count.load(std::memory_order_relaxed);
+    out.sum += s.sum.load(std::memory_order_relaxed);
+    lo = std::min(lo, s.min.load(std::memory_order_relaxed));
+    hi = std::max(hi, s.max.load(std::memory_order_relaxed));
+    for (int b = 0; b < kBuckets; ++b) {
+      out.buckets[static_cast<std::size_t>(b)] +=
+          s.buckets[static_cast<std::size_t>(b)].load(
+              std::memory_order_relaxed);
+    }
+  }
+  out.min = out.count != 0 ? lo : 0.0;
+  out.max = out.count != 0 ? hi : 0.0;
+  return out;
+}
+
+double Histogram::Snapshot::quantile(double q) const noexcept {
+  if (count == 0) return 0.0;
+  q = q < 0.0 ? 0.0 : (q > 1.0 ? 1.0 : q);
+  // Rank of the q-th observation (1-based, ceil convention).
+  const auto rank = static_cast<std::uint64_t>(
+      std::ceil(q * static_cast<double>(count)));
+  const std::uint64_t target = rank == 0 ? 1 : rank;
+  std::uint64_t seen = 0;
+  for (int b = 0; b < kBuckets; ++b) {
+    seen += buckets[static_cast<std::size_t>(b)];
+    if (seen >= target) {
+      // Geometric midpoint of [2^(b-bias), 2^(b-bias+1)), clamped to
+      // the observed range so edge buckets stay honest.
+      const double mid =
+          std::ldexp(std::sqrt(2.0), b - kExpBias);
+      return mid < min ? min : (mid > max ? max : mid);
+    }
+  }
+  return max;
+}
+
+void Histogram::reset() noexcept {
+  for (Shard& s : shards_) {
+    s.count.store(0, std::memory_order_relaxed);
+    s.sum.store(0.0, std::memory_order_relaxed);
+    s.min.store(std::numeric_limits<double>::infinity(),
+                std::memory_order_relaxed);
+    s.max.store(-std::numeric_limits<double>::infinity(),
+                std::memory_order_relaxed);
+    for (auto& b : s.buckets) b.store(0, std::memory_order_relaxed);
+  }
+}
 
 Registry& Registry::instance() {
   static Registry registry;
@@ -43,14 +107,24 @@ Gauge& Registry::gauge(std::string_view name) {
   return *slot;
 }
 
+Histogram& Registry::histogram(std::string_view name) {
+  Impl& state = impl();
+  const util::MutexLock lock(state.mutex);
+  auto& slot = state.histograms[std::string(name)];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
 std::vector<MetricSample> Registry::snapshot() {
   Impl& state = impl();
   const util::MutexLock lock(state.mutex);
   std::vector<MetricSample> out;
-  out.reserve(state.counters.size() + state.gauges.size());
+  out.reserve(state.counters.size() + state.gauges.size() +
+              state.histograms.size());
   for (const auto& [name, c] : state.counters) {
     MetricSample s;
     s.name = name;
+    s.kind = MetricKind::kCounter;
     s.is_counter = true;
     s.count = c->value();
     s.value = static_cast<double>(s.count);
@@ -59,8 +133,19 @@ std::vector<MetricSample> Registry::snapshot() {
   for (const auto& [name, g] : state.gauges) {
     MetricSample s;
     s.name = name;
+    s.kind = MetricKind::kGauge;
     s.is_counter = false;
     s.value = g->value();
+    out.push_back(std::move(s));
+  }
+  for (const auto& [name, h] : state.histograms) {
+    MetricSample s;
+    s.name = name;
+    s.kind = MetricKind::kHistogram;
+    s.is_counter = false;
+    s.hist = h->snapshot();
+    s.count = s.hist.count;
+    s.value = s.hist.mean();
     out.push_back(std::move(s));
   }
   std::sort(out.begin(), out.end(),
@@ -80,6 +165,10 @@ void Registry::reset_values() {
   for (auto& [name, g] : state.gauges) {
     static_cast<void>(name);
     g->value_.store(0.0, std::memory_order_relaxed);
+  }
+  for (auto& [name, h] : state.histograms) {
+    static_cast<void>(name);
+    h->reset();
   }
 }
 

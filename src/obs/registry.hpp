@@ -1,17 +1,23 @@
-// Global metric registry: monotonic counters and point-in-time gauges.
+// Global metric registry: monotonic counters, point-in-time gauges and
+// log-bucketed distribution histograms.
 //
 // Counters are lock-free relaxed atomics — safe to bump from any lane
 // of a parallel walk (tests/obs_test.cpp exercises exactness under
-// TSan). Registration (name -> slot) takes a mutex, so hot paths look a
-// counter up once and keep the reference; slots are never invalidated
-// (reset zeroes values, it does not remove entries).
+// TSan). Histograms shard their buckets per cache line so concurrent
+// walk lanes never contend on a hot bucket; snapshot() merges the
+// shards on read. Registration (name -> slot) takes a mutex, so hot
+// paths look a metric up once and keep the reference; slots are never
+// invalidated (reset zeroes values, it does not remove entries).
 //
 // The metric name catalog lives in docs/observability.md; names are
 // dotted lowercase ("g5.grape.interactions").
 #pragma once
 
+#include <array>
 #include <atomic>
+#include <cmath>
 #include <cstdint>
+#include <limits>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -46,12 +52,98 @@ class Gauge {
   std::atomic<double> value_{0.0};
 };
 
+/// Distribution metric over positive reals (list lengths, batch
+/// microseconds, relative errors): 64 power-of-two buckets spanning
+/// [2^-40, 2^24) plus running count/sum/min/max. observe() is wait-free
+/// apart from bounded CAS retries on sum/min/max: each thread lands on
+/// one cache-line-aligned shard, so parallel walk lanes do not contend.
+/// Non-finite observations are dropped; v <= 0 lands in bucket 0.
+class Histogram {
+ public:
+  static constexpr int kBuckets = 64;
+  /// Bucket i covers [2^(i - kExpBias), 2^(i - kExpBias + 1)); the ends
+  /// absorb underflow/overflow.
+  static constexpr int kExpBias = 40;
+
+  void observe(double v) noexcept {
+    if (!std::isfinite(v)) return;
+    Shard& s = shards_[shard_index()];
+    s.buckets[bucket_of(v)].fetch_add(1, std::memory_order_relaxed);
+    s.count.fetch_add(1, std::memory_order_relaxed);
+    atomic_add(s.sum, v);
+    atomic_min(s.min, v);
+    atomic_max(s.max, v);
+  }
+
+  /// Merge-on-read view of the shards; a plain value, safe to keep.
+  struct Snapshot {
+    std::uint64_t count = 0;
+    double sum = 0.0;
+    double min = 0.0;  ///< 0 when count == 0
+    double max = 0.0;
+    std::array<std::uint64_t, kBuckets> buckets{};
+
+    [[nodiscard]] double mean() const noexcept {
+      return count != 0 ? sum / static_cast<double>(count) : 0.0;
+    }
+    /// Quantile estimate at the geometric bucket midpoint, clamped to
+    /// the observed [min, max]. q in [0, 1].
+    [[nodiscard]] double quantile(double q) const noexcept;
+  };
+  [[nodiscard]] Snapshot snapshot() const noexcept;
+
+ private:
+  friend class Registry;
+  void reset() noexcept;
+
+  static int bucket_of(double v) noexcept {
+    if (v <= 0.0) return 0;
+    const int idx = std::ilogb(v) + kExpBias;
+    return idx < 0 ? 0 : (idx >= kBuckets ? kBuckets - 1 : idx);
+  }
+  static std::size_t shard_index() noexcept;
+  static void atomic_add(std::atomic<double>& a, double v) noexcept {
+    double cur = a.load(std::memory_order_relaxed);
+    while (!a.compare_exchange_weak(cur, cur + v,
+                                    std::memory_order_relaxed)) {
+    }
+  }
+  static void atomic_min(std::atomic<double>& a, double v) noexcept {
+    double cur = a.load(std::memory_order_relaxed);
+    while (v < cur && !a.compare_exchange_weak(cur, v,
+                                               std::memory_order_relaxed)) {
+    }
+  }
+  static void atomic_max(std::atomic<double>& a, double v) noexcept {
+    double cur = a.load(std::memory_order_relaxed);
+    while (v > cur && !a.compare_exchange_weak(cur, v,
+                                               std::memory_order_relaxed)) {
+    }
+  }
+
+  static constexpr std::size_t kShards = 8;
+  struct alignas(64) Shard {
+    std::atomic<std::uint64_t> count{0};
+    std::atomic<double> sum{0.0};
+    std::atomic<double> min{std::numeric_limits<double>::infinity()};
+    std::atomic<double> max{-std::numeric_limits<double>::infinity()};
+    std::array<std::atomic<std::uint64_t>, kBuckets> buckets{};
+  };
+  std::array<Shard, kShards> shards_{};
+};
+
+/// What a MetricSample describes.
+enum class MetricKind : std::uint8_t { kCounter, kGauge, kHistogram };
+
 /// One registry entry at snapshot time.
 struct MetricSample {
   std::string name;
-  bool is_counter = true;
-  std::uint64_t count = 0;  ///< counters
-  double value = 0.0;       ///< gauges (and count as double for counters)
+  MetricKind kind = MetricKind::kCounter;
+  bool is_counter = true;   ///< kind == kCounter (kept for call sites)
+  std::uint64_t count = 0;  ///< counters and histogram observation count
+  double value = 0.0;       ///< gauges (count as double for counters,
+                            ///< mean for histograms)
+  Histogram::Snapshot hist;  ///< histograms only (count == hist.count)
 };
 
 class Registry {
@@ -62,6 +154,7 @@ class Registry {
   /// Find-or-create; the returned reference is valid forever.
   Counter& counter(std::string_view name);
   Gauge& gauge(std::string_view name);
+  Histogram& histogram(std::string_view name);
 
   /// All metrics, sorted by name.
   [[nodiscard]] std::vector<MetricSample> snapshot();
@@ -81,6 +174,9 @@ inline Counter& counter(std::string_view name) {
 }
 inline Gauge& gauge(std::string_view name) {
   return Registry::instance().gauge(name);
+}
+inline Histogram& histogram(std::string_view name) {
+  return Registry::instance().histogram(name);
 }
 
 }  // namespace g5::obs

@@ -173,7 +173,20 @@ bool write_trace(const std::string& path) {
     if (!first_metric) std::fputc(',', f);
     first_metric = false;
     write_json_string(f, m.name);
-    if (m.is_counter) {
+    if (m.kind == MetricKind::kHistogram) {
+      // Distributions ride along as a summary object (full buckets stay
+      // in --timing-json; the trace keeps the headline statistics).
+      const Histogram::Snapshot& h = m.hist;
+      std::fprintf(f,
+                   ":{\"count\":%llu,\"mean\":%.10g,\"min\":%.10g,"
+                   "\"max\":%.10g,\"p50\":%.10g,\"p90\":%.10g,"
+                   "\"p99\":%.10g}",
+                   static_cast<unsigned long long>(h.count),
+                   finite_or_zero(h.mean()), finite_or_zero(h.min),
+                   finite_or_zero(h.max), finite_or_zero(h.quantile(0.50)),
+                   finite_or_zero(h.quantile(0.90)),
+                   finite_or_zero(h.quantile(0.99)));
+    } else if (m.is_counter) {
       std::fprintf(f, ":%llu", static_cast<unsigned long long>(m.count));
     } else {
       std::fprintf(f, ":%.10g", finite_or_zero(m.value));

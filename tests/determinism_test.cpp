@@ -11,6 +11,7 @@
 #include "ic/plummer.hpp"
 #include "ic/zeldovich.hpp"
 #include "model/units.hpp"
+#include "obs/obs.hpp"
 
 namespace {
 
@@ -113,6 +114,28 @@ TEST(Determinism, PipelinedGrapePathsMatchSynchronous) {
       }
     }
   }
+}
+
+TEST(Determinism, PipelinedOverlapGaugePositive) {
+  // Bitwise identity (above) must not come from secretly serializing
+  // the pipeline: with instrumentation on, a pipelined run spanning
+  // several batches must report walk time hidden behind device
+  // evaluation (g5.pipeline.overlap > 0). n_crit=16 at N=2048 yields
+  // far more groups than one submit batch, so later batches always walk
+  // with earlier jobs in flight.
+  obs::set_enabled(true);
+  obs::Registry::instance().reset_values();
+  auto pset = ic::make_plummer(ic::PlummerConfig{.n = 2048, .seed = 23});
+  ForceParams fp{.eps = 0.05, .theta = 0.6, .n_crit = 16};
+  fp.threads = 1;
+  fp.pipeline_depth = 2;
+  auto engine = core::make_engine("grape-tree", fp);
+  engine->compute(pset);
+  const double overlap = obs::gauge("g5.pipeline.overlap").value();
+  EXPECT_GT(overlap, 0.0);
+  EXPECT_LE(overlap, 1.0);
+  obs::set_enabled(false);
+  obs::Registry::instance().reset_values();
 }
 
 TEST(Determinism, PipelinedTargetForcesMatchSynchronous) {

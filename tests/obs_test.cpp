@@ -17,10 +17,14 @@
 #include <thread>
 #include <vector>
 
+#include <cmath>
+#include <limits>
+
 #include "core/engines.hpp"
 #include "core/simulation.hpp"
 #include "ic/plummer.hpp"
 #include "obs/obs.hpp"
+#include "obs/probe.hpp"
 #include "util/parallel.hpp"
 
 namespace {
@@ -55,6 +59,8 @@ using ObsSpan = ObsEnv;
 using ObsCounter = ObsEnv;
 using ObsTrace = ObsEnv;
 using ObsMetrics = ObsEnv;
+using ObsHistogram = ObsEnv;
+using ObsProbe = ObsEnv;
 
 TEST_F(ObsRegistry, CounterAndGaugeRoundTrip) {
   obs::counter("test.reg.counter").add(3);
@@ -359,6 +365,198 @@ TEST_F(ObsMetrics, TwoStepSimulationEmitsRecords) {
 TEST_F(ObsMetrics, WriterThrowsOnUnwritablePath) {
   EXPECT_THROW(obs::MetricsWriter("/nonexistent-dir-g5/metrics.jsonl"),
                std::runtime_error);
+}
+
+TEST_F(ObsMetrics, NonFiniteFieldsSerializeAsNull) {
+  // JSON has no NaN/Inf; the sink must emit null for unmeasured or
+  // corrupted values and plain numbers for everything else.
+  const std::string path = ::testing::TempDir() + "obs_metrics_nan.jsonl";
+  {
+    obs::MetricsWriter writer(path);
+    obs::StepMetrics m;
+    m.step = 1;
+    m.wall_s = 0.25;
+    // Default accuracy fields are kUnmeasured (NaN) -> null.
+    m.energy_drift = obs::StepMetrics::kUnmeasured;
+    m.err_tree_p50 = 1.5e-3;  // measured -> number
+    m.kernel_s = std::numeric_limits<double>::infinity();  // corrupt -> null
+    writer.write(m);
+    EXPECT_EQ(writer.records_written(), 1u);
+  }
+  std::ifstream in(path);
+  std::string line;
+  ASSERT_TRUE(std::getline(in, line));
+  JsonCursor cur{line};
+  EXPECT_TRUE(cur.whole_document()) << line;
+  EXPECT_NE(line.find("\"energy_drift\":null"), std::string::npos) << line;
+  EXPECT_NE(line.find("\"momentum_drift\":null"), std::string::npos) << line;
+  EXPECT_NE(line.find("\"err_total_p50\":null"), std::string::npos) << line;
+  EXPECT_NE(line.find("\"err_tree_p50\":0.0015"), std::string::npos) << line;
+  EXPECT_NE(line.find("\"kernel_s\":null"), std::string::npos) << line;
+  EXPECT_NE(line.find("\"wall_s\":0.25"), std::string::npos) << line;
+  EXPECT_EQ(line.find("nan"), std::string::npos) << line;
+  EXPECT_EQ(line.find("inf"), std::string::npos) << line;
+  std::remove(path.c_str());
+}
+
+TEST_F(ObsHistogram, StatisticsAreExactQuantilesBucketed) {
+  auto& h = obs::histogram("test.hist.basic");
+  for (double v : {1.0, 2.0, 4.0, 8.0, 1024.0}) h.observe(v);
+  const auto s = h.snapshot();
+  EXPECT_EQ(s.count, 5u);
+  EXPECT_DOUBLE_EQ(s.sum, 1039.0);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 1024.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 1039.0 / 5.0);
+  // Rank-3 of 5 observations is the value 4; its power-of-two bucket is
+  // [4, 8) and the estimate is the geometric midpoint 4*sqrt(2).
+  EXPECT_DOUBLE_EQ(s.quantile(0.5), 4.0 * std::sqrt(2.0));
+  // Edge quantiles clamp to the observed range.
+  EXPECT_DOUBLE_EQ(s.quantile(1.0), 1024.0);
+  EXPECT_GE(s.quantile(0.0), s.min);
+  EXPECT_LT(s.quantile(0.0), 2.0);
+}
+
+TEST_F(ObsHistogram, DropsNonFiniteAndBucketsNonPositive) {
+  auto& h = obs::histogram("test.hist.edge");
+  h.observe(std::numeric_limits<double>::quiet_NaN());
+  h.observe(std::numeric_limits<double>::infinity());
+  h.observe(-std::numeric_limits<double>::infinity());
+  EXPECT_EQ(h.snapshot().count, 0u);
+  h.observe(0.0);    // underflow bucket
+  h.observe(-3.0);   // underflow bucket, still counted in min/sum
+  h.observe(1e-30);  // far below 2^-40: clamps to bucket 0
+  const auto s = h.snapshot();
+  EXPECT_EQ(s.count, 3u);
+  EXPECT_DOUBLE_EQ(s.min, -3.0);
+  EXPECT_DOUBLE_EQ(s.max, 1e-30);
+  EXPECT_EQ(s.buckets[0], 3u);
+}
+
+TEST_F(ObsHistogram, ParallelObservationsAreExact) {
+  // The shard design must lose nothing under contention: count and sum
+  // are exact, min/max see every thread's extremes. (In the TSan CI
+  // job's filter.)
+  auto& h = obs::histogram("test.hist.parallel");
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 5000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h, t] {
+      for (int k = 0; k < kPerThread; ++k) {
+        h.observe(static_cast<double>(t + 1));
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  const auto s = h.snapshot();
+  EXPECT_EQ(s.count, static_cast<std::uint64_t>(kThreads) * kPerThread);
+  // Sum of t+1 over threads, kPerThread each: 36 * 5000.
+  EXPECT_DOUBLE_EQ(s.sum, 36.0 * kPerThread);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 8.0);
+  std::uint64_t bucketed = 0;
+  for (std::uint64_t b : s.buckets) bucketed += b;
+  EXPECT_EQ(bucketed, s.count);
+}
+
+TEST_F(ObsHistogram, RegistrySnapshotCarriesHistogram) {
+  obs::histogram("test.hist.snap").observe(2.0);
+  obs::histogram("test.hist.snap").observe(4.0);
+  bool found = false;
+  for (const auto& sample : obs::Registry::instance().snapshot()) {
+    if (sample.name != "test.hist.snap") continue;
+    found = true;
+    EXPECT_EQ(sample.kind, obs::MetricKind::kHistogram);
+    EXPECT_FALSE(sample.is_counter);
+    EXPECT_EQ(sample.count, 2u);
+    EXPECT_DOUBLE_EQ(sample.value, 3.0);  // mean
+    EXPECT_EQ(sample.hist.count, 2u);
+  }
+  EXPECT_TRUE(found);
+}
+
+/// Engine-evaluated Plummer state for probe tests.
+model::ParticleSet probed_state(std::uint32_t threads, std::uint32_t depth) {
+  auto pset = ic::make_plummer(ic::PlummerConfig{.n = 512, .seed = 11});
+  core::ForceParams fp{.eps = 0.05, .theta = 0.6, .n_crit = 64};
+  fp.threads = threads;
+  fp.pipeline_depth = depth;
+  auto engine = core::make_engine("grape-tree", fp);
+  engine->compute(pset);
+  return pset;
+}
+
+obs::ProbeConfig probe_config() {
+  obs::ProbeConfig pc;
+  pc.samples = 24;
+  pc.seed = 1234;
+  pc.eps = 0.05;
+  pc.theta = 0.6;
+  return pc;
+}
+
+bool same_result(const obs::ProbeResult& a, const obs::ProbeResult& b) {
+  return a.samples == b.samples && a.total_p50 == b.total_p50 &&
+         a.total_p99 == b.total_p99 && a.total_max == b.total_max &&
+         a.tree_p50 == b.tree_p50 && a.tree_p99 == b.tree_p99 &&
+         a.tree_max == b.tree_max && a.codec_p50 == b.codec_p50 &&
+         a.codec_p99 == b.codec_p99 && a.codec_max == b.codec_max;
+}
+
+TEST_F(ObsProbe, DeterministicForFixedSeed) {
+  const auto pset = probed_state(1, 0);
+  obs::ForceErrorProbe probe_a(probe_config());
+  obs::ForceErrorProbe probe_b(probe_config());
+  const auto first = probe_a.measure(pset);
+  const auto second = probe_b.measure(pset);
+  EXPECT_GT(first.samples, 0u);
+  EXPECT_TRUE(same_result(first, second));
+  // The same probe's sampling stream advances per call: a second call
+  // draws a fresh subset but must be reproducible run-to-run.
+  const auto third = probe_a.measure(pset);
+  const auto fourth = probe_b.measure(pset);
+  EXPECT_TRUE(same_result(third, fourth));
+}
+
+TEST_F(ObsProbe, BitwiseInvariantAcrossThreadsAndPipelineDepth) {
+  // The engine's forces are bitwise-invariant across host-thread count
+  // and pipeline depth, and the probe itself is serial host-double
+  // arithmetic — so its error measurement must be too.
+  const auto ref = probed_state(1, 0);
+  obs::ForceErrorProbe probe_ref(probe_config());
+  const auto expected = probe_ref.measure(ref);
+  const std::pair<std::uint32_t, std::uint32_t> combos[] = {
+      {4, 0}, {1, 2}, {4, 3}};
+  for (const auto& [threads, depth] : combos) {
+    const auto pset = probed_state(threads, depth);
+    obs::ForceErrorProbe probe(probe_config());
+    const auto got = probe.measure(pset);
+    EXPECT_TRUE(same_result(expected, got))
+        << "threads=" << threads << " depth=" << depth;
+  }
+}
+
+TEST_F(ObsProbe, ErrorSplitWithinSaneBudgets) {
+  // Loose sanity bounds (the tight paper-budget check is the 16k golden
+  // run in CI): the codec error must sit near the hardware's ~0.3%
+  // pairwise format error, and both components must be present.
+  const auto pset = probed_state(1, 0);
+  obs::ForceErrorProbe probe(probe_config());
+  const auto r = probe.measure(pset);
+  ASSERT_GT(r.samples, 0u);
+  EXPECT_GT(r.total_p50, 0.0);
+  EXPECT_GT(r.tree_p50, 0.0);
+  EXPECT_GT(r.codec_p50, 0.0);
+  EXPECT_LE(r.tree_p50, r.tree_p99);
+  EXPECT_LE(r.codec_p50, r.codec_p99);
+  EXPECT_LT(r.codec_p50, 0.01);  // ~0.3% format error, much slack
+  EXPECT_LT(r.tree_p50, 0.10);   // theta=0.6 monopole, much slack
+  // Probe telemetry reached the registry.
+  EXPECT_EQ(obs::counter("g5.probe.calls").value(), 1u);
+  EXPECT_EQ(obs::counter("g5.probe.samples").value(), r.samples);
+  EXPECT_GT(obs::gauge("g5.err.force_rel.p50").value(), 0.0);
 }
 
 }  // namespace

@@ -4,15 +4,21 @@
 Usage:
   check_trace.py trace   FILE [--schema tools/schema/trace.schema.json]
   check_trace.py metrics FILE [--schema tools/schema/metrics.schema.json]
+  check_trace.py timing  FILE [--schema tools/schema/timing.schema.json]
+  check_trace.py report  FILE [--schema tools/schema/report.schema.json]
 
 `trace` validates a Chrome trace written by g5run --trace (or
 obs::write_trace); `metrics` validates a JSON-lines file written by
-g5run --metrics (one obs::StepMetrics object per line).
+g5run --metrics (one obs::StepMetrics object per line); `timing`
+validates the g5run --timing-json phase/metric breakdown; `report`
+validates the g5run --report paper-claims artifact.
 
-The validator implements the small JSON-Schema subset the two schemas
-use (type, required, properties, additionalProperties, items, enum,
-minimum) in pure stdlib Python, so CI needs no extra packages. Exits
-non-zero with one line per violation.
+The validator implements the small JSON-Schema subset the schemas use
+(type — including nullable type lists, required, properties,
+additionalProperties, items, enum, minimum) in pure stdlib Python, so
+CI needs no extra packages, plus semantic checks the subset cannot
+express (histogram entry shape and ordering). Exits non-zero with one
+line per violation.
 """
 
 import argparse
@@ -28,8 +34,15 @@ _TYPES = {
     "null": type(None),
 }
 
+# The summary statistics every serialized histogram must carry
+# (obs::Histogram::Snapshot as written by write_trace / g5run).
+_HIST_KEYS = ("count", "mean", "min", "max", "p50", "p90", "p99")
+
 
 def _type_ok(value, expected):
+    """expected is a type name or a list of alternatives (nullable)."""
+    if isinstance(expected, list):
+        return any(_type_ok(value, t) for t in expected)
     if expected == "number":
         return isinstance(value, (int, float)) and not isinstance(value, bool)
     if expected == "integer":
@@ -67,20 +80,67 @@ def validate(value, schema, path, errors):
             validate(item, schema["items"], f"{path}[{i}]", errors)
 
 
+def check_histogram_summary(value, path, errors):
+    """A serialized histogram: all summary keys, sane ordering."""
+    for key in _HIST_KEYS:
+        if key not in value:
+            errors.append(f"{path}: histogram missing '{key}'")
+            return
+        if not _type_ok(value[key], "number"):
+            errors.append(f"{path}.{key}: expected number, "
+                          f"got {type(value[key]).__name__}")
+            return
+    if not _type_ok(value["count"], "integer") or value["count"] < 0:
+        errors.append(f"{path}.count: expected non-negative integer")
+    if value["count"] > 0:
+        if value["min"] > value["max"]:
+            errors.append(f"{path}: min {value['min']} > max {value['max']}")
+        if not (value["min"] <= value["p50"] <= value["p99"]
+                <= value["max"]):
+            errors.append(f"{path}: percentiles not ordered "
+                          f"min <= p50 <= p99 <= max")
+
+
 def check_trace(doc, schema, errors):
     validate(doc, schema, "$", errors)
     # Semantic checks beyond the schema: spans must have non-negative
-    # extent and land on a known thread row.
+    # extent, and every embedded registry metric is a number (counter or
+    # gauge) or a histogram summary object.
     for i, ev in enumerate(doc.get("traceEvents", [])):
         if not isinstance(ev, dict):
             continue
         if ev.get("ph") == "X" and ev.get("dur", 0) < 0:
             errors.append(f"$.traceEvents[{i}]: negative dur")
+    metrics = doc.get("otherData", {}).get("metrics", {})
+    if isinstance(metrics, dict):
+        for name, value in metrics.items():
+            path = f"$.otherData.metrics.{name}"
+            if isinstance(value, dict):
+                check_histogram_summary(value, path, errors)
+            elif not _type_ok(value, "number"):
+                errors.append(f"{path}: expected number or histogram "
+                              f"object, got {type(value).__name__}")
+
+
+def check_timing(doc, schema, errors):
+    validate(doc, schema, "$", errors)
+    # Per-kind required fields the schema subset cannot express.
+    for i, entry in enumerate(doc.get("metrics", [])):
+        if not isinstance(entry, dict):
+            continue
+        path = f"$.metrics[{i}]"
+        kind = entry.get("type")
+        if kind in ("counter", "gauge"):
+            if "value" not in entry:
+                errors.append(f"{path}: {kind} missing 'value'")
+        elif kind == "histogram":
+            check_histogram_summary(entry, path, errors)
 
 
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("mode", choices=["trace", "metrics"])
+    parser.add_argument("mode",
+                        choices=["trace", "metrics", "timing", "report"])
     parser.add_argument("file")
     parser.add_argument("--schema", default=None)
     args = parser.parse_args()
@@ -93,16 +153,7 @@ def main():
         schema = json.load(f)
 
     errors = []
-    if args.mode == "trace":
-        with open(args.file, encoding="utf-8") as f:
-            try:
-                doc = json.load(f)
-            except json.JSONDecodeError as e:
-                print(f"{args.file}: not valid JSON: {e}", file=sys.stderr)
-                return 1
-        check_trace(doc, schema, errors)
-        count = len(doc.get("traceEvents", []))
-    else:
+    if args.mode == "metrics":
         count = 0
         with open(args.file, encoding="utf-8") as f:
             for lineno, line in enumerate(f, 1):
@@ -118,13 +169,30 @@ def main():
                 validate(record, schema, f"line {lineno}", errors)
         if count == 0:
             errors.append("no records found")
+    else:
+        with open(args.file, encoding="utf-8") as f:
+            try:
+                doc = json.load(f)
+            except json.JSONDecodeError as e:
+                print(f"{args.file}: not valid JSON: {e}", file=sys.stderr)
+                return 1
+        if args.mode == "trace":
+            check_trace(doc, schema, errors)
+            count = len(doc.get("traceEvents", []))
+        elif args.mode == "timing":
+            check_timing(doc, schema, errors)
+            count = len(doc.get("metrics", []))
+        else:
+            validate(doc, schema, "$", errors)
+            count = 1
 
     if errors:
         for err in errors:
             print(f"{args.file}: {err}", file=sys.stderr)
         return 1
-    print(f"{args.file}: OK ({count} "
-          f"{'events' if args.mode == 'trace' else 'records'})")
+    unit = {"trace": "events", "metrics": "records",
+            "timing": "metric entries", "report": "document"}[args.mode]
+    print(f"{args.file}: OK ({count} {unit})")
     return 0
 
 
