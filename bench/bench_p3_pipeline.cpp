@@ -18,7 +18,12 @@
 //
 //   ./bench_p3_pipeline [--n 65536] [--theta 0.75] [--ncrit 256]
 //                       [--eps 0.02] [--threads 0 (auto)] [--depth 2]
+//                       [--backend bit-exact|native]
 //                       [--min-speedup 0 (off)] [--json FILE]
+//
+// --backend selects the pipeline arithmetic (BackendKind): bit-exact is
+// the bit-level datapath (the default; BENCH_p3.json's baseline), native
+// evaluates the same lists in plain double. BENCH_p6.json records both.
 
 #include <cstdio>
 #include <cstdlib>
@@ -56,6 +61,13 @@ int main(int argc, char** argv) {
   const auto depth = static_cast<std::uint32_t>(opt.get_int("depth", 2));
   const double min_speedup = opt.get_double("min-speedup", 0.0);
   const std::string json = opt.get_string("json", "");
+  const std::string backend_str = opt.get_string("backend", "bit-exact");
+  grape::BackendKind backend = grape::BackendKind::BitExact;
+  if (!grape::parse_backend(backend_str, backend)) {
+    std::printf("ERROR: unknown --backend '%s' (bit-exact, native)\n",
+                backend_str.c_str());
+    return EXIT_FAILURE;
+  }
 
   ic::PlummerConfig pc;
   pc.n = n;
@@ -64,8 +76,9 @@ int main(int argc, char** argv) {
 
   std::printf(
       "P3: async device pipeline, N=%zu, theta=%g, n_crit=%u, "
-      "threads=%u (0=auto: %u), depth=%u\n\n",
-      n, theta, n_crit, threads, util::resolve_thread_count(threads), depth);
+      "threads=%u (0=auto: %u), depth=%u, backend=%s\n\n",
+      n, theta, n_crit, threads, util::resolve_thread_count(threads), depth,
+      std::string(grape::backend_name(backend)).c_str());
 
   obs::set_enabled(true);
   auto run = [&](std::uint32_t pipeline_depth) {
@@ -77,6 +90,7 @@ int main(int argc, char** argv) {
     fp.n_crit = n_crit;
     fp.threads = threads;
     fp.pipeline_depth = pipeline_depth;
+    fp.backend = backend;
     // Fresh engine + fresh device per run: no cross-run device state.
     auto engine = core::make_engine("grape-tree", fp);
     obs::gauge("g5.pipeline.overlap").set(0.0);
@@ -129,7 +143,7 @@ int main(int argc, char** argv) {
     std::fprintf(f,
                  "{\n"
                  "  \"run\": {\"n\": %zu, \"theta\": %g, \"n_crit\": %u, "
-                 "\"threads\": %u, \"depth\": %u},\n"
+                 "\"threads\": %u, \"depth\": %u, \"backend\": \"%s\"},\n"
                  "  \"sync\": {\"wall_s\": %.6g, \"walk_cpu_s\": %.6g, "
                  "\"device_s\": %.6g},\n"
                  "  \"pipelined\": {\"wall_s\": %.6g, \"walk_cpu_s\": %.6g, "
@@ -138,6 +152,7 @@ int main(int argc, char** argv) {
                  "  \"bitwise_identical\": %s\n"
                  "}\n",
                  n, theta, n_crit, util::resolve_thread_count(threads), depth,
+                 std::string(grape::backend_name(backend)).c_str(),
                  sync.wall_s, sync.walk_cpu_s, sync.kernel_s, piped.wall_s,
                  piped.walk_cpu_s, piped.kernel_s, piped.overlap, speedup,
                  identical ? "true" : "false");

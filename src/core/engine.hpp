@@ -17,6 +17,7 @@
 #include <span>
 #include <string_view>
 
+#include "grape/config.hpp"
 #include "model/particles.hpp"
 #include "tree/walk.hpp"
 
@@ -46,6 +47,12 @@ struct ForceParams {
   /// chunking either way, so results are bitwise-identical across all
   /// values (determinism_test checks this).
   std::uint32_t pipeline_depth = 2;
+  /// GRAPE engines: arithmetic backend of the emulated pipelines.
+  /// BitExact (default) is the bit-level GRAPE-5 datapath every golden
+  /// number refers to; Native evaluates the same interaction lists in
+  /// plain double (codec error ~ 0, roughly 10x faster emulation).
+  /// Ignored when the caller hands make_engine a pre-built device.
+  grape::BackendKind backend = grape::BackendKind::BitExact;
 };
 
 /// Per-engine cumulative statistics (reset with reset_stats()).

@@ -489,8 +489,9 @@ std::unique_ptr<ForceEngine> make_engine(
     std::shared_ptr<grape::Grape5Device> device) {
   auto need_device = [&]() -> std::shared_ptr<grape::Grape5Device> {
     if (device) return device;
-    return std::make_shared<grape::Grape5Device>(
-        grape::SystemConfig::paper_system());
+    grape::SystemConfig cfg = grape::SystemConfig::paper_system();
+    cfg.numerics.backend = params.backend;
+    return std::make_shared<grape::Grape5Device>(cfg);
   };
   if (name == "host-direct") {
     return std::make_unique<HostDirectEngine>(params);

@@ -115,6 +115,7 @@ SimulationSummary Simulation::run(model::ParticleSet& pset) {
     pc.mac = engine_.params().mac;
     pc.leaf_max = engine_.params().leaf_max;
     pc.quadrupole = engine_.params().quadrupole;
+    pc.backend = engine_.params().backend;
     probe.emplace(pc);
   }
   const grape::Grape5System* gsys = grape_system(engine_);

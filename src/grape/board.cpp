@@ -48,9 +48,9 @@ std::size_t ProcessorBoard::run(const Vec3d* i_pos, std::size_t ni,
   const std::size_t slots = cfg_.i_slots();
   for (std::size_t i = 0; i < ni; ++i) {
     IState state = pipe_.encode_i(i_pos[i]);
-    for (std::size_t j = 0; j < j_count_; ++j) {
-      pipe_.interact(state, jmem_[j]);
-    }
+    // Batched j-stream: bitwise-identical to per-j interact() calls for
+    // the bit-exact backend (see Pipeline::interact_batch).
+    pipe_.interact_batch(state, jmem_.data(), j_count_);
     Vec3d force = pipe_.read_force(state);
     double pot = pipe_.read_potential(state);
     if (faulty_chip_ >= 0 &&

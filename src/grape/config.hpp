@@ -11,12 +11,45 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <string_view>
 
 namespace g5::grape {
 
 /// Counting convention for flops per pairwise interaction (Warren & Salmon;
 /// used by the paper's Gflops numbers).
 inline constexpr double kFlopsPerInteraction = 38.0;
+
+/// Arithmetic backend of the force pipelines.
+enum class BackendKind : std::uint8_t {
+  /// Bit-level emulation of the GRAPE-5 datapath: fixed-point coordinates,
+  /// LNS multiplicative core, fixed-point accumulators. The default, and
+  /// the backend every golden / determinism / probe-calibration number in
+  /// this repo refers to.
+  BitExact,
+  /// Plain double arithmetic on the same quantized coordinates (emulator
+  /// fast path): same interactions, same i == j cut, native accumulation.
+  /// Codec error vanishes (probe reports g5.err.codec ~ 0); tree error is
+  /// untouched. Roughly an order of magnitude faster than BitExact.
+  Native,
+};
+
+[[nodiscard]] constexpr std::string_view backend_name(BackendKind k) noexcept {
+  return k == BackendKind::Native ? "native" : "bit-exact";
+}
+
+/// Parse a --backend style name; returns false on an unknown name.
+[[nodiscard]] constexpr bool parse_backend(std::string_view name,
+                                           BackendKind& out) noexcept {
+  if (name == "bit-exact" || name == "bitexact") {
+    out = BackendKind::BitExact;
+    return true;
+  }
+  if (name == "native") {
+    out = BackendKind::Native;
+    return true;
+  }
+  return false;
+}
 
 struct PipelineNumerics {
   /// Fixed-point bits for particle coordinates (per component).
@@ -35,8 +68,10 @@ struct PipelineNumerics {
   /// If true, bypass all quantization and compute in double precision
   /// (used for ablations: "the relative accuracy was practically the same
   /// when we performed the same force calculation using standard 64-bit
-  /// floating point arithmetic").
+  /// floating point arithmetic"). Takes precedence over `backend`.
   bool exact_arithmetic = false;
+  /// Arithmetic backend of the pipeline datapath (see BackendKind).
+  BackendKind backend = BackendKind::BitExact;
 
   /// A GRAPE-3-class datapath: the previous machine in the lineage, with
   /// an ~2 % pairwise force error (8-bit-era log format, narrower

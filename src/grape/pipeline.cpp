@@ -1,6 +1,8 @@
 #include "grape/pipeline.hpp"
 
+#include <algorithm>
 #include <cmath>
+#include <limits>
 #include <stdexcept>
 
 namespace g5::grape {
@@ -51,7 +53,15 @@ void Pipeline::interact(IState& i_state, const JWord& j) const {
     interact_exact(i_state, j);
     return;
   }
+  if (numerics_.backend == BackendKind::Native) {
+    interact_batch_native(i_state, &j, 1);
+    return;
+  }
 
+  // The scalar reference datapath. interact_batch_lns applies exactly
+  // these operations per lane in the same accumulation order, and the
+  // backend-equivalence tests pin the two bitwise against each other.
+  //
   // 1. Coordinate differences: exact fixed-point subtraction, then the
   //    difference enters the log-format datapath (one conversion rounding
   //    per component).
@@ -90,15 +100,199 @@ void Pipeline::interact(IState& i_state, const JWord& j) const {
   i_state.pot.add(-lns_.to_double(lns_.mul(j.mass, h)));
 }
 
+void Pipeline::interact_batch(IState& i_state, const JWord* j,
+                              std::size_t count) const {
+  if (count == 0) return;
+  if (numerics_.exact_arithmetic) {
+    for (std::size_t k = 0; k < count; ++k) interact_exact(i_state, j[k]);
+    return;
+  }
+  if (numerics_.backend == BackendKind::Native) {
+    interact_batch_native(i_state, j, count);
+    return;
+  }
+  interact_batch_lns(i_state, j, count);
+}
+
+void Pipeline::interact_batch_lns(IState& i_state, const JWord* j,
+                                  std::size_t count) const {
+  constexpr std::size_t W = kBatchWidth;
+  const double q = codec_.quantum();
+  const std::int64_t xi0 = i_state.x[0];
+  const std::int64_t xi1 = i_state.x[1];
+  const std::int64_t xi2 = i_state.x[2];
+  for (std::size_t base = 0; base < count; base += W) {
+    const std::size_t n = std::min(W, count - base);
+
+    // Stage 1: exact fixed-point differences plus the i == j cut, on
+    // integer lanes.
+    std::int64_t d[3][W];
+    bool live[W];
+    for (std::size_t l = 0; l < n; ++l) {
+      const JWord& jw = j[base + l];
+      d[0][l] = jw.x[0] - xi0;
+      d[1][l] = jw.x[1] - xi1;
+      d[2][l] = jw.x[2] - xi2;
+      live[l] = (d[0][l] | d[1][l] | d[2][l]) != 0;
+    }
+
+    // Stage 2: the differences enter the log format (one conversion
+    // rounding per component, as in the scalar path).
+    LnsValue dx[3][W];
+    for (std::size_t c = 0; c < 3; ++c) {
+      for (std::size_t l = 0; l < n; ++l) {
+        dx[c][l] = lns_.from_double(static_cast<double>(d[c][l]) * q);
+      }
+    }
+
+    // Stage 3: squares (exact log shifts) + the block-normalized r^2 add,
+    // re-encoded. The component order matches the scalar loop.
+    LnsValue r2w[W];
+    for (std::size_t l = 0; l < n; ++l) {
+      double r2 = eps2_;
+      r2 += lns_.to_double(lns_.square(dx[0][l]));
+      r2 += lns_.to_double(lns_.square(dx[1][l]));
+      r2 += lns_.to_double(lns_.square(dx[2][l]));
+      r2w[l] = lns_.from_double(r2);
+    }
+
+    // Stage 4: power units + the m*g / m*g*dx / m*h products — integer
+    // adds on the log words across lanes.
+    LnsValue fout[3][W];
+    LnsValue pout[W];
+    for (std::size_t l = 0; l < n; ++l) {
+      const LnsValue g = lns_.pow_neg_3_2(r2w[l]);
+      const LnsValue h = lns_.pow_neg_1_2(r2w[l]);
+      const LnsValue mg = lns_.mul(j[base + l].mass, g);
+      fout[0][l] = lns_.mul(mg, dx[0][l]);
+      fout[1][l] = lns_.mul(mg, dx[1][l]);
+      fout[2][l] = lns_.mul(mg, dx[2][l]);
+      pout[l] = lns_.mul(j[base + l].mass, h);
+    }
+
+    // Stage 5: decode lanes (table lookups) and drain them into the
+    // fixed-point accumulators in stream order — the identical add
+    // sequence as the scalar path, so the sums are bitwise-identical.
+    double fx[3][W];
+    double fp[W];
+    for (std::size_t c = 0; c < 3; ++c) {
+      for (std::size_t l = 0; l < n; ++l) {
+        fx[c][l] = lns_.to_double(fout[c][l]);
+      }
+    }
+    for (std::size_t l = 0; l < n; ++l) fp[l] = lns_.to_double(pout[l]);
+    for (std::size_t l = 0; l < n; ++l) {
+      if (!live[l]) continue;
+      i_state.acc[0].add(fx[0][l]);
+      i_state.acc[1].add(fx[1][l]);
+      i_state.acc[2].add(fx[2][l]);
+      i_state.pot.add(-fp[l]);
+    }
+  }
+}
+
+void Pipeline::interact_batch_native(IState& i_state, const JWord* j,
+                                     std::size_t count) const {
+  constexpr std::size_t W = kBatchWidth;
+  const double q = codec_.quantum();
+  const std::int64_t xi0 = i_state.x[0];
+  const std::int64_t xi1 = i_state.x[1];
+  const std::int64_t xi2 = i_state.x[2];
+  double ax = 0.0;
+  double ay = 0.0;
+  double az = 0.0;
+  double ap = 0.0;
+  for (std::size_t base = 0; base < count; base += W) {
+    const std::size_t n = std::min(W, count - base);
+    double gx[W];
+    double gy[W];
+    double gz[W];
+    double gp[W];
+    bool divergent = false;
+    for (std::size_t l = 0; l < n; ++l) {
+      const JWord& jw = j[base + l];
+      const std::int64_t d0 = jw.x[0] - xi0;
+      const std::int64_t d1 = jw.x[1] - xi1;
+      const std::int64_t d2 = jw.x[2] - xi2;
+      const double dx = static_cast<double>(d0) * q;
+      const double dy = static_cast<double>(d1) * q;
+      const double dz = static_cast<double>(d2) * q;
+      const double r2 = dx * dx + dy * dy + dz * dz + eps2_;
+      // Masked lanes — the i == j cut and the divergent r2 == 0 corner —
+      // take a benign r2 so the rsqrt lane stays finite; their weight is
+      // zero. The rare divergent corner is patched below.
+      const bool cut = (d0 | d1 | d2) == 0;
+      const bool dead = cut || r2 == 0.0;
+      divergent = divergent || (!cut && r2 == 0.0);
+      const double r2_eff = dead ? 1.0 : r2;
+      const double rinv = 1.0 / std::sqrt(r2_eff);
+      const double mg =
+          (dead ? 0.0 : 1.0) * jw.mass_exact * (rinv * rinv * rinv);
+      gx[l] = mg * dx;
+      gy[l] = mg * dy;
+      gz[l] = mg * dz;
+      gp[l] = (dead ? 0.0 : 1.0) * jw.mass_exact * rinv;
+    }
+    if (divergent) [[unlikely]] {
+      // A non-coincident pair's r^2 underflowed to zero (only reachable
+      // with eps == 0): the bit-exact datapath saturates — infinite
+      // potential, force along the components that survived in double.
+      const double inf = std::numeric_limits<double>::infinity();
+      for (std::size_t l = 0; l < n; ++l) {
+        const JWord& jw = j[base + l];
+        const std::int64_t d0 = jw.x[0] - xi0;
+        const std::int64_t d1 = jw.x[1] - xi1;
+        const std::int64_t d2 = jw.x[2] - xi2;
+        if ((d0 | d1 | d2) == 0) continue;
+        const double dx = static_cast<double>(d0) * q;
+        const double dy = static_cast<double>(d1) * q;
+        const double dz = static_cast<double>(d2) * q;
+        if (dx * dx + dy * dy + dz * dz + eps2_ != 0.0) continue;
+        const double ms = jw.mass_exact < 0.0 ? -1.0 : 1.0;
+        gx[l] = dx != 0.0 ? ms * std::copysign(inf, dx) : 0.0;
+        gy[l] = dy != 0.0 ? ms * std::copysign(inf, dy) : 0.0;
+        gz[l] = dz != 0.0 ? ms * std::copysign(inf, dz) : 0.0;
+        gp[l] = ms * inf;
+      }
+    }
+    for (std::size_t l = 0; l < n; ++l) {
+      ax += gx[l];
+      ay += gy[l];
+      az += gz[l];
+      ap += gp[l];
+    }
+  }
+  i_state.acc_native[0] += ax;
+  i_state.acc_native[1] += ay;
+  i_state.acc_native[2] += az;
+  i_state.pot_native -= ap;
+}
+
 void Pipeline::interact_exact(IState& i_state, const JWord& j) const {
   const double q = codec_.quantum();
+  std::int64_t d[3];
+  bool all_zero = true;
   Vec3d dx;
   for (std::size_t c = 0; c < 3; ++c) {
-    dx[c] = static_cast<double>(j.x[c] - i_state.x[c]) * q;
+    d[c] = j.x[c] - i_state.x[c];
+    if (d[c] != 0) all_zero = false;
+    dx[c] = static_cast<double>(d[c]) * q;
   }
-  if (dx.norm2() == 0.0) return;  // the same i == j cut as the lns path
+  // The same i == j cut as the lns path: fixed-point coincidence.
+  if (all_zero) return;
   const double r2 = dx.norm2() + eps2_;
-  if (r2 == 0.0) return;
+  if (r2 == 0.0) {
+    // Non-coincident pair whose r^2 underflowed with eps == 0: the lns
+    // datapath saturates its accumulators here; mirror that rather than
+    // silently dropping a divergent pair.
+    const double inf = std::numeric_limits<double>::infinity();
+    const double ms = j.mass_exact < 0.0 ? -1.0 : 1.0;
+    for (std::size_t c = 0; c < 3; ++c) {
+      if (dx[c] != 0.0) i_state.acc[c].add(ms * std::copysign(inf, dx[c]));
+    }
+    i_state.pot.add(-ms * inf);
+    return;
+  }
   const double rinv = 1.0 / std::sqrt(r2);
   const double mg = j.mass_exact * rinv * rinv * rinv;
   for (std::size_t c = 0; c < 3; ++c) i_state.acc[c].add(mg * dx[c]);
@@ -106,15 +300,31 @@ void Pipeline::interact_exact(IState& i_state, const JWord& j) const {
 }
 
 Vec3d Pipeline::read_force(const IState& i_state) const {
+  if (numerics_.backend == BackendKind::Native &&
+      !numerics_.exact_arithmetic) {
+    return {i_state.acc_native[0], i_state.acc_native[1],
+            i_state.acc_native[2]};
+  }
   return {i_state.acc[0].value(), i_state.acc[1].value(),
           i_state.acc[2].value()};
 }
 
 double Pipeline::read_potential(const IState& i_state) const {
+  if (numerics_.backend == BackendKind::Native &&
+      !numerics_.exact_arithmetic) {
+    return i_state.pot_native;
+  }
   return i_state.pot.value();
 }
 
 bool Pipeline::saturated(const IState& i_state) const {
+  if (numerics_.backend == BackendKind::Native &&
+      !numerics_.exact_arithmetic) {
+    return !(std::isfinite(i_state.acc_native[0]) &&
+             std::isfinite(i_state.acc_native[1]) &&
+             std::isfinite(i_state.acc_native[2]) &&
+             std::isfinite(i_state.pot_native));
+  }
   return i_state.acc[0].saturated() || i_state.acc[1].saturated() ||
          i_state.acc[2].saturated() || i_state.pot.saturated();
 }

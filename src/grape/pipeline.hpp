@@ -45,7 +45,8 @@ struct JWord {
 };
 
 /// An i-particle resident in a pipeline: quantized coordinates and the
-/// fixed-point force/potential accumulators.
+/// fixed-point force/potential accumulators. The Native backend bypasses
+/// the fixed-point registers and accumulates in the plain double fields.
 struct IState {
   std::int64_t x[3] = {0, 0, 0};
   Vec3d x_exact{};  ///< used only when exact_arithmetic is on
@@ -53,6 +54,8 @@ struct IState {
                                    math::FixedAccumulator(1.0),
                                    math::FixedAccumulator(1.0)};
   math::FixedAccumulator pot = math::FixedAccumulator(1.0);
+  double acc_native[3] = {0.0, 0.0, 0.0};  ///< Native backend force sum
+  double pot_native = 0.0;                 ///< Native backend potential sum
 };
 
 /// The per-call scaling state shared by all pipelines of the system
@@ -90,6 +93,22 @@ class Pipeline {
   /// One pipeline cycle: accumulate the interaction of one j onto one i.
   void interact(IState& i_state, const JWord& j) const;
 
+  /// Stream a whole j-segment through one pipeline slot: structure-of-
+  /// arrays evaluation in blocks of `batch_width()` lanes, so the fixed-
+  /// point and log-word stages run over arrays the compiler can
+  /// vectorize. For the BitExact backend this applies the identical
+  /// per-interaction operations in the identical accumulation order as
+  /// repeated interact() calls, so the result is bitwise-identical
+  /// (tests/grape_backend_test.cpp pins this across batch shapes).
+  void interact_batch(IState& i_state, const JWord* j,
+                      std::size_t count) const;
+
+  /// Lane count of the batched kernel's inner loops (a SIMD-register
+  /// width worth of independent interactions, not a hardware parameter).
+  [[nodiscard]] static constexpr std::size_t batch_width() noexcept {
+    return kBatchWidth;
+  }
+
   /// Read back the accumulated force and potential (hardware readout).
   [[nodiscard]] Vec3d read_force(const IState& i_state) const;
   [[nodiscard]] double read_potential(const IState& i_state) const;
@@ -101,6 +120,8 @@ class Pipeline {
   }
 
  private:
+  static constexpr std::size_t kBatchWidth = 8;
+
   PipelineNumerics numerics_;
   math::LnsFormat lns_;
   PipelineScaling scaling_;
@@ -108,6 +129,10 @@ class Pipeline {
   double eps2_ = 0.0;
 
   void interact_exact(IState& i_state, const JWord& j) const;
+  void interact_batch_lns(IState& i_state, const JWord* j,
+                          std::size_t count) const;
+  void interact_batch_native(IState& i_state, const JWord* j,
+                             std::size_t count) const;
 };
 
 }  // namespace g5::grape

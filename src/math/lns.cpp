@@ -4,6 +4,13 @@
 
 namespace g5::math {
 
+namespace {
+/// Widest F we build the exp2 fraction table for: 2^16 doubles = 512 KiB
+/// per format. Beyond that (sweep-only territory) decode falls back to
+/// std::exp2, which is what the table path is bit-identical to anyway.
+constexpr int kMaxTableFracBits = 16;
+}  // namespace
+
 LnsFormat::LnsFormat(int frac_bits, int exp_bits)
     : frac_bits_(frac_bits), exp_bits_(exp_bits) {
   if (frac_bits < 1 || frac_bits > 24) {
@@ -16,101 +23,14 @@ LnsFormat::LnsFormat(int frac_bits, int exp_bits)
   max_log_ = (exp_half << frac_bits) - 1;
   min_log_ = -(exp_half << frac_bits);
   rel_step_ = std::exp2(std::ldexp(1.0, -frac_bits)) - 1.0;
-}
-
-std::int32_t LnsFormat::clamp_log(double l) const noexcept {
-  const double scaled = std::nearbyint(std::ldexp(l, frac_bits_));
-  if (scaled >= static_cast<double>(max_log_)) return max_log_;
-  if (scaled <= static_cast<double>(min_log_)) return min_log_;
-  return static_cast<std::int32_t>(scaled);
-}
-
-LnsValue LnsFormat::from_double(double v) const noexcept {
-  LnsValue out;
-  if (v == 0.0 || !std::isfinite(v)) return LnsValue::make_zero();
-  out.zero = false;
-  out.sign = v < 0.0 ? -1 : 1;
-  out.logval = clamp_log(std::log2(std::fabs(v)));
-  return out;
-}
-
-double LnsFormat::to_double(const LnsValue& v) const noexcept {
-  if (v.zero) return 0.0;
-  const double l = std::ldexp(static_cast<double>(v.logval), -frac_bits_);
-  return static_cast<double>(v.sign) * std::exp2(l);
-}
-
-LnsValue LnsFormat::mul(const LnsValue& a, const LnsValue& b) const noexcept {
-  if (a.zero || b.zero) return LnsValue::make_zero();
-  LnsValue out;
-  out.zero = false;
-  out.sign = static_cast<std::int8_t>(a.sign * b.sign);
-  const std::int64_t sum =
-      static_cast<std::int64_t>(a.logval) + static_cast<std::int64_t>(b.logval);
-  out.logval = sum > max_log_   ? max_log_
-               : sum < min_log_ ? min_log_
-                                : static_cast<std::int32_t>(sum);
-  return out;
-}
-
-LnsValue LnsFormat::square(const LnsValue& a) const noexcept {
-  if (a.zero) return LnsValue::make_zero();
-  LnsValue out;
-  out.zero = false;
-  out.sign = 1;
-  const std::int64_t twice = 2 * static_cast<std::int64_t>(a.logval);
-  out.logval = twice > max_log_   ? max_log_
-               : twice < min_log_ ? min_log_
-                                  : static_cast<std::int32_t>(twice);
-  return out;
-}
-
-LnsValue LnsFormat::pow_neg_3_2(const LnsValue& a) const noexcept {
-  if (a.zero) {
-    // r^-3/2 of zero would be infinite; saturate at the top of the range.
-    LnsValue out;
-    out.zero = false;
-    out.sign = 1;
-    out.logval = max_log_;
-    return out;
+  if (frac_bits <= kMaxTableFracBits) {
+    const std::size_t entries = std::size_t{1} << frac_bits;
+    exp2_table_.resize(entries);
+    for (std::size_t r = 0; r < entries; ++r) {
+      exp2_table_[r] =
+          std::exp2(std::ldexp(static_cast<double>(r), -frac_bits));
+    }
   }
-  std::int64_t l = a.logval;
-  if (table_bits_ > 0 && table_bits_ < frac_bits_) {
-    // Coarse lookup table: drop mantissa resolution below table_bits_
-    // (round-to-nearest on the coarser grid), then compute on that grid.
-    const int drop = frac_bits_ - table_bits_;
-    const std::int64_t half = std::int64_t{1} << (drop - 1);
-    l = ((l + half) >> drop) << drop;
-  }
-  // logval(out) = -(3/2) * logval(in), round half away from zero.
-  const std::int64_t num = -3 * l;
-  const std::int64_t rounded = num >= 0 ? (num + 1) / 2 : -((-num + 1) / 2);
-  LnsValue out;
-  out.zero = false;
-  out.sign = 1;
-  out.logval = rounded > max_log_   ? max_log_
-               : rounded < min_log_ ? min_log_
-                                    : static_cast<std::int32_t>(rounded);
-  return out;
-}
-
-LnsValue LnsFormat::pow_neg_1_2(const LnsValue& a) const noexcept {
-  if (a.zero) {
-    LnsValue out;
-    out.zero = false;
-    out.sign = 1;
-    out.logval = max_log_;
-    return out;
-  }
-  const std::int64_t num = -static_cast<std::int64_t>(a.logval);
-  const std::int64_t rounded = num >= 0 ? (num + 1) / 2 : -((-num + 1) / 2);
-  LnsValue out;
-  out.zero = false;
-  out.sign = 1;
-  out.logval = rounded > max_log_   ? max_log_
-               : rounded < min_log_ ? min_log_
-                                    : static_cast<std::int32_t>(rounded);
-  return out;
 }
 
 void LnsFormat::set_table_index_bits(int bits) {

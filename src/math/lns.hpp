@@ -9,11 +9,22 @@
 // fraction width F is the single knob that sets the pairwise force accuracy
 // (GRAPE-5's ~0.3 % rms corresponds to F = 7..8; see grape/pipeline.cpp).
 //
-// LnsFormat carries F plus the exponent clamp; LnsValue is a POD word.
+// Range-edge semantics mirror the hardware: the exponent saturates at the
+// top of the representable range, and magnitudes below the bottom code
+// underflow to the tagged zero (flush-to-zero), as an LNS datapath's
+// underflow detection does.
+//
+// LnsFormat carries F plus the exponent clamp; LnsValue is a POD word. The
+// arithmetic is defined inline here (and decode goes through a per-format
+// exp2 fraction table) so the batched pipeline kernel can keep the whole
+// datapath in registers; the table split is bitwise-identical to
+// std::exp2 on the full logval domain (tests/math_lns_test.cpp pins it).
 #pragma once
 
+#include <cmath>
 #include <cstdint>
 #include <stdexcept>
+#include <vector>
 
 namespace g5::math {
 
@@ -42,11 +53,44 @@ class LnsFormat {
   /// Relative spacing of representable magnitudes: 2^(2^-F) - 1 ~ ln2 * 2^-F.
   [[nodiscard]] double relative_step() const noexcept { return rel_step_; }
 
-  /// Encode a double (round-to-nearest in log space, exponent saturating).
-  [[nodiscard]] LnsValue from_double(double v) const noexcept;
+  /// Encode a double: round-to-nearest in log space; the exponent
+  /// saturates at the top of the range and *flushes to zero* below the
+  /// bottom code (LNS hardware underflow).
+  [[nodiscard]] LnsValue from_double(double v) const noexcept {
+    if (v == 0.0 || !std::isfinite(v)) return LnsValue::make_zero();
+    const double scaled =
+        std::nearbyint(std::ldexp(std::log2(std::fabs(v)), frac_bits_));
+    // Strictly below the bottom code the underflow unit tags the word
+    // zero; at the bottom code the value is representable and kept.
+    if (scaled < static_cast<double>(min_log_)) return LnsValue::make_zero();
+    LnsValue out;
+    out.zero = false;
+    out.sign = v < 0.0 ? std::int8_t{-1} : std::int8_t{1};
+    out.logval = scaled >= static_cast<double>(max_log_)
+                     ? max_log_
+                     : static_cast<std::int32_t>(scaled);
+    return out;
+  }
 
   /// Decode back to double.
-  [[nodiscard]] double to_double(const LnsValue& v) const noexcept;
+  [[nodiscard]] double to_double(const LnsValue& v) const noexcept {
+    if (v.zero) return 0.0;
+    const double s = static_cast<double>(v.sign);
+    if (!exp2_table_.empty()) {
+      // Split logval = q * 2^F + r, r in [0, 2^F): scaling by 2^q is
+      // exact, so ldexp(exp2(r / 2^F), q) == exp2(logval / 2^F) bitwise
+      // whenever the result is a normal double. Subnormal results round
+      // differently under the split (and huge q overflows), so fall back
+      // outside the q range that can produce a normal.
+      const int q = v.logval >> frac_bits_;  // floor division
+      if (q >= -1021 && q <= 1022) {
+        const auto r = static_cast<std::size_t>(v.logval - (q << frac_bits_));
+        return s * std::ldexp(exp2_table_[r], q);
+      }
+    }
+    const double l = std::ldexp(static_cast<double>(v.logval), -frac_bits_);
+    return s * std::exp2(l);
+  }
 
   /// Round-trip through the format (the value the datapath sees).
   [[nodiscard]] double quantize(double v) const noexcept {
@@ -54,21 +98,67 @@ class LnsFormat {
   }
 
   /// Exact in-format product: log words add (saturating), signs multiply.
-  [[nodiscard]] LnsValue mul(const LnsValue& a, const LnsValue& b) const noexcept;
+  [[nodiscard]] LnsValue mul(const LnsValue& a,
+                             const LnsValue& b) const noexcept {
+    if (a.zero || b.zero) return LnsValue::make_zero();
+    LnsValue out;
+    out.zero = false;
+    out.sign = static_cast<std::int8_t>(a.sign * b.sign);
+    const std::int64_t sum = static_cast<std::int64_t>(a.logval) +
+                             static_cast<std::int64_t>(b.logval);
+    out.logval = sum > max_log_   ? max_log_
+                 : sum < min_log_ ? min_log_
+                                  : static_cast<std::int32_t>(sum);
+    return out;
+  }
 
   /// Exact in-format square: doubles the log word; result sign is +.
-  [[nodiscard]] LnsValue square(const LnsValue& a) const noexcept;
+  [[nodiscard]] LnsValue square(const LnsValue& a) const noexcept {
+    if (a.zero) return LnsValue::make_zero();
+    LnsValue out;
+    out.zero = false;
+    out.sign = 1;
+    const std::int64_t twice = 2 * static_cast<std::int64_t>(a.logval);
+    out.logval = twice > max_log_   ? max_log_
+                 : twice < min_log_ ? min_log_
+                                    : static_cast<std::int32_t>(twice);
+    return out;
+  }
 
   /// x^(-3/2) for x > 0: logval -> -(3 * logval) / 2 with round-to-nearest.
   /// This models the unit the hardware implements with a lookup table; an
   /// optional coarse table index (see `set_table_index_bits`) reproduces
   /// table-resolution effects when the table is narrower than F.
-  [[nodiscard]] LnsValue pow_neg_3_2(const LnsValue& a) const noexcept;
+  [[nodiscard]] LnsValue pow_neg_3_2(const LnsValue& a) const noexcept {
+    if (a.zero) {
+      // r^-3/2 of zero would be infinite; saturate at the top of the range.
+      LnsValue out;
+      out.zero = false;
+      out.sign = 1;
+      out.logval = max_log_;
+      return out;
+    }
+    // logval(out) = -(3/2) * logval(in), round half away from zero.
+    const std::int64_t num = -3 * table_grid(a.logval);
+    return half_of(num);
+  }
 
-  /// x^(-1/2) for x > 0 (the potential unit): logval -> -logval / 2.
-  [[nodiscard]] LnsValue pow_neg_1_2(const LnsValue& a) const noexcept;
+  /// x^(-1/2) for x > 0 (the potential unit): logval -> -logval / 2. The
+  /// same physical lookup table feeds both power units, so the potential
+  /// path sees the identical table-index granularity as the force path.
+  [[nodiscard]] LnsValue pow_neg_1_2(const LnsValue& a) const noexcept {
+    if (a.zero) {
+      LnsValue out;
+      out.zero = false;
+      out.sign = 1;
+      out.logval = max_log_;
+      return out;
+    }
+    const std::int64_t num = -table_grid(a.logval);
+    return half_of(num);
+  }
 
-  /// Restrict the r^(-3/2) unit's mantissa resolution to `bits` fractional
+  /// Restrict the power units' mantissa resolution to `bits` fractional
   /// bits (bits <= F). 0 restores full-F behaviour. Models a narrower
   /// hardware lookup table (ablation knob for bench_e3_accuracy).
   void set_table_index_bits(int bits);
@@ -81,8 +171,32 @@ class LnsFormat {
   std::int32_t max_log_ = 0;
   std::int32_t min_log_ = 0;
   double rel_step_ = 0.0;
+  /// exp2_table_[r] = exp2(r / 2^F) for r in [0, 2^F); empty when F is too
+  /// wide to table (decode then falls back to std::exp2 throughout).
+  std::vector<double> exp2_table_;
 
-  [[nodiscard]] std::int32_t clamp_log(double l) const noexcept;
+  /// Coarse lookup table: drop mantissa resolution below table_bits_
+  /// (round-to-nearest on the coarser grid), then compute on that grid.
+  [[nodiscard]] std::int64_t table_grid(std::int64_t l) const noexcept {
+    if (table_bits_ > 0 && table_bits_ < frac_bits_) {
+      const int drop = frac_bits_ - table_bits_;
+      const std::int64_t half = std::int64_t{1} << (drop - 1);
+      l = ((l + half) >> drop) << drop;
+    }
+    return l;
+  }
+
+  /// num / 2 rounded half away from zero, saturated into a log word.
+  [[nodiscard]] LnsValue half_of(std::int64_t num) const noexcept {
+    const std::int64_t rounded = num >= 0 ? (num + 1) / 2 : -((-num + 1) / 2);
+    LnsValue out;
+    out.zero = false;
+    out.sign = 1;
+    out.logval = rounded > max_log_   ? max_log_
+                 : rounded < min_log_ ? min_log_
+                                      : static_cast<std::int32_t>(rounded);
+    return out;
+  }
 };
 
 }  // namespace g5::math

@@ -55,7 +55,7 @@ void publish(const char* base, const Stats& s,
 /// 1.25x the bounding cube around its center, accumulator quanta from
 /// the smallest particle mass at 2^-34 of the window scale.
 grape::Pipeline make_codec_pipeline(const model::ParticleSet& pset,
-                                    double eps) {
+                                    double eps, grape::BackendKind backend) {
   const model::Aabb box = pset.bounding_box();
   const double size = std::max(box.cube_size(), 1e-12) * 1.25;
   const math::Vec3d c = box.center();
@@ -71,7 +71,9 @@ grape::Pipeline make_codec_pipeline(const model::ParticleSet& pset,
   scaling.force_quantum = min_mass / (width * width) * std::ldexp(1.0, -34);
   scaling.potential_quantum = min_mass / width * std::ldexp(1.0, -34);
 
-  grape::Pipeline pipeline{grape::PipelineNumerics{}};
+  grape::PipelineNumerics numerics;
+  numerics.backend = backend;
+  grape::Pipeline pipeline{numerics};
   pipeline.configure(scaling);
   return pipeline;
 }
@@ -116,7 +118,8 @@ ProbeResult ForceErrorProbe::measure(const model::ParticleSet& pset) {
   const tree::WalkConfig walk_cfg{config_.theta, config_.mac,
                                   config_.quadrupole};
 
-  grape::Pipeline pipeline = make_codec_pipeline(pset, config_.eps);
+  grape::Pipeline pipeline =
+      make_codec_pipeline(pset, config_.eps, config_.backend);
 
   err_total_.clear();
   err_tree_.clear();

@@ -28,6 +28,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "grape/config.hpp"
 #include "model/particles.hpp"
 #include "tree/tree.hpp"
 #include "tree/walk.hpp"
@@ -45,6 +46,10 @@ struct ProbeConfig {
   tree::Mac mac = tree::Mac::Edge;
   std::uint32_t leaf_max = 8;
   bool quadrupole = false;        ///< host-tree engines only
+  /// Pipeline backend the codec leg replicates (mirror the engine's
+  /// ForceParams::backend). With BackendKind::Native the codec error
+  /// collapses to the coordinate-quantization floor (~0).
+  grape::BackendKind backend = grape::BackendKind::BitExact;
 };
 
 /// Error distribution over one sampled subset. Percentiles are exact

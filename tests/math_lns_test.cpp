@@ -1,6 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <bit>
 #include <cmath>
+#include <cstdint>
+#include <limits>
 
 #include "math/lns.hpp"
 #include "math/rng.hpp"
@@ -145,8 +148,32 @@ TEST(Lns, ExponentSaturation) {
   const double q = fmt.quantize(huge);
   EXPECT_LT(q, huge);           // clamped
   EXPECT_GT(q, std::ldexp(1.0, 30));
+  // Far below the representable range the word underflows to the tagged
+  // zero (hardware flush-to-zero), not the smallest representable value.
   const double tiny = std::ldexp(1.0, -100);
-  EXPECT_GT(fmt.quantize(tiny), 0.0);  // clamps to the smallest magnitude
+  EXPECT_TRUE(fmt.from_double(tiny).zero);
+  EXPECT_DOUBLE_EQ(fmt.quantize(tiny), 0.0);
+}
+
+TEST(Lns, RangeEdgeSemantics) {
+  const LnsFormat fmt(8, 6);  // bottom code at log2 = -32
+  // Exactly the bottom code is representable and kept (rounding, not
+  // clamping, happens at the edge)...
+  const LnsValue bottom = fmt.from_double(std::ldexp(1.0, -32));
+  EXPECT_FALSE(bottom.zero);
+  EXPECT_DOUBLE_EQ(fmt.to_double(bottom), std::ldexp(1.0, -32));
+  // ...while anything rounding below it flushes to zero, for both signs.
+  const double below = 0.99 * std::ldexp(1.0, -32);
+  EXPECT_TRUE(fmt.from_double(below).zero);
+  EXPECT_TRUE(fmt.from_double(-below).zero);
+  // The top edge saturates (clamps to the largest code); it never flushes.
+  const LnsValue top = fmt.from_double(std::ldexp(1.0, 100));
+  EXPECT_FALSE(top.zero);
+  EXPECT_NEAR(std::log2(fmt.to_double(top)), 32.0, 0.01);
+  const LnsValue top_neg = fmt.from_double(-std::ldexp(1.0, 100));
+  EXPECT_FALSE(top_neg.zero);
+  EXPECT_EQ(top_neg.sign, -1);
+  EXPECT_EQ(top_neg.logval, top.logval);
 }
 
 TEST(Lns, CoarseTableDegradesPow) {
@@ -164,6 +191,60 @@ TEST(Lns, CoarseTableDegradesPow) {
                       coarse.from_double(x))) - expected) / expected;
   }
   EXPECT_GT(err_coarse, 2.0 * err_full);
+}
+
+TEST(Lns, CoarseTableAppliesToBothPowerUnits) {
+  // One physical lookup table feeds both power units, so the coarse-table
+  // grid rounding must hit r^(-1/2) exactly as it hits r^(-3/2): inputs
+  // that collapse onto the same table index produce identical outputs
+  // from each unit.
+  LnsFormat coarse(10);
+  coarse.set_table_index_bits(4);  // grid step 2^6 = 64 logval counts
+  LnsValue a, b;
+  a.zero = b.zero = false;
+  a.sign = b.sign = 1;
+  a.logval = 1000;  // both round to the 1024 grid point
+  b.logval = 1020;
+  EXPECT_EQ(coarse.pow_neg_3_2(a).logval, coarse.pow_neg_3_2(b).logval);
+  EXPECT_EQ(coarse.pow_neg_1_2(a).logval, coarse.pow_neg_1_2(b).logval);
+
+  // And the potential unit degrades with the table exactly like the force
+  // unit does (the regression the probe's codec-error split relies on).
+  LnsFormat full(10);
+  g5::math::Rng rng(17);
+  double err_full = 0.0, err_coarse = 0.0;
+  for (int i = 0; i < 4000; ++i) {
+    const double x = std::pow(10.0, rng.uniform(-3.0, 3.0));
+    const double expected = 1.0 / std::sqrt(x);
+    err_full += std::fabs(full.to_double(full.pow_neg_1_2(
+                    full.from_double(x))) - expected) / expected;
+    err_coarse += std::fabs(coarse.to_double(coarse.pow_neg_1_2(
+                      coarse.from_double(x))) - expected) / expected;
+  }
+  EXPECT_GT(err_coarse, 2.0 * err_full);
+}
+
+TEST(Lns, DecodeTableBitwiseMatchesExp2) {
+  // to_double's split evaluation (exp2 fraction table + ldexp by the
+  // integer part) must be bitwise-identical to the direct std::exp2 over
+  // the entire logval domain of the default format — the batched pipeline
+  // kernel relies on this for bit-exactness against the scalar datapath.
+  const LnsFormat fmt(8);  // exp_bits 12 -> logval in [-2^19, 2^19)
+  const std::int64_t lo = -(std::int64_t{1} << 19);
+  const std::int64_t hi = std::int64_t{1} << 19;
+  for (std::int64_t lv = lo; lv < hi; ++lv) {
+    LnsValue v;
+    v.zero = false;
+    v.sign = (lv & 1) != 0 ? -1 : 1;
+    v.logval = static_cast<std::int32_t>(lv);
+    const double direct =
+        static_cast<double>(v.sign) *
+        std::exp2(std::ldexp(static_cast<double>(v.logval), -8));
+    const double got = fmt.to_double(v);
+    ASSERT_EQ(std::bit_cast<std::uint64_t>(got),
+              std::bit_cast<std::uint64_t>(direct))
+        << "logval " << lv;
+  }
 }
 
 TEST(Lns, TableBitsValidation) {

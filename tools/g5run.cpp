@@ -13,6 +13,12 @@
 //         [--pipeline 2]   (grape engines: batch buffers in flight;
 //                           0/1 = synchronous, >= 2 overlaps tree walks
 //                           with device evaluation — same forces bitwise)
+//         [--backend bit-exact|native]
+//                          (grape engines: pipeline arithmetic. bit-exact =
+//                           the bit-level GRAPE-5 datapath, the default and
+//                           what every golden number refers to; native =
+//                           plain double on the same quantized coordinates,
+//                           ~10x faster emulation, codec error ~ 0)
 //         [--snapshots K --snapshot-prefix out]
 //         [--analyze] [--selftest] [--seed 42]
 //         [--out final.g5snap] [--tipsy final.tipsy]
@@ -419,9 +425,9 @@ void write_report(const std::string& path,
   std::fprintf(
       f,
       "{\n"
-      "  \"run\": {\"engine\": \"%s\", \"n\": %llu, \"steps\": %llu, "
-      "\"eps\": %.6g, \"theta\": %.6g, \"n_crit\": %u, \"wall_s\": "
-      "%.6g},\n"
+      "  \"run\": {\"engine\": \"%s\", \"backend\": \"%s\", \"n\": %llu, "
+      "\"steps\": %llu, \"eps\": %.6g, \"theta\": %.6g, \"n_crit\": %u, "
+      "\"wall_s\": %.6g},\n"
       "  \"claims\": {\n"
       "    \"mean_list_length\": {\"measured\": %.6g, \"paper\": %.6g, "
       "\"paper_scaled\": %.6g, \"ratio_to_scaled\": %.6g, \"within_2x\": "
@@ -436,7 +442,9 @@ void write_report(const std::string& path,
       "\"momentum_drift\": %.6g}\n"
       "  }\n"
       "}\n",
-      engine_name.c_str(), static_cast<unsigned long long>(n),
+      engine_name.c_str(),
+      std::string(grape::backend_name(fp.backend)).c_str(),
+      static_cast<unsigned long long>(n),
       static_cast<unsigned long long>(summary.steps), fp.eps, fp.theta,
       fp.n_crit, summary.wall_seconds, mean_list, kPaperMeanList, expected,
       ratio, within_2x ? "true" : "false", inter_per_step,
@@ -515,6 +523,11 @@ int main(int argc, char** argv) {
         static_cast<std::uint32_t>(opt.get_int("pipeline", 2));
     const std::string mac = opt.get_string("mac", "edge");
     fp.mac = mac == "bmax" ? tree::Mac::Bmax : tree::Mac::Edge;
+    const std::string backend = opt.get_string("backend", "bit-exact");
+    if (!grape::parse_backend(backend, fp.backend)) {
+      throw std::invalid_argument("unknown --backend '" + backend +
+                                  "' (bit-exact, native)");
+    }
 
     const std::string engine_name = opt.get_string("engine", "grape-tree");
     auto engine = core::make_engine(engine_name, fp);
@@ -535,9 +548,12 @@ int main(int argc, char** argv) {
     const auto steps = static_cast<std::uint64_t>(opt.get_int(
         "steps", ic.cosmological ? 48 : 100));
 
-    std::printf("g5run: N=%zu engine=%s eps=%g theta=%g n_crit=%u steps=%llu\n",
-                ic.pset.size(), engine->name().data(), fp.eps, fp.theta,
-                fp.n_crit, static_cast<unsigned long long>(steps));
+    std::printf(
+        "g5run: N=%zu engine=%s backend=%s eps=%g theta=%g n_crit=%u "
+        "steps=%llu\n",
+        ic.pset.size(), engine->name().data(),
+        std::string(grape::backend_name(fp.backend)).c_str(), fp.eps,
+        fp.theta, fp.n_crit, static_cast<unsigned long long>(steps));
 
     core::SimulationSummary summary;
     if (ic.cosmological && opt.get_bool("comoving", false)) {
