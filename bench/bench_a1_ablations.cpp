@@ -157,7 +157,7 @@ int main(int argc, char** argv) {
       cost.boards = boards;
       const auto report = core::project_performance(
           sys, core::HostCostModel{}, cost, core::paper_workload());
-      char c1[8], c2[20], c3[16], c4[20], c5[12], c6[12];
+      char c1[24], c2[20], c3[16], c4[20], c5[12], c6[12];
       std::snprintf(c1, sizeof(c1), "%zu", boards);
       std::snprintf(c2, sizeof(c2), "%s",
                     util::human_flops(sys.peak_flops()).c_str());

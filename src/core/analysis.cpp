@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <unordered_map>
 
+#include "math/morton.hpp"
 #include "math/rng.hpp"
 
 namespace g5::core {
@@ -39,11 +40,16 @@ struct CellHash {
   std::unordered_map<std::uint64_t, std::vector<std::uint32_t>> map;
 
   static std::uint64_t key(long ix, long iy, long iz) {
-    // Offset into positive range and pack 21 bits each.
-    const long bias = 1L << 20;
-    return ((static_cast<std::uint64_t>(ix + bias) & 0x1fffff) << 42) |
-           ((static_cast<std::uint64_t>(iy + bias) & 0x1fffff) << 21) |
-           (static_cast<std::uint64_t>(iz + bias) & 0x1fffff);
+    // Offset into positive range and pack kMortonBitsPerDim bits each
+    // (the Morton coordinate mask — the same 21-bit-per-dim packing as
+    // math/morton.hpp).
+    const long bias = 1L << (math::kMortonBitsPerDim - 1);
+    const std::uint64_t mask = math::kMortonCoordMax;
+    return ((static_cast<std::uint64_t>(ix + bias) & mask)
+            << (2 * math::kMortonBitsPerDim)) |
+           ((static_cast<std::uint64_t>(iy + bias) & mask)
+            << math::kMortonBitsPerDim) |
+           (static_cast<std::uint64_t>(iz + bias) & mask);
   }
   void insert(const Vec3d& p, std::uint32_t idx) {
     map[key(static_cast<long>(std::floor(p.x / cell)),

@@ -7,8 +7,18 @@
 
 namespace g5::grape {
 
+using math::Fixed20;
 using math::FixedAccumulator;
+using math::FixedDelta;
 using math::LnsValue;
+
+void derive_scaling_quanta(PipelineScaling& s, double mass_scale) noexcept {
+  const double width = s.range_hi - s.range_lo;
+  const double m = mass_scale > 0.0 ? mass_scale : 1.0;
+  s.force_quantum =
+      m / (width * width) * std::ldexp(1.0, -kAccumulatorGuardBits);
+  s.potential_quantum = m / width * std::ldexp(1.0, -kAccumulatorGuardBits);
+}
 
 Pipeline::Pipeline(const PipelineNumerics& numerics)
     : numerics_(numerics),
@@ -62,29 +72,27 @@ void Pipeline::interact(IState& i_state, const JWord& j) const {
   // these operations per lane in the same accumulation order, and the
   // backend-equivalence tests pin the two bitwise against each other.
   //
-  // 1. Coordinate differences: exact fixed-point subtraction, then the
-  //    difference enters the log-format datapath (one conversion rounding
-  //    per component).
-  const double q = codec_.quantum();
+  // 1. Coordinate differences: exact fixed-point subtraction (the strong
+  //    FixedDelta word), then the difference enters the log-format
+  //    datapath via the codec (one conversion rounding per component).
   LnsValue dx[3];
-  bool all_zero = true;
+  FixedDelta d[3];
   for (int c = 0; c < 3; ++c) {
-    const std::int64_t d = j.x[c] - i_state.x[c];
-    if (d != 0) all_zero = false;
-    dx[c] = lns_.from_double(static_cast<double>(d) * q);
+    d[c] = j.x[c] - i_state.x[c];
+    dx[c] = lns_.from_double(codec_.delta_to_double(d[c]));
   }
   // Self-interaction cut: the pipeline drops pairs whose fixed-point
   // coordinates coincide (the hardware's i == j detection). The force of
   // such a pair is exactly zero anyway; cutting it also keeps the
   // softened self-potential -m/eps out of the accumulators, so the host
   // needs no (format-error-prone) correction.
-  if (all_zero) return;
+  if (math::coincident(d[0], d[1], d[2])) return;
 
   // 2. Squares in log format (exact shifts), summed with eps^2 by the
   //    block-normalized adder, modeled as an exact add re-quantized to the
   //    log format.
   double r2 = eps2_;
-  for (const auto& d : dx) r2 += lns_.to_double(lns_.square(d));
+  for (const auto& dc : dx) r2 += lns_.to_double(lns_.square(dc));
   const LnsValue r2_lns = lns_.from_double(r2);
 
   // 3. g = (r^2)^(-3/2) (table unit) and h = (r^2)^(-1/2) (potential unit).
@@ -114,26 +122,27 @@ void Pipeline::interact_batch(IState& i_state, const JWord* j,
   interact_batch_lns(i_state, j, count);
 }
 
+// g5lint: hot-begin(pipeline-batch) — the per-interaction kernels; no
+// allocation, no unreserved growth (every lane buffer is a stack array).
 void Pipeline::interact_batch_lns(IState& i_state, const JWord* j,
                                   std::size_t count) const {
   constexpr std::size_t W = kBatchWidth;
-  const double q = codec_.quantum();
-  const std::int64_t xi0 = i_state.x[0];
-  const std::int64_t xi1 = i_state.x[1];
-  const std::int64_t xi2 = i_state.x[2];
+  const Fixed20 xi0 = i_state.x[0];
+  const Fixed20 xi1 = i_state.x[1];
+  const Fixed20 xi2 = i_state.x[2];
   for (std::size_t base = 0; base < count; base += W) {
     const std::size_t n = std::min(W, count - base);
 
     // Stage 1: exact fixed-point differences plus the i == j cut, on
     // integer lanes.
-    std::int64_t d[3][W];
+    FixedDelta d[3][W];
     bool live[W];
     for (std::size_t l = 0; l < n; ++l) {
       const JWord& jw = j[base + l];
       d[0][l] = jw.x[0] - xi0;
       d[1][l] = jw.x[1] - xi1;
       d[2][l] = jw.x[2] - xi2;
-      live[l] = (d[0][l] | d[1][l] | d[2][l]) != 0;
+      live[l] = !math::coincident(d[0][l], d[1][l], d[2][l]);
     }
 
     // Stage 2: the differences enter the log format (one conversion
@@ -141,7 +150,7 @@ void Pipeline::interact_batch_lns(IState& i_state, const JWord* j,
     LnsValue dx[3][W];
     for (std::size_t c = 0; c < 3; ++c) {
       for (std::size_t l = 0; l < n; ++l) {
-        dx[c][l] = lns_.from_double(static_cast<double>(d[c][l]) * q);
+        dx[c][l] = lns_.from_double(codec_.delta_to_double(d[c][l]));
       }
     }
 
@@ -194,10 +203,9 @@ void Pipeline::interact_batch_lns(IState& i_state, const JWord* j,
 void Pipeline::interact_batch_native(IState& i_state, const JWord* j,
                                      std::size_t count) const {
   constexpr std::size_t W = kBatchWidth;
-  const double q = codec_.quantum();
-  const std::int64_t xi0 = i_state.x[0];
-  const std::int64_t xi1 = i_state.x[1];
-  const std::int64_t xi2 = i_state.x[2];
+  const Fixed20 xi0 = i_state.x[0];
+  const Fixed20 xi1 = i_state.x[1];
+  const Fixed20 xi2 = i_state.x[2];
   double ax = 0.0;
   double ay = 0.0;
   double az = 0.0;
@@ -211,17 +219,17 @@ void Pipeline::interact_batch_native(IState& i_state, const JWord* j,
     bool divergent = false;
     for (std::size_t l = 0; l < n; ++l) {
       const JWord& jw = j[base + l];
-      const std::int64_t d0 = jw.x[0] - xi0;
-      const std::int64_t d1 = jw.x[1] - xi1;
-      const std::int64_t d2 = jw.x[2] - xi2;
-      const double dx = static_cast<double>(d0) * q;
-      const double dy = static_cast<double>(d1) * q;
-      const double dz = static_cast<double>(d2) * q;
+      const FixedDelta d0 = jw.x[0] - xi0;
+      const FixedDelta d1 = jw.x[1] - xi1;
+      const FixedDelta d2 = jw.x[2] - xi2;
+      const double dx = codec_.delta_to_double(d0);
+      const double dy = codec_.delta_to_double(d1);
+      const double dz = codec_.delta_to_double(d2);
       const double r2 = dx * dx + dy * dy + dz * dz + eps2_;
       // Masked lanes — the i == j cut and the divergent r2 == 0 corner —
       // take a benign r2 so the rsqrt lane stays finite; their weight is
       // zero. The rare divergent corner is patched below.
-      const bool cut = (d0 | d1 | d2) == 0;
+      const bool cut = math::coincident(d0, d1, d2);
       const bool dead = cut || r2 == 0.0;
       divergent = divergent || (!cut && r2 == 0.0);
       const double r2_eff = dead ? 1.0 : r2;
@@ -240,13 +248,13 @@ void Pipeline::interact_batch_native(IState& i_state, const JWord* j,
       const double inf = std::numeric_limits<double>::infinity();
       for (std::size_t l = 0; l < n; ++l) {
         const JWord& jw = j[base + l];
-        const std::int64_t d0 = jw.x[0] - xi0;
-        const std::int64_t d1 = jw.x[1] - xi1;
-        const std::int64_t d2 = jw.x[2] - xi2;
-        if ((d0 | d1 | d2) == 0) continue;
-        const double dx = static_cast<double>(d0) * q;
-        const double dy = static_cast<double>(d1) * q;
-        const double dz = static_cast<double>(d2) * q;
+        const FixedDelta d0 = jw.x[0] - xi0;
+        const FixedDelta d1 = jw.x[1] - xi1;
+        const FixedDelta d2 = jw.x[2] - xi2;
+        if (math::coincident(d0, d1, d2)) continue;
+        const double dx = codec_.delta_to_double(d0);
+        const double dy = codec_.delta_to_double(d1);
+        const double dz = codec_.delta_to_double(d2);
         if (dx * dx + dy * dy + dz * dz + eps2_ != 0.0) continue;
         const double ms = jw.mass_exact < 0.0 ? -1.0 : 1.0;
         gx[l] = dx != 0.0 ? ms * std::copysign(inf, dx) : 0.0;
@@ -267,19 +275,17 @@ void Pipeline::interact_batch_native(IState& i_state, const JWord* j,
   i_state.acc_native[2] += az;
   i_state.pot_native -= ap;
 }
+// g5lint: hot-end
 
 void Pipeline::interact_exact(IState& i_state, const JWord& j) const {
-  const double q = codec_.quantum();
-  std::int64_t d[3];
-  bool all_zero = true;
+  FixedDelta d[3];
   Vec3d dx;
   for (std::size_t c = 0; c < 3; ++c) {
     d[c] = j.x[c] - i_state.x[c];
-    if (d[c] != 0) all_zero = false;
-    dx[c] = static_cast<double>(d[c]) * q;
+    dx[c] = codec_.delta_to_double(d[c]);
   }
   // The same i == j cut as the lns path: fixed-point coincidence.
-  if (all_zero) return;
+  if (math::coincident(d[0], d[1], d[2])) return;
   const double r2 = dx.norm2() + eps2_;
   if (r2 == 0.0) {
     // Non-coincident pair whose r^2 underflowed with eps == 0: the lns

@@ -25,6 +25,7 @@
 #pragma once
 
 #include <cstdint>
+#include <type_traits>
 #include <vector>
 
 #include "grape/config.hpp"
@@ -37,9 +38,10 @@ namespace g5::grape {
 using math::Vec3d;
 
 /// A j-particle as stored in the on-board particle memory: quantized
-/// coordinates plus the mass in log format.
+/// coordinates (strong fixed-point words — assigning a host double here
+/// does not compile) plus the mass in log format.
 struct JWord {
-  std::int64_t x[3] = {0, 0, 0};
+  math::Fixed20 x[3] = {};
   math::LnsValue mass{};
   double mass_exact = 0.0;  ///< used only when exact_arithmetic is on
 };
@@ -48,7 +50,7 @@ struct JWord {
 /// fixed-point force/potential accumulators. The Native backend bypasses
 /// the fixed-point registers and accumulates in the plain double fields.
 struct IState {
-  std::int64_t x[3] = {0, 0, 0};
+  math::Fixed20 x[3] = {};
   Vec3d x_exact{};  ///< used only when exact_arithmetic is on
   math::FixedAccumulator acc[3] = {math::FixedAccumulator(1.0),
                                    math::FixedAccumulator(1.0),
@@ -57,6 +59,12 @@ struct IState {
   double acc_native[3] = {0.0, 0.0, 0.0};  ///< Native backend force sum
   double pot_native = 0.0;                 ///< Native backend potential sum
 };
+
+// The strong coordinate words are layout-identical to the raw int64
+// codes they replaced, so the on-board particle-memory image (and the
+// SoA staging the batched kernel does) is the same bytes as before.
+static_assert(sizeof(JWord::x) == 3 * sizeof(std::int64_t));
+static_assert(std::is_trivially_copyable_v<JWord>);
 
 /// The per-call scaling state shared by all pipelines of the system
 /// (coordinate window, softening, accumulator quanta).
@@ -69,6 +77,17 @@ struct PipelineScaling {
   double force_quantum = 1e-18;
   double potential_quantum = 1e-18;
 };
+
+/// Headroom of the 64-bit fixed-point accumulators: the quantum sits
+/// 2^-34 below the largest expected per-call sum, leaving ~2^34 codes of
+/// guard range above it before saturation.
+inline constexpr int kAccumulatorGuardBits = 34;
+
+/// Derive the accumulator quanta from the coordinate window and the mass
+/// scale (largest |m_j| of the call). The one shared definition of the
+/// hardware's accumulator scaling — the driver (system.cpp) and the
+/// force-error probe (obs/probe.cpp) must agree bit-for-bit on it.
+void derive_scaling_quanta(PipelineScaling& s, double mass_scale) noexcept;
 
 class Pipeline {
  public:

@@ -12,21 +12,6 @@
 
 namespace g5::grape {
 
-namespace {
-
-/// Accumulator quanta from the problem scales: small enough that
-/// quantization is far below the pipeline's log-format error, large enough
-/// that softened close encounters cannot overflow 63 bits. See
-/// tests/grape_system_test.cpp for the headroom checks.
-void derive_quanta(PipelineScaling& s, double mass_scale) {
-  const double width = s.range_hi - s.range_lo;
-  const double m = mass_scale > 0.0 ? mass_scale : 1.0;
-  s.force_quantum = m / (width * width) * std::ldexp(1.0, -34);
-  s.potential_quantum = m / width * std::ldexp(1.0, -34);
-}
-
-}  // namespace
-
 Grape5System::Grape5System(const SystemConfig& config)
     : cfg_(config), timing_(config) {
   if (cfg_.boards == 0) throw std::invalid_argument("need >= 1 board");
@@ -45,7 +30,11 @@ void Grape5System::set_range(double lo, double hi, double eps,
   scaling_.range_lo = lo;
   scaling_.range_hi = hi;
   scaling_.eps = eps;
-  derive_quanta(scaling_, mass_scale);
+  // Accumulator quanta from the problem scales: small enough that
+  // quantization is far below the pipeline's log-format error, large
+  // enough that softened close encounters cannot overflow 63 bits. See
+  // tests/grape_system_test.cpp for the headroom checks.
+  derive_scaling_quanta(scaling_, mass_scale);
   for (auto& board : boards_) board->configure(scaling_);
   std::fill(board_j_count_.begin(), board_j_count_.end(), 0);
   resident_j_ = 0;

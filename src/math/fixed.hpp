@@ -5,12 +5,19 @@
 // coordinate differences exactly in fixed point, and accumulates forces in
 // wide fixed-point registers. These helpers reproduce that arithmetic with
 // explicit, testable quantization semantics.
+//
+// The codec speaks the strong domain types of math/domain.hpp: encode
+// produces a math::Fixed20 position word, subtraction of two words yields
+// a math::FixedDelta, and decode/delta_to_double are the only paths back
+// to host doubles. Raw integer codes exist only inside this class.
 #pragma once
 
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
 #include <stdexcept>
+
+#include "math/domain.hpp"
 
 namespace g5::math {
 
@@ -30,16 +37,26 @@ class FixedPointCodec {
   }
 
   /// Quantize: round-to-nearest onto the grid, saturating at the rails.
-  [[nodiscard]] std::int64_t encode(double x) const noexcept {
+  [[nodiscard]] Fixed20 encode(double x) const noexcept {
     const double scaled = (x - center_) / quantum_;
     const double rounded = std::nearbyint(scaled);
-    if (rounded >= static_cast<double>(max_code_)) return max_code_;
-    if (rounded <= static_cast<double>(min_code_)) return min_code_;
-    return static_cast<std::int64_t>(rounded);
+    if (rounded >= static_cast<double>(max_code_)) {
+      return Fixed20::from_code(max_code_);
+    }
+    if (rounded <= static_cast<double>(min_code_)) {
+      return Fixed20::from_code(min_code_);
+    }
+    return Fixed20::from_code(static_cast<std::int64_t>(rounded));
   }
 
-  [[nodiscard]] double decode(std::int64_t code) const noexcept {
-    return center_ + static_cast<double>(code) * quantum_;
+  [[nodiscard]] double decode(Fixed20 word) const noexcept {
+    return center_ + static_cast<double>(word.code()) * quantum_;
+  }
+
+  /// Decode an exact fixed-point coordinate difference: the delta scales
+  /// by the quantum only (the window centers cancel in the subtraction).
+  [[nodiscard]] double delta_to_double(FixedDelta d) const noexcept {
+    return static_cast<double>(d.code()) * quantum_;
   }
 
   /// Round-trip a double through the grid (the value the pipeline sees).
@@ -50,10 +67,10 @@ class FixedPointCodec {
   [[nodiscard]] double quantum() const noexcept { return quantum_; }
   [[nodiscard]] int bits() const noexcept { return bits_; }
   [[nodiscard]] double lo() const noexcept {
-    return decode(min_code_);
+    return decode(Fixed20::from_code(min_code_));
   }
   [[nodiscard]] double hi() const noexcept {
-    return decode(max_code_);
+    return decode(Fixed20::from_code(max_code_));
   }
 
  private:

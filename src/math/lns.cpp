@@ -9,6 +9,72 @@ namespace {
 /// per format. Beyond that (sweep-only territory) decode falls back to
 /// std::exp2, which is what the table path is bit-identical to anyway.
 constexpr int kMaxTableFracBits = 16;
+
+// ------------------------------------------------------------------
+// Compile-time pins of the PR-6 table-grid invariants, on the constexpr
+// log-domain ALU the runtime format calls (math/domain.hpp). These used
+// to live only in tests/math_lns_test.cpp; a regression now fails the
+// build of this TU instead of a test run.
+// ------------------------------------------------------------------
+
+/// Log word of pow_neg_3_2 / pow_neg_1_2 before saturation — exactly the
+/// expressions LnsFormat::pow_neg_* evaluate.
+constexpr std::int64_t pow32_log(std::int64_t l, int f, int t) {
+  return lns_half_away(-3 * lns_table_grid(l, f, t));
+}
+constexpr std::int64_t pow12_log(std::int64_t l, int f, int t) {
+  return lns_half_away(-lns_table_grid(l, f, t));
+}
+
+// One physical lookup table feeds both power units: inputs that collapse
+// onto the same table grid point must produce identical outputs from
+// *each* unit (F=10, 4 table bits: grid step 64; 1000 and 1020 both
+// round to 1024 — the exact fixture the runtime test uses).
+static_assert(lns_table_grid(1000, 10, 4) == 1024);
+static_assert(lns_table_grid(1020, 10, 4) == 1024);
+static_assert(pow32_log(1000, 10, 4) == pow32_log(1020, 10, 4));
+static_assert(pow12_log(1000, 10, 4) == pow12_log(1020, 10, 4));
+// table_bits = 0 (full resolution) and table_bits = F are both identity
+// grids — the ablation knob's rails.
+static_assert(lns_table_grid(12345, 8, 0) == 12345);
+static_assert(lns_table_grid(12345, 8, 8) == 12345);
+// Grid rounding is to-nearest (ties toward +inf, the adder's bias) on
+// both log half-planes: -1000 is 24 counts from -1024, 40 from -960.
+static_assert(lns_table_grid(-1000, 10, 4) == -1024);
+static_assert(lns_table_grid(-992, 10, 4) == -960);  // the tie rounds up
+static_assert(lns_half_away(-3) == -2 && lns_half_away(3) == 2);
+
+// exp2-table decode split: the fraction index r = logval - (q << F) must
+// stay inside the table for every representable word, including both
+// range edges (production format F=8/exp 12, and the widest tabled
+// format F=16/exp 16).
+constexpr bool exp2_split_in_range(int f, int e) {
+  const std::int32_t lo = lns_min_log(f, e);
+  const std::int32_t hi = lns_max_log(f, e);
+  const std::int64_t entries = std::int64_t{1} << f;
+  for (const std::int32_t lv : {lo, lo + 1, std::int32_t{-1}, std::int32_t{0},
+                                std::int32_t{1}, hi - 1, hi}) {
+    const std::int64_t r = lns_exp2_split_r(lv, f);
+    if (r < 0 || r >= entries) return false;
+    // The split must reassemble exactly: logval == q * 2^F + r.
+    if ((static_cast<std::int64_t>(lns_exp2_split_q(lv, f)) << f) + r != lv) {
+      return false;
+    }
+  }
+  return true;
+}
+static_assert(exp2_split_in_range(8, 12));
+static_assert(exp2_split_in_range(16, 16));
+static_assert(exp2_split_in_range(5, 8));  // the GRAPE-3 ablation format
+
+// Format word range: the production format's rails, as the hardware
+// tables assume them.
+static_assert(lns_max_log(8, 12) == (1 << 19) - 1);
+static_assert(lns_min_log(8, 12) == -(1 << 19));
+static_assert(lns_saturate(std::int64_t{1} << 40, lns_min_log(8, 12),
+                           lns_max_log(8, 12)) == lns_max_log(8, 12));
+static_assert(lns_saturate(-(std::int64_t{1} << 40), lns_min_log(8, 12),
+                           lns_max_log(8, 12)) == lns_min_log(8, 12));
 }  // namespace
 
 LnsFormat::LnsFormat(int frac_bits, int exp_bits)
@@ -19,9 +85,8 @@ LnsFormat::LnsFormat(int frac_bits, int exp_bits)
   if (exp_bits < 4 || exp_bits > 16) {
     throw std::invalid_argument("LNS exp_bits out of range [4,16]");
   }
-  const std::int32_t exp_half = std::int32_t{1} << (exp_bits - 1);
-  max_log_ = (exp_half << frac_bits) - 1;
-  min_log_ = -(exp_half << frac_bits);
+  max_log_ = lns_max_log(frac_bits, exp_bits);
+  min_log_ = lns_min_log(frac_bits, exp_bits);
   rel_step_ = std::exp2(std::ldexp(1.0, -frac_bits)) - 1.0;
   if (frac_bits <= kMaxTableFracBits) {
     const std::size_t entries = std::size_t{1} << frac_bits;

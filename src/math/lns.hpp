@@ -14,11 +14,16 @@
 // underflow to the tagged zero (flush-to-zero), as an LNS datapath's
 // underflow detection does.
 //
-// LnsFormat carries F plus the exponent clamp; LnsValue is a POD word. The
-// arithmetic is defined inline here (and decode goes through a per-format
-// exp2 fraction table) so the batched pipeline kernel can keep the whole
-// datapath in registers; the table split is bitwise-identical to
-// std::exp2 on the full logval domain (tests/math_lns_test.cpp pins it).
+// LnsFormat carries F plus the exponent clamp; LnsValue is a POD word
+// whose log field is the strong math::LnsCode (domain.hpp) — raw code
+// bits cannot mix with fixed-point words or host doubles without going
+// through this class, which is the only double<->code conversion point.
+// The arithmetic is defined inline here (and decode goes through a
+// per-format exp2 fraction table) so the batched pipeline kernel can keep
+// the whole datapath in registers; the table split is bitwise-identical
+// to std::exp2 on the full logval domain (tests/math_lns_test.cpp pins
+// it), and the integer ops themselves are the constexpr log-domain ALU of
+// domain.hpp (lns.cpp static_asserts their invariants).
 #pragma once
 
 #include <cmath>
@@ -26,13 +31,15 @@
 #include <stdexcept>
 #include <vector>
 
+#include "math/domain.hpp"
+
 namespace g5::math {
 
 /// One LNS word: sign in {-1,+1}, `logval` = round(log2|v| * 2^F) as a
-/// saturating integer, and an explicit zero flag (hardware uses a zero tag
-/// bit; log of zero is not representable).
+/// saturating strong code word, and an explicit zero flag (hardware uses
+/// a zero tag bit; log of zero is not representable).
 struct LnsValue {
-  std::int32_t logval = 0;
+  LnsCode logval{};
   std::int8_t sign = 1;
   bool zero = true;
 
@@ -55,7 +62,8 @@ class LnsFormat {
 
   /// Encode a double: round-to-nearest in log space; the exponent
   /// saturates at the top of the range and *flushes to zero* below the
-  /// bottom code (LNS hardware underflow).
+  /// bottom code (LNS hardware underflow). With to_double, the only
+  /// double<->code conversion in the codebase.
   [[nodiscard]] LnsValue from_double(double v) const noexcept {
     if (v == 0.0 || !std::isfinite(v)) return LnsValue::make_zero();
     const double scaled =
@@ -66,9 +74,10 @@ class LnsFormat {
     LnsValue out;
     out.zero = false;
     out.sign = v < 0.0 ? std::int8_t{-1} : std::int8_t{1};
-    out.logval = scaled >= static_cast<double>(max_log_)
-                     ? max_log_
-                     : static_cast<std::int32_t>(scaled);
+    out.logval = LnsCode::from_bits(
+        scaled >= static_cast<double>(max_log_)
+            ? max_log_
+            : static_cast<std::int32_t>(scaled));
     return out;
   }
 
@@ -82,13 +91,15 @@ class LnsFormat {
       // whenever the result is a normal double. Subnormal results round
       // differently under the split (and huge q overflows), so fall back
       // outside the q range that can produce a normal.
-      const int q = v.logval >> frac_bits_;  // floor division
+      const int q = lns_exp2_split_q(v.logval.bits(), frac_bits_);
       if (q >= -1021 && q <= 1022) {
-        const auto r = static_cast<std::size_t>(v.logval - (q << frac_bits_));
+        const auto r = static_cast<std::size_t>(
+            lns_exp2_split_r(v.logval.bits(), frac_bits_));
         return s * std::ldexp(exp2_table_[r], q);
       }
     }
-    const double l = std::ldexp(static_cast<double>(v.logval), -frac_bits_);
+    const double l =
+        std::ldexp(static_cast<double>(v.logval.bits()), -frac_bits_);
     return s * std::exp2(l);
   }
 
@@ -104,11 +115,8 @@ class LnsFormat {
     LnsValue out;
     out.zero = false;
     out.sign = static_cast<std::int8_t>(a.sign * b.sign);
-    const std::int64_t sum = static_cast<std::int64_t>(a.logval) +
-                             static_cast<std::int64_t>(b.logval);
-    out.logval = sum > max_log_   ? max_log_
-                 : sum < min_log_ ? min_log_
-                                  : static_cast<std::int32_t>(sum);
+    out.logval = LnsCode::from_bits(
+        lns_saturate(a.logval.wide() + b.logval.wide(), min_log_, max_log_));
     return out;
   }
 
@@ -118,10 +126,8 @@ class LnsFormat {
     LnsValue out;
     out.zero = false;
     out.sign = 1;
-    const std::int64_t twice = 2 * static_cast<std::int64_t>(a.logval);
-    out.logval = twice > max_log_   ? max_log_
-                 : twice < min_log_ ? min_log_
-                                    : static_cast<std::int32_t>(twice);
+    out.logval = LnsCode::from_bits(
+        lns_saturate(2 * a.logval.wide(), min_log_, max_log_));
     return out;
   }
 
@@ -132,14 +138,11 @@ class LnsFormat {
   [[nodiscard]] LnsValue pow_neg_3_2(const LnsValue& a) const noexcept {
     if (a.zero) {
       // r^-3/2 of zero would be infinite; saturate at the top of the range.
-      LnsValue out;
-      out.zero = false;
-      out.sign = 1;
-      out.logval = max_log_;
-      return out;
+      return saturated_top();
     }
     // logval(out) = -(3/2) * logval(in), round half away from zero.
-    const std::int64_t num = -3 * table_grid(a.logval);
+    const std::int64_t num =
+        -3 * lns_table_grid(a.logval.wide(), frac_bits_, table_bits_);
     return half_of(num);
   }
 
@@ -148,13 +151,10 @@ class LnsFormat {
   /// path sees the identical table-index granularity as the force path.
   [[nodiscard]] LnsValue pow_neg_1_2(const LnsValue& a) const noexcept {
     if (a.zero) {
-      LnsValue out;
-      out.zero = false;
-      out.sign = 1;
-      out.logval = max_log_;
-      return out;
+      return saturated_top();
     }
-    const std::int64_t num = -table_grid(a.logval);
+    const std::int64_t num =
+        -lns_table_grid(a.logval.wide(), frac_bits_, table_bits_);
     return half_of(num);
   }
 
@@ -175,26 +175,23 @@ class LnsFormat {
   /// wide to table (decode then falls back to std::exp2 throughout).
   std::vector<double> exp2_table_;
 
-  /// Coarse lookup table: drop mantissa resolution below table_bits_
-  /// (round-to-nearest on the coarser grid), then compute on that grid.
-  [[nodiscard]] std::int64_t table_grid(std::int64_t l) const noexcept {
-    if (table_bits_ > 0 && table_bits_ < frac_bits_) {
-      const int drop = frac_bits_ - table_bits_;
-      const std::int64_t half = std::int64_t{1} << (drop - 1);
-      l = ((l + half) >> drop) << drop;
-    }
-    return l;
+  /// The positive word saturated at the top of the range (power units'
+  /// response to a zero input).
+  [[nodiscard]] LnsValue saturated_top() const noexcept {
+    LnsValue out;
+    out.zero = false;
+    out.sign = 1;
+    out.logval = LnsCode::from_bits(max_log_);
+    return out;
   }
 
   /// num / 2 rounded half away from zero, saturated into a log word.
   [[nodiscard]] LnsValue half_of(std::int64_t num) const noexcept {
-    const std::int64_t rounded = num >= 0 ? (num + 1) / 2 : -((-num + 1) / 2);
     LnsValue out;
     out.zero = false;
     out.sign = 1;
-    out.logval = rounded > max_log_   ? max_log_
-                 : rounded < min_log_ ? min_log_
-                                      : static_cast<std::int32_t>(rounded);
+    out.logval = LnsCode::from_bits(
+        lns_saturate(lns_half_away(num), min_log_, max_log_));
     return out;
   }
 };

@@ -34,7 +34,7 @@ constexpr std::uint32_t morton_compact(std::uint64_t v) noexcept {
   v = (v ^ (v >> 4)) & 0x100f00f00f00f00fULL;
   v = (v ^ (v >> 8)) & 0x1f0000ff0000ffULL;
   v = (v ^ (v >> 16)) & 0x1f00000000ffffULL;
-  v = (v ^ (v >> 32)) & 0x1fffffULL;
+  v = (v ^ (v >> 32)) & kMortonCoordMax;
   return static_cast<std::uint32_t>(v);
 }
 

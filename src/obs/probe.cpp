@@ -67,9 +67,10 @@ grape::Pipeline make_codec_pipeline(const model::ParticleSet& pset,
   scaling.range_lo = c.min_component() - 0.5 * size;
   scaling.range_hi = c.max_component() + 0.5 * size;
   scaling.eps = eps;
-  const double width = scaling.range_hi - scaling.range_lo;
-  scaling.force_quantum = min_mass / (width * width) * std::ldexp(1.0, -34);
-  scaling.potential_quantum = min_mass / width * std::ldexp(1.0, -34);
+  // The same accumulator-quantum derivation as the driver (one shared
+  // definition — grape::derive_scaling_quanta — so the probe's emulated
+  // pipeline is configured bit-for-bit as the device path).
+  grape::derive_scaling_quanta(scaling, min_mass);
 
   grape::PipelineNumerics numerics;
   numerics.backend = backend;

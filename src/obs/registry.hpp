@@ -68,7 +68,8 @@ class Histogram {
   void observe(double v) noexcept {
     if (!std::isfinite(v)) return;
     Shard& s = shards_[shard_index()];
-    s.buckets[bucket_of(v)].fetch_add(1, std::memory_order_relaxed);
+    s.buckets[static_cast<std::size_t>(bucket_of(v))].fetch_add(
+        1, std::memory_order_relaxed);
     s.count.fetch_add(1, std::memory_order_relaxed);
     atomic_add(s.sum, v);
     atomic_min(s.min, v);

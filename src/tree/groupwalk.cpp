@@ -38,6 +38,9 @@ void collect_groups(const BhTree& tree, const GroupConfig& config,
 
 namespace {
 
+// g5lint: hot-begin(group-traverse) — one walk per group instead of per
+// particle (the paper's modified algorithm); same no-allocation rule as
+// the per-target traversal.
 /// Group-MAC traversal skipping the group's own subtree. Calls on_node /
 /// on_particle for external sources only; returns node visits.
 template <typename NodeFn, typename ParticleFn>
@@ -86,6 +89,7 @@ std::uint64_t traverse_group(const BhTree& tree, const Group& group,
   }
   return visits;
 }
+// g5lint: hot-end
 
 }  // namespace
 

@@ -19,6 +19,9 @@ void WalkStats::merge(const WalkStats& o) {
 
 namespace {
 
+// g5lint: hot-begin(tree-traverse) — the per-target walk inner loop; the
+// only storage is the guarded TraversalStack (inline, heap spill only on
+// pathological depth).
 /// Shared traversal: calls on_node(node) for accepted cells and
 /// on_particle(slot) for expanded leaves; returns visits.
 template <typename NodeFn, typename ParticleFn>
@@ -62,6 +65,7 @@ std::uint64_t traverse(const BhTree& tree, const Vec3d& target,
   }
   return visits;
 }
+// g5lint: hot-end
 
 }  // namespace
 
@@ -124,6 +128,8 @@ std::uint64_t count_original(const BhTree& tree, const Vec3d& target,
   return len;
 }
 
+// g5lint: hot-begin(list-eval-host) — the host-side O(targets x list)
+// kernel; everything lives in registers / the caller's spans.
 void evaluate_list_host(const InteractionList& list,
                         std::span<const Vec3d> targets, double eps,
                         std::span<Vec3d> acc, std::span<double> pot,
@@ -178,5 +184,6 @@ void evaluate_list_host(const InteractionList& list,
     pot[i] = p;
   }
 }
+// g5lint: hot-end
 
 }  // namespace g5::tree

@@ -1,0 +1,11 @@
+// compile-fail: reading a fixed-point wire word back as a double
+// without the codec (the classic silent codec bypass) must not
+// compile — Fixed20 has no conversion to double, explicit or
+// otherwise. (Twin: codec_bypass_read_ok.cpp — FixedPointCodec::decode.)
+#include "grape/pipeline.hpp"
+
+int main() {
+  g5::grape::JWord w{};
+  const double x = static_cast<double>(w.x[0]);  // must fail: codec bypass
+  return x == 0.0 ? 0 : 1;
+}

@@ -1,0 +1,12 @@
+// Compiling twin of codec_bypass_read.cpp: decode through the codec
+// that owns the coordinate window.
+#include "grape/pipeline.hpp"
+#include "math/fixed.hpp"
+
+int main() {
+  const g5::math::FixedPointCodec codec(-1.0, 1.0, 20);
+  g5::grape::JWord w{};
+  w.x[0] = codec.encode(0.25);
+  const double x = codec.decode(w.x[0]);
+  return x > 0.0 ? 0 : 1;
+}

@@ -1,0 +1,12 @@
+// compile-fail: an LNS log word and a fixed-point position word are
+// different numeric domains; the hardware has no datapath between them,
+// so the types expose none. Subtracting one from the other must not
+// compile. (Twin: mix_lns_fixed20_ok.cpp — same-domain subtraction.)
+#include "math/domain.hpp"
+
+int main() {
+  const auto code = g5::math::LnsCode::from_bits(1000);
+  const auto word = g5::math::Fixed20::from_code(42);
+  const auto mixed = word - code;  // must fail: no cross-domain arithmetic
+  return mixed.is_zero() ? 0 : 1;
+}

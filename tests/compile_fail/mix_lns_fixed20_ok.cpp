@@ -1,0 +1,11 @@
+// Compiling twin of mix_lns_fixed20.cpp: subtraction inside the
+// fixed-point domain is the one arithmetic the hardware address unit
+// performs, and the types allow exactly that.
+#include "math/domain.hpp"
+
+int main() {
+  const auto a = g5::math::Fixed20::from_code(1000);
+  const auto b = g5::math::Fixed20::from_code(42);
+  const g5::math::FixedDelta d = a - b;
+  return d.is_zero() ? 1 : 0;
+}

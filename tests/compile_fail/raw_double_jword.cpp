@@ -1,0 +1,10 @@
+// compile-fail: a host double cannot be stored into a j-particle wire
+// word without quantizing through the codec; assigning one directly
+// must not compile. (Twin: raw_double_jword_ok.cpp — codec-mediated.)
+#include "grape/pipeline.hpp"
+
+int main() {
+  g5::grape::JWord w{};
+  w.x[0] = 0.25;  // must fail: raw double into a fixed-point wire word
+  return 0;
+}

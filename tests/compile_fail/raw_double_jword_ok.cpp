@@ -1,0 +1,11 @@
+// Compiling twin of raw_double_jword.cpp: the codec is the only door
+// from host doubles into the fixed-point coordinate window.
+#include "grape/pipeline.hpp"
+#include "math/fixed.hpp"
+
+int main() {
+  const g5::math::FixedPointCodec codec(-1.0, 1.0, 20);
+  g5::grape::JWord w{};
+  w.x[0] = codec.encode(0.25);
+  return w.x[0] == codec.encode(0.25) ? 0 : 1;
+}

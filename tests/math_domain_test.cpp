@@ -1,0 +1,170 @@
+// Strong numeric-domain types (math/domain.hpp): layout identity and
+// bitwise transparency. The wrappers must be the same bytes as their
+// carrier integers and every codec path through them must produce
+// exactly the doubles the pre-wrapper code produced — the golden and
+// determinism suites check the whole pipeline; these tests pin the
+// wrapper layer in isolation.
+#include "math/domain.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <type_traits>
+
+#include "grape/pipeline.hpp"
+#include "math/fixed.hpp"
+
+namespace {
+
+using g5::math::Fixed20;
+using g5::math::FixedDelta;
+using g5::math::FixedPointCodec;
+using g5::math::LnsCode;
+
+// Layout identity: the compile-time half of this test. A JWord array of
+// wrapped words is byte-identical to the raw-integer layout it replaced.
+static_assert(sizeof(LnsCode) == sizeof(std::int32_t));
+static_assert(alignof(LnsCode) == alignof(std::int32_t));
+static_assert(sizeof(Fixed20) == sizeof(std::int64_t));
+static_assert(alignof(Fixed20) == alignof(std::int64_t));
+static_assert(sizeof(FixedDelta) == sizeof(std::int64_t));
+static_assert(std::is_trivially_copyable_v<LnsCode>);
+static_assert(std::is_trivially_copyable_v<Fixed20>);
+static_assert(std::is_trivially_copyable_v<FixedDelta>);
+static_assert(std::is_trivially_copyable_v<g5::grape::JWord>);
+static_assert(sizeof(g5::grape::JWord::x) == 3 * sizeof(std::int64_t));
+
+TEST(MathDomain, WrapperBitsMatchCarrier) {
+  const auto word = Fixed20::from_code(INT64_C(0x123456789a));
+  std::int64_t raw = 0;
+  std::memcpy(&raw, &word, sizeof(raw));
+  EXPECT_EQ(raw, INT64_C(0x123456789a));
+
+  const auto code = LnsCode::from_bits(-7);
+  std::int32_t raw32 = 0;
+  std::memcpy(&raw32, &code, sizeof(raw32));
+  EXPECT_EQ(raw32, -7);
+}
+
+TEST(MathDomain, RoundTripFactories) {
+  EXPECT_EQ(LnsCode::from_bits(12345).bits(), 12345);
+  EXPECT_EQ(LnsCode::from_bits(-12345).bits(), -12345);
+  EXPECT_EQ(Fixed20::from_code(-99).code(), -99);
+  EXPECT_EQ(FixedDelta::from_code(77).code(), 77);
+  EXPECT_TRUE(FixedDelta::from_code(0).is_zero());
+  EXPECT_FALSE(FixedDelta::from_code(1).is_zero());
+}
+
+TEST(MathDomain, WideIsSignExtended) {
+  EXPECT_EQ(LnsCode::from_bits(-1).wide(), std::int64_t{-1});
+  EXPECT_EQ(LnsCode::from_bits(INT32_MIN).wide(),
+            static_cast<std::int64_t>(INT32_MIN));
+}
+
+// Encoding through the wrapper must land on exactly the integer code the
+// raw formula produced (round-to-nearest, saturating rails).
+TEST(MathDomain, EncodeBitwiseTransparent) {
+  const FixedPointCodec codec(-2.0, 2.0, 20);
+  const double center = 0.0;
+  const double quantum = 4.0 / std::ldexp(1.0, 20);
+  const std::int64_t max_code = (std::int64_t{1} << 19) - 1;
+  const std::int64_t min_code = -(std::int64_t{1} << 19);
+  for (double x : {-3.0, -1.999, -0.7531, -1e-9, 0.0, 1e-9, 0.25, 1.5,
+                   1.999, 2.0, 5.0}) {
+    const double rounded = std::nearbyint((x - center) / quantum);
+    std::int64_t expect = static_cast<std::int64_t>(rounded);
+    if (rounded >= static_cast<double>(max_code)) expect = max_code;
+    if (rounded <= static_cast<double>(min_code)) expect = min_code;
+    EXPECT_EQ(codec.encode(x).code(), expect) << "x=" << x;
+  }
+}
+
+// Subtraction and delta decode: exact integer difference, then exactly
+// one multiply by the quantum — bit-for-bit the pre-wrapper arithmetic.
+TEST(MathDomain, DeltaBitwiseTransparent) {
+  const FixedPointCodec codec(-1.0, 3.0, 24);
+  for (double xa : {-0.9, -0.1, 0.0, 0.3, 1.7, 2.9}) {
+    for (double xb : {-0.8, 0.0, 0.4, 2.2}) {
+      const Fixed20 a = codec.encode(xa);
+      const Fixed20 b = codec.encode(xb);
+      const FixedDelta d = a - b;
+      EXPECT_EQ(d.code(), a.code() - b.code());
+      const double direct =
+          static_cast<double>(a.code() - b.code()) * codec.quantum();
+      EXPECT_EQ(codec.delta_to_double(d), direct);
+    }
+  }
+}
+
+TEST(MathDomain, DecodeBitwiseTransparent) {
+  const FixedPointCodec codec(-1.0, 1.0, 20);
+  const double center = 0.0;
+  for (std::int64_t code : {INT64_C(-524288), INT64_C(-1), INT64_C(0),
+                            INT64_C(1), INT64_C(524287)}) {
+    const double direct =
+        center + static_cast<double>(code) * codec.quantum();
+    EXPECT_EQ(codec.decode(Fixed20::from_code(code)), direct);
+  }
+}
+
+// The i == j cut is one OR-reduction over the three deltas, as the
+// hardware coincidence detector does it.
+TEST(MathDomain, CoincidentOrReduction) {
+  const auto zero = FixedDelta::from_code(0);
+  const auto one = FixedDelta::from_code(1);
+  const auto neg = FixedDelta::from_code(-5);
+  EXPECT_TRUE(g5::math::coincident(zero, zero, zero));
+  EXPECT_FALSE(g5::math::coincident(one, zero, zero));
+  EXPECT_FALSE(g5::math::coincident(zero, neg, zero));
+  EXPECT_FALSE(g5::math::coincident(zero, zero, one));
+}
+
+TEST(MathDomain, JWordCopyIsBytewise) {
+  const FixedPointCodec codec(-1.0, 1.0, 20);
+  g5::grape::JWord w{};
+  w.x[0] = codec.encode(0.25);
+  w.x[1] = codec.encode(-0.5);
+  w.x[2] = codec.encode(0.875);
+  w.mass_exact = 1.0 / 3.0;
+  g5::grape::JWord copy{};
+  std::memcpy(&copy, &w, sizeof(copy));
+  EXPECT_EQ(copy.x[0], w.x[0]);
+  EXPECT_EQ(copy.x[1], w.x[1]);
+  EXPECT_EQ(copy.x[2], w.x[2]);
+  EXPECT_EQ(copy.mass_exact, w.mass_exact);
+}
+
+// Runtime spot checks of the constexpr log-domain ALU (the table-grid
+// invariants themselves are static_asserted in src/math/lns.cpp).
+TEST(MathDomain, LogDomainAluHelpers) {
+  using namespace g5::math;
+  EXPECT_EQ(lns_max_log(8, 12), (std::int32_t{1} << 19) - 1);
+  EXPECT_EQ(lns_min_log(8, 12), -(std::int32_t{1} << 19));
+  EXPECT_EQ(lns_saturate(1 << 20, lns_min_log(8, 12), lns_max_log(8, 12)),
+            lns_max_log(8, 12));
+  EXPECT_EQ(lns_saturate(-(1 << 20), lns_min_log(8, 12), lns_max_log(8, 12)),
+            lns_min_log(8, 12));
+  EXPECT_EQ(lns_saturate(123, lns_min_log(8, 12), lns_max_log(8, 12)), 123);
+
+  EXPECT_EQ(lns_half_away(3), 2);
+  EXPECT_EQ(lns_half_away(-3), -2);
+  EXPECT_EQ(lns_half_away(4), 2);
+  EXPECT_EQ(lns_half_away(-4), -2);
+
+  EXPECT_EQ(lns_table_grid(1000, 10, 4), 1024);
+  EXPECT_EQ(lns_table_grid(-1000, 10, 4), -1024);
+  EXPECT_EQ(lns_table_grid(1000, 10, 0), 1000);   // disabled: identity
+  EXPECT_EQ(lns_table_grid(1000, 10, 10), 1000);  // full width: identity
+
+  for (std::int32_t lv : {-4097, -4096, -1, 0, 1, 255, 256, 4095}) {
+    const int q = lns_exp2_split_q(lv, 8);
+    const std::int64_t r = lns_exp2_split_r(lv, 8);
+    EXPECT_GE(r, 0) << "lv=" << lv;
+    EXPECT_LT(r, 256) << "lv=" << lv;
+    EXPECT_EQ((static_cast<std::int64_t>(q) << 8) + r, lv);
+  }
+}
+
+}  // namespace

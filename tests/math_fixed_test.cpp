@@ -49,7 +49,7 @@ TEST(FixedPointCodec, ExactDifferencesOfCodes) {
   const FixedPointCodec codec(-2.0, 2.0, 20);
   const auto a = codec.encode(0.125);
   const auto b = codec.encode(-0.375);
-  const double diff = static_cast<double>(a - b) * codec.quantum();
+  const double diff = codec.delta_to_double(a - b);
   EXPECT_NEAR(diff, 0.5, codec.quantum());
 }
 

@@ -203,8 +203,8 @@ TEST(Lns, CoarseTableAppliesToBothPowerUnits) {
   LnsValue a, b;
   a.zero = b.zero = false;
   a.sign = b.sign = 1;
-  a.logval = 1000;  // both round to the 1024 grid point
-  b.logval = 1020;
+  a.logval = g5::math::LnsCode::from_bits(1000);  // both round to 1024
+  b.logval = g5::math::LnsCode::from_bits(1020);
   EXPECT_EQ(coarse.pow_neg_3_2(a).logval, coarse.pow_neg_3_2(b).logval);
   EXPECT_EQ(coarse.pow_neg_1_2(a).logval, coarse.pow_neg_1_2(b).logval);
 
@@ -236,10 +236,10 @@ TEST(Lns, DecodeTableBitwiseMatchesExp2) {
     LnsValue v;
     v.zero = false;
     v.sign = (lv & 1) != 0 ? -1 : 1;
-    v.logval = static_cast<std::int32_t>(lv);
+    v.logval = g5::math::LnsCode::from_bits(static_cast<std::int32_t>(lv));
     const double direct =
         static_cast<double>(v.sign) *
-        std::exp2(std::ldexp(static_cast<double>(v.logval), -8));
+        std::exp2(std::ldexp(static_cast<double>(v.logval.bits()), -8));
     const double got = fmt.to_double(v);
     ASSERT_EQ(std::bit_cast<std::uint64_t>(got),
               std::bit_cast<std::uint64_t>(direct))
