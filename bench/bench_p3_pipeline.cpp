@@ -18,12 +18,16 @@
 //
 //   ./bench_p3_pipeline [--n 65536] [--theta 0.75] [--ncrit 256]
 //                       [--eps 0.02] [--threads 0 (auto)] [--depth 2]
-//                       [--backend bit-exact|native]
+//                       [--backend bit-exact|native] [--boards 0 (paper)]
 //                       [--min-speedup 0 (off)] [--json FILE]
 //
 // --backend selects the pipeline arithmetic (BackendKind): bit-exact is
 // the bit-level datapath (the default; BENCH_p3.json's baseline), native
 // evaluates the same lists in plain double. BENCH_p6.json records both.
+// --boards scales the emulated cluster (0 = the paper's 2 boards); more
+// boards means more board-parallel lanes inside each device job, and the
+// forces stay bitwise-identical across B (docs/scaling.md; BENCH_p8.json
+// records the --boards {1,2,4} sweep for both backends).
 
 #include <cstdio>
 #include <cstdlib>
@@ -61,6 +65,7 @@ int main(int argc, char** argv) {
   const auto depth = static_cast<std::uint32_t>(opt.get_int("depth", 2));
   const double min_speedup = opt.get_double("min-speedup", 0.0);
   const std::string json = opt.get_string("json", "");
+  const auto boards = static_cast<std::uint32_t>(opt.get_int("boards", 0));
   const std::string backend_str = opt.get_string("backend", "bit-exact");
   grape::BackendKind backend = grape::BackendKind::BitExact;
   if (!grape::parse_backend(backend_str, backend)) {
@@ -76,9 +81,9 @@ int main(int argc, char** argv) {
 
   std::printf(
       "P3: async device pipeline, N=%zu, theta=%g, n_crit=%u, "
-      "threads=%u (0=auto: %u), depth=%u, backend=%s\n\n",
+      "threads=%u (0=auto: %u), depth=%u, backend=%s, boards=%u (0=paper)\n\n",
       n, theta, n_crit, threads, util::resolve_thread_count(threads), depth,
-      std::string(grape::backend_name(backend)).c_str());
+      std::string(grape::backend_name(backend)).c_str(), boards);
 
   obs::set_enabled(true);
   auto run = [&](std::uint32_t pipeline_depth) {
@@ -91,6 +96,7 @@ int main(int argc, char** argv) {
     fp.threads = threads;
     fp.pipeline_depth = pipeline_depth;
     fp.backend = backend;
+    fp.boards = boards;
     // Fresh engine + fresh device per run: no cross-run device state.
     auto engine = core::make_engine("grape-tree", fp);
     obs::gauge("g5.pipeline.overlap").set(0.0);
@@ -143,7 +149,8 @@ int main(int argc, char** argv) {
     std::fprintf(f,
                  "{\n"
                  "  \"run\": {\"n\": %zu, \"theta\": %g, \"n_crit\": %u, "
-                 "\"threads\": %u, \"depth\": %u, \"backend\": \"%s\"},\n"
+                 "\"threads\": %u, \"depth\": %u, \"backend\": \"%s\", "
+                 "\"boards\": %u},\n"
                  "  \"sync\": {\"wall_s\": %.6g, \"walk_cpu_s\": %.6g, "
                  "\"device_s\": %.6g},\n"
                  "  \"pipelined\": {\"wall_s\": %.6g, \"walk_cpu_s\": %.6g, "
@@ -153,6 +160,9 @@ int main(int argc, char** argv) {
                  "}\n",
                  n, theta, n_crit, util::resolve_thread_count(threads), depth,
                  std::string(grape::backend_name(backend)).c_str(),
+                 boards != 0 ? boards
+                             : static_cast<std::uint32_t>(
+                                   grape::SystemConfig::paper_system().boards),
                  sync.wall_s, sync.walk_cpu_s, sync.kernel_s, piped.wall_s,
                  piped.walk_cpu_s, piped.kernel_s, piped.overlap, speedup,
                  identical ? "true" : "false");

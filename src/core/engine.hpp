@@ -53,6 +53,12 @@ struct ForceParams {
   /// plain double (codec error ~ 0, roughly 10x faster emulation).
   /// Ignored when the caller hands make_engine a pre-built device.
   grape::BackendKind backend = grape::BackendKind::BitExact;
+  /// GRAPE engines: processor boards in the emulated machine. 0 keeps
+  /// the paper's configuration (2 boards); any B >= 1 scales the
+  /// emulated cluster (j-particles block-shard across boards —
+  /// docs/scaling.md). Results are bitwise-identical for every B.
+  /// Ignored when the caller hands make_engine a pre-built device.
+  std::uint32_t boards = 0;
 };
 
 /// Per-engine cumulative statistics (reset with reset_stats()).

@@ -491,6 +491,7 @@ std::unique_ptr<ForceEngine> make_engine(
     if (device) return device;
     grape::SystemConfig cfg = grape::SystemConfig::paper_system();
     cfg.numerics.backend = params.backend;
+    if (params.boards > 0) cfg.boards = params.boards;
     return std::make_shared<grape::Grape5Device>(cfg);
   };
   if (name == "host-direct") {

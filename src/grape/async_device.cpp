@@ -97,8 +97,13 @@ void AsyncDevice::process(Item& item) {
       Grape5System& sys = device_->system();
       const HardwareAccount before = sys.account();
       const std::uint64_t bytes_before = sys.bytes_moved();
-      device_->compute_forces_chunked(job.i_pos, job.j_pos, job.j_mass,
-                                      job.acc, job.pot);
+      if (job.require_resident) {
+        device_->set_j(job.j_pos, job.j_mass);
+        device_->compute_forces(job.i_pos, job.acc, job.pot);
+      } else {
+        device_->compute_forces_chunked(job.i_pos, job.j_pos, job.j_mass,
+                                        job.acc, job.pot);
+      }
       const HardwareAccount& after = sys.account();
       job.interactions = after.interactions - before.interactions;
       job.emulation_seconds = after.emulation_wall - before.emulation_wall;

@@ -59,6 +59,15 @@ struct ForceJob {
   std::span<Vec3d> acc;             ///< overwritten on completion
   std::span<double> pot;            ///< overwritten on completion
 
+  /// When true the j-list must fit the boards' particle memory in one
+  /// upload: the submitter calls set_j + compute_forces instead of the
+  /// chunked path, and a list over capacity raises JmemCapacityError —
+  /// which poisons the AsyncDevice (failed() == true) and rethrows on
+  /// the next wait_for()/drain(), like any device error. For producers
+  /// that sized their lists to the hardware and want overflow to be a
+  /// hard fault rather than silently chunked.
+  bool require_resident = false;
+
   // Completion accounting, written by the submitter thread before the
   // ticket is published (synchronized through wait_for/drain).
   std::uint64_t interactions = 0;

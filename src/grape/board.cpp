@@ -1,14 +1,48 @@
 #include "grape/board.hpp"
 
+#include <cmath>
 #include <stdexcept>
 #include <string>
 
 namespace g5::grape {
 
+namespace {
+
+std::string capacity_message(std::size_t board, std::size_t requested,
+                             std::size_t capacity) {
+  std::string where = board == JmemCapacityError::kAggregate
+                          ? std::string("aggregate particle memory")
+                          : "board " + std::to_string(board) +
+                                " particle memory";
+  return "j segment exceeds " + where + " capacity (" +
+         std::to_string(requested) + " > " + std::to_string(capacity) + ")";
+}
+
+/// Scale an accumulator count by the fault gain, saturating like the
+/// registers do. Double round-trip precision (2^53) is far above any
+/// healthy count; this is a diagnostic path (self-test) either way.
+std::int64_t scale_count(std::int64_t count, double gain) {
+  constexpr double kMax = 9.0e18;  // FixedAccumulator's saturation rail
+  double scaled = std::nearbyint(static_cast<double>(count) * gain);
+  if (scaled > kMax) scaled = kMax;
+  if (scaled < -kMax) scaled = -kMax;
+  return static_cast<std::int64_t>(scaled);
+}
+
+}  // namespace
+
+JmemCapacityError::JmemCapacityError(std::size_t board, std::size_t requested,
+                                     std::size_t capacity)
+    : std::out_of_range(capacity_message(board, requested, capacity)),
+      board_(board),
+      requested_(requested),
+      capacity_(capacity) {}
+
 ProcessorBoard::ProcessorBoard(const BoardConfig& board_cfg,
                                const HostInterfaceConfig& hib_cfg,
-                               const PipelineNumerics& numerics)
-    : cfg_(board_cfg), pipe_(numerics), hib_(hib_cfg) {
+                               const PipelineNumerics& numerics,
+                               std::size_t index)
+    : cfg_(board_cfg), pipe_(numerics), hib_(hib_cfg), index_(index) {
   jmem_.resize(cfg_.jmem_capacity);
 }
 
@@ -21,9 +55,7 @@ void ProcessorBoard::configure(const PipelineScaling& scaling) {
 void ProcessorBoard::set_j(std::size_t address, const Vec3d* pos,
                            const double* mass, std::size_t count) {
   if (address + count > cfg_.jmem_capacity) {
-    throw std::out_of_range("j segment exceeds particle memory capacity (" +
-                            std::to_string(address + count) + " > " +
-                            std::to_string(cfg_.jmem_capacity) + ")");
+    throw JmemCapacityError(index_, address + count, cfg_.jmem_capacity);
   }
   for (std::size_t k = 0; k < count; ++k) {
     jmem_[address + k] = pipe_.encode_j(pos[k], mass[k]);
@@ -34,14 +66,13 @@ void ProcessorBoard::set_j(std::size_t address, const Vec3d* pos,
 
 void ProcessorBoard::set_j_count(std::size_t count) {
   if (count > cfg_.jmem_capacity) {
-    throw std::out_of_range("j count exceeds particle memory capacity");
+    throw JmemCapacityError(index_, count, cfg_.jmem_capacity);
   }
   j_count_ = count;
 }
 
-std::size_t ProcessorBoard::run(const Vec3d* i_pos, std::size_t ni,
-                                Vec3d* out_acc, double* out_pot,
-                                std::uint8_t* out_saturated) {
+std::size_t ProcessorBoard::run_raw(const Vec3d* i_pos, std::size_t ni,
+                                    RawForce* out) {
   if (ni == 0 || j_count_ == 0) return 0;
   hib_.record_i_upload(ni);
 
@@ -51,22 +82,38 @@ std::size_t ProcessorBoard::run(const Vec3d* i_pos, std::size_t ni,
     // Batched j-stream: bitwise-identical to per-j interact() calls for
     // the bit-exact backend (see Pipeline::interact_batch).
     pipe_.interact_batch(state, jmem_.data(), j_count_);
-    Vec3d force = pipe_.read_force(state);
-    double pot = pipe_.read_potential(state);
+    out[i] = pipe_.read_raw(state);
     if (faulty_chip_ >= 0 &&
         chip_of_slot(i % slots) == static_cast<std::size_t>(faulty_chip_)) {
-      force *= 1.0 + fault_gain_;
-      pot *= 1.0 + fault_gain_;
-    }
-    out_acc[i] += force;
-    out_pot[i] += pot;
-    if (out_saturated != nullptr && pipe_.saturated(state)) {
-      out_saturated[i] = 1;
+      const double gain = 1.0 + fault_gain_;
+      for (std::size_t c = 0; c < 3; ++c) {
+        out[i].acc[c] = scale_count(out[i].acc[c], gain);
+      }
+      out[i].pot = scale_count(out[i].pot, gain);
     }
   }
 
   hib_.record_result_read(ni);
   return ni * j_count_;
+}
+
+std::size_t ProcessorBoard::run(const Vec3d* i_pos, std::size_t ni,
+                                Vec3d* out_acc, double* out_pot,
+                                std::uint8_t* out_saturated) {
+  if (ni == 0 || j_count_ == 0) return 0;
+  if (raw_scratch_.size() < ni) raw_scratch_.resize(ni);
+  const std::size_t interactions = run_raw(i_pos, ni, raw_scratch_.data());
+  const double fq = pipe_.force_accumulator_quantum();
+  const double pq = pipe_.potential_accumulator_quantum();
+  for (std::size_t i = 0; i < ni; ++i) {
+    const RawForce& r = raw_scratch_[i];
+    out_acc[i] += Vec3d{static_cast<double>(r.acc[0]) * fq,
+                        static_cast<double>(r.acc[1]) * fq,
+                        static_cast<double>(r.acc[2]) * fq};
+    out_pot[i] += static_cast<double>(r.pot) * pq;
+    if (out_saturated != nullptr && r.saturated) out_saturated[i] = 1;
+  }
+  return interactions;
 }
 
 void ProcessorBoard::inject_chip_fault(int chip_index, double gain_error) {

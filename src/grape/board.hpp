@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstddef>
+#include <stdexcept>
 #include <vector>
 
 #include "grape/config.hpp"
@@ -16,11 +17,37 @@
 
 namespace g5::grape {
 
+/// Typed error for a j-upload that exceeds a board's particle memory (or
+/// the BoardSet's aggregate capacity). Derives from std::out_of_range so
+/// call sites written against the historical driver contract keep
+/// working; new code catches the typed form and reads which board
+/// rejected how much against what capacity. Counts are in particles.
+class JmemCapacityError : public std::out_of_range {
+ public:
+  /// board() value when the aggregate (whole-set) check failed rather
+  /// than a single board's.
+  static constexpr std::size_t kAggregate = static_cast<std::size_t>(-1);
+
+  JmemCapacityError(std::size_t board, std::size_t requested,
+                    std::size_t capacity);
+
+  [[nodiscard]] std::size_t board() const noexcept { return board_; }
+  [[nodiscard]] std::size_t requested() const noexcept { return requested_; }
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+
+ private:
+  std::size_t board_;
+  std::size_t requested_;
+  std::size_t capacity_;
+};
+
 class ProcessorBoard {
  public:
+  /// `index` is the board's position in its BoardSet, used only to label
+  /// capacity errors and diagnostics (standalone boards default to 0).
   ProcessorBoard(const BoardConfig& board_cfg,
                  const HostInterfaceConfig& hib_cfg,
-                 const PipelineNumerics& numerics);
+                 const PipelineNumerics& numerics, std::size_t index = 0);
 
   /// Reconfigure scaling (range window / eps / accumulator quanta); the
   /// resident j-set must be re-uploaded afterwards (the stored words were
@@ -45,6 +72,13 @@ class ProcessorBoard {
   std::size_t run(const Vec3d* i_pos, std::size_t ni, Vec3d* out_acc,
                   double* out_pot, std::uint8_t* out_saturated = nullptr);
 
+  /// Raw-readout run: overwrite out[i] with this board's integer partial
+  /// sums (counts of the accumulator quanta — see grape::RawForce). This
+  /// is the multi-board evaluation path: BoardSet merges the per-board
+  /// counts exactly, so the reduction is bitwise-identical to streaming
+  /// the whole j-set through one board. Returns interactions computed.
+  std::size_t run_raw(const Vec3d* i_pos, std::size_t ni, RawForce* out);
+
   [[nodiscard]] const BoardConfig& config() const noexcept { return cfg_; }
   [[nodiscard]] const Pipeline& pipeline() const noexcept { return pipe_; }
   [[nodiscard]] HostInterface& hib() noexcept { return hib_; }
@@ -57,14 +91,19 @@ class ProcessorBoard {
   void inject_chip_fault(int chip_index, double gain_error = 1.0 / 16.0);
   [[nodiscard]] int faulty_chip() const noexcept { return faulty_chip_; }
 
+  /// Position of this board in its BoardSet (0 for standalone boards).
+  [[nodiscard]] std::size_t index() const noexcept { return index_; }
+
  private:
   BoardConfig cfg_;
   Pipeline pipe_;
   HostInterface hib_;
   std::vector<JWord> jmem_;
   std::size_t j_count_ = 0;
+  std::size_t index_ = 0;
   int faulty_chip_ = -1;
   double fault_gain_ = 0.0;
+  std::vector<RawForce> raw_scratch_;  ///< run()'s readout staging
 
   /// Chip handling i-slot `slot` (slots cycle over pipelines, VMP-deep).
   [[nodiscard]] std::size_t chip_of_slot(std::size_t slot) const {

@@ -19,6 +19,17 @@ namespace g5::grape {
 /// used by the paper's Gflops numbers).
 inline constexpr double kFlopsPerInteraction = 38.0;
 
+/// The block-sharding rule for distributing nj j-particles over `boards`
+/// boards: each board takes a contiguous block of up to ceil(nj/boards)
+/// particles. The one definition shared by the timing model
+/// (TimingModel::j_per_board) and the evaluation layer (BoardSet), so
+/// the modeled compute time and the emulated shard sizes cannot drift
+/// apart.
+[[nodiscard]] constexpr std::size_t shard_share(std::size_t nj,
+                                                std::size_t boards) noexcept {
+  return boards == 0 ? nj : (nj + boards - 1) / boards;
+}
+
 /// Arithmetic backend of the force pipelines.
 enum class BackendKind : std::uint8_t {
   /// Bit-level emulation of the GRAPE-5 datapath: fixed-point coordinates,

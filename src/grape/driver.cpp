@@ -59,21 +59,29 @@ void Grape5Device::compute_forces_chunked(std::span<const Vec3d> i_pos,
   std::fill(pot.begin(), pot.end(), 0.0);
   if (ni == 0 || j_pos.empty()) return;
 
-  if (acc_scratch_.size() < ni) {
-    acc_scratch_.resize(ni);
-    pot_scratch_.resize(ni);
-  }
+  if (raw_scratch_.size() < ni) raw_scratch_.resize(ni);
+  std::fill_n(raw_scratch_.begin(), ni, RawForce{});
 
+  // Accumulate every chunk's integer partial sums and convert once at
+  // the end: the counts merge exactly, so the forces are bitwise-
+  // independent of where the chunk boundaries fall (and of the board
+  // count within each chunk — grape/board_set.hpp).
   const std::size_t cap = jmem_capacity();
   for (std::size_t off = 0; off < j_pos.size(); off += cap) {
     const std::size_t len = std::min(cap, j_pos.size() - off);
     set_j(j_pos.subspan(off, len), j_mass.subspan(off, len));
-    system_->compute(i_pos, std::span<Vec3d>(acc_scratch_.data(), ni),
-                     std::span<double>(pot_scratch_.data(), ni));
-    for (std::size_t i = 0; i < ni; ++i) {
-      acc[i] += acc_scratch_[i];
-      pot[i] += pot_scratch_[i];
-    }
+    system_->compute_raw(i_pos, std::span<RawForce>(raw_scratch_.data(), ni));
+  }
+
+  const Pipeline& pipe = system_->pipeline();
+  const double fq = pipe.force_accumulator_quantum();
+  const double pq = pipe.potential_accumulator_quantum();
+  for (std::size_t i = 0; i < ni; ++i) {
+    const RawForce& r = raw_scratch_[i];
+    acc[i] = Vec3d{static_cast<double>(r.acc[0]) * fq,
+                   static_cast<double>(r.acc[1]) * fq,
+                   static_cast<double>(r.acc[2]) * fq};
+    pot[i] = static_cast<double>(r.pot) * pq;
   }
 }
 

@@ -42,7 +42,10 @@ class Grape5Device {
 
   /// Forces of an arbitrarily long j-list on the targets: the driver
   /// splits the list into j-memory-sized chunks and accumulates the
-  /// partial forces on the host (what the real library's user code did).
+  /// partial sums on the host (what the real library's user code did) —
+  /// in the integer accumulator domain, so the result is bitwise-
+  /// independent of the chunk boundaries and the board count
+  /// (docs/scaling.md).
   void compute_forces_chunked(std::span<const Vec3d> i_pos,
                               std::span<const Vec3d> j_pos,
                               std::span<const double> j_mass,
@@ -70,9 +73,8 @@ class Grape5Device {
 
   void push_scaling();
 
-  // Scratch buffers for chunked accumulation.
-  std::vector<Vec3d> acc_scratch_;
-  std::vector<double> pot_scratch_;
+  // Scratch for chunked accumulation: cross-chunk integer partial sums.
+  std::vector<RawForce> raw_scratch_;
 };
 
 // --------------------------------------------------------------------

@@ -49,12 +49,25 @@ JWord Pipeline::encode_j(const Vec3d& pos, double mass) const {
   return j;
 }
 
+double Pipeline::force_accumulator_quantum() const noexcept {
+  return numerics_.backend == BackendKind::Native && !numerics_.exact_arithmetic
+             ? std::ldexp(scaling_.force_quantum, -kNativeAccumulatorExtraBits)
+             : scaling_.force_quantum;
+}
+
+double Pipeline::potential_accumulator_quantum() const noexcept {
+  return numerics_.backend == BackendKind::Native && !numerics_.exact_arithmetic
+             ? std::ldexp(scaling_.potential_quantum,
+                          -kNativeAccumulatorExtraBits)
+             : scaling_.potential_quantum;
+}
+
 IState Pipeline::encode_i(const Vec3d& pos) const {
   IState s;
   for (std::size_t c = 0; c < 3; ++c) s.x[c] = codec_.encode(pos[c]);
   s.x_exact = pos;
-  for (auto& a : s.acc) a = FixedAccumulator(scaling_.force_quantum);
-  s.pot = FixedAccumulator(scaling_.potential_quantum);
+  for (auto& a : s.acc) a = FixedAccumulator(force_accumulator_quantum());
+  s.pot = FixedAccumulator(potential_accumulator_quantum());
   return s;
 }
 
@@ -206,10 +219,6 @@ void Pipeline::interact_batch_native(IState& i_state, const JWord* j,
   const Fixed20 xi0 = i_state.x[0];
   const Fixed20 xi1 = i_state.x[1];
   const Fixed20 xi2 = i_state.x[2];
-  double ax = 0.0;
-  double ay = 0.0;
-  double az = 0.0;
-  double ap = 0.0;
   for (std::size_t base = 0; base < count; base += W) {
     const std::size_t n = std::min(W, count - base);
     double gx[W];
@@ -263,17 +272,17 @@ void Pipeline::interact_batch_native(IState& i_state, const JWord* j,
         gp[l] = ms * inf;
       }
     }
+    // Drain into the fixed-point accumulators per interaction, in
+    // stream order. Each lane quantizes independently onto the finer
+    // Native grid (kNativeAccumulatorExtraBits), so the sum does not
+    // depend on where batch — or board-shard — boundaries fall.
     for (std::size_t l = 0; l < n; ++l) {
-      ax += gx[l];
-      ay += gy[l];
-      az += gz[l];
-      ap += gp[l];
+      i_state.acc[0].add(gx[l]);
+      i_state.acc[1].add(gy[l]);
+      i_state.acc[2].add(gz[l]);
+      i_state.pot.add(-gp[l]);
     }
   }
-  i_state.acc_native[0] += ax;
-  i_state.acc_native[1] += ay;
-  i_state.acc_native[2] += az;
-  i_state.pot_native -= ap;
 }
 // g5lint: hot-end
 
@@ -306,33 +315,25 @@ void Pipeline::interact_exact(IState& i_state, const JWord& j) const {
 }
 
 Vec3d Pipeline::read_force(const IState& i_state) const {
-  if (numerics_.backend == BackendKind::Native &&
-      !numerics_.exact_arithmetic) {
-    return {i_state.acc_native[0], i_state.acc_native[1],
-            i_state.acc_native[2]};
-  }
   return {i_state.acc[0].value(), i_state.acc[1].value(),
           i_state.acc[2].value()};
 }
 
 double Pipeline::read_potential(const IState& i_state) const {
-  if (numerics_.backend == BackendKind::Native &&
-      !numerics_.exact_arithmetic) {
-    return i_state.pot_native;
-  }
   return i_state.pot.value();
 }
 
 bool Pipeline::saturated(const IState& i_state) const {
-  if (numerics_.backend == BackendKind::Native &&
-      !numerics_.exact_arithmetic) {
-    return !(std::isfinite(i_state.acc_native[0]) &&
-             std::isfinite(i_state.acc_native[1]) &&
-             std::isfinite(i_state.acc_native[2]) &&
-             std::isfinite(i_state.pot_native));
-  }
   return i_state.acc[0].saturated() || i_state.acc[1].saturated() ||
          i_state.acc[2].saturated() || i_state.pot.saturated();
+}
+
+RawForce Pipeline::read_raw(const IState& i_state) const {
+  RawForce r;
+  for (std::size_t c = 0; c < 3; ++c) r.acc[c] = i_state.acc[c].raw();
+  r.pot = i_state.pot.raw();
+  r.saturated = saturated(i_state);
+  return r;
 }
 
 }  // namespace g5::grape

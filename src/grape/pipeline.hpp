@@ -47,8 +47,10 @@ struct JWord {
 };
 
 /// An i-particle resident in a pipeline: quantized coordinates and the
-/// fixed-point force/potential accumulators. The Native backend bypasses
-/// the fixed-point registers and accumulates in the plain double fields.
+/// fixed-point force/potential accumulators. Every backend accumulates
+/// in the fixed-point registers (the Native backend on a finer quantum —
+/// see kNativeAccumulatorExtraBits), so per-interaction contributions
+/// commute exactly and multi-board partial sums merge bitwise.
 struct IState {
   math::Fixed20 x[3] = {};
   Vec3d x_exact{};  ///< used only when exact_arithmetic is on
@@ -56,8 +58,19 @@ struct IState {
                                    math::FixedAccumulator(1.0),
                                    math::FixedAccumulator(1.0)};
   math::FixedAccumulator pot = math::FixedAccumulator(1.0);
-  double acc_native[3] = {0.0, 0.0, 0.0};  ///< Native backend force sum
-  double pot_native = 0.0;                 ///< Native backend potential sum
+};
+
+/// Raw readout of one i-slot: the integer accumulator registers (counts
+/// of the call's force/potential quantum) plus the saturation flag.
+/// Integer addition is exact and associative, so partial sums produced
+/// by different boards merge in this domain without the double-rounding
+/// a host-side `n1*q + n2*q` reduction would introduce; the BoardSet
+/// reduction (grape/board_set.hpp) converts to doubles exactly once,
+/// after the merge.
+struct RawForce {
+  std::int64_t acc[3] = {0, 0, 0};
+  std::int64_t pot = 0;
+  bool saturated = false;
 };
 
 // The strong coordinate words are layout-identical to the raw int64
@@ -82,6 +95,18 @@ struct PipelineScaling {
 /// 2^-34 below the largest expected per-call sum, leaving ~2^34 codes of
 /// guard range above it before saturation.
 inline constexpr int kAccumulatorGuardBits = 34;
+
+/// The Native backend quantizes each double interaction onto a finer
+/// accumulator grid (2^-6 of the bit-exact quantum, i.e. 40 effective
+/// guard bits). Quantizing *per interaction* makes the sum independent
+/// of batch and shard boundaries — the property GRAPE-6 bought with
+/// fixed-point accumulators behind its floating pipelines (Makino et
+/// al. 2003) and the reason --boards is bitwise-invariant for Native
+/// too. The rounding noise (~2^-40 of the force scale per interaction)
+/// sits ~4 decades below the coordinate-quantization floor the probe
+/// measures, and the remaining headroom (~2^23 above the expected
+/// per-call maximum) keeps saturation unreachable for sane windows.
+inline constexpr int kNativeAccumulatorExtraBits = 6;
 
 /// Derive the accumulator quanta from the coordinate window and the mass
 /// scale (largest |m_j| of the call). The one shared definition of the
@@ -132,6 +157,16 @@ class Pipeline {
   [[nodiscard]] Vec3d read_force(const IState& i_state) const;
   [[nodiscard]] double read_potential(const IState& i_state) const;
   [[nodiscard]] bool saturated(const IState& i_state) const;
+
+  /// Read back the raw integer accumulator registers (the multi-board
+  /// reduction domain; see RawForce).
+  [[nodiscard]] RawForce read_raw(const IState& i_state) const;
+
+  /// The accumulator quanta encode_i actually installs — the scaling's
+  /// quanta for BitExact, 2^-kNativeAccumulatorExtraBits of them for
+  /// Native. RawForce counts convert to doubles by these.
+  [[nodiscard]] double force_accumulator_quantum() const noexcept;
+  [[nodiscard]] double potential_accumulator_quantum() const noexcept;
 
   /// Position quantum of the current window (for diagnostics/tests).
   [[nodiscard]] double position_quantum() const {

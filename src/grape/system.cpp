@@ -7,21 +7,12 @@
 #include "obs/registry.hpp"
 #include "obs/span.hpp"
 #include "util/log.hpp"
-#include "util/parallel.hpp"
 #include "util/timer.hpp"
 
 namespace g5::grape {
 
 Grape5System::Grape5System(const SystemConfig& config)
-    : cfg_(config), timing_(config) {
-  if (cfg_.boards == 0) throw std::invalid_argument("need >= 1 board");
-  boards_.reserve(cfg_.boards);
-  for (std::size_t b = 0; b < cfg_.boards; ++b) {
-    boards_.push_back(std::make_unique<ProcessorBoard>(cfg_.board, cfg_.hib,
-                                                       cfg_.numerics));
-  }
-  board_j_count_.assign(cfg_.boards, 0);
-}
+    : cfg_(config), timing_(config), set_(config) {}
 
 void Grape5System::set_range(double lo, double hi, double eps,
                              double mass_scale) {
@@ -35,9 +26,7 @@ void Grape5System::set_range(double lo, double hi, double eps,
   // enough that softened close encounters cannot overflow 63 bits. See
   // tests/grape_system_test.cpp for the headroom checks.
   derive_scaling_quanta(scaling_, mass_scale);
-  for (auto& board : boards_) board->configure(scaling_);
-  std::fill(board_j_count_.begin(), board_j_count_.end(), 0);
-  resident_j_ = 0;
+  set_.configure(scaling_);
   range_set_ = true;
 }
 
@@ -57,35 +46,8 @@ void Grape5System::set_j_particles(std::span<const Vec3d> pos,
   if (!range_set_) {
     throw std::logic_error("set_range must be called before set_j_particles");
   }
-  if (pos.size() != mass.size()) {
-    throw std::invalid_argument("position/mass arity mismatch");
-  }
-  if (pos.size() > jmem_capacity()) {
-    throw std::out_of_range(
-        "j-set exceeds aggregate particle memory; chunk the interaction "
-        "list (the driver layer does this automatically)");
-  }
-
+  set_.upload(pos, mass);
   const std::size_t nj = pos.size();
-  const std::size_t share = timing_.j_per_board(nj);
-  std::size_t offset = 0;
-  for (std::size_t b = 0; b < cfg_.boards; ++b) {
-    const std::size_t count = std::min(share, nj - offset);
-    boards_[b]->set_j_count(0);
-    if (count > 0) {
-      boards_[b]->set_j(0, pos.data() + offset, mass.data() + offset, count);
-    }
-    board_j_count_[b] = count;
-    offset += count;
-    if (offset >= nj) {
-      for (std::size_t rest = b + 1; rest < cfg_.boards; ++rest) {
-        boards_[rest]->set_j_count(0);
-        board_j_count_[rest] = 0;
-      }
-      break;
-    }
-  }
-  resident_j_ = nj;
   account_.j_uploaded += nj;
   account_.modeled_dma_j += timing_.j_upload_time(nj);
   if (obs::enabled()) {
@@ -94,44 +56,26 @@ void Grape5System::set_j_particles(std::span<const Vec3d> pos,
   }
 }
 
-std::size_t Grape5System::compute(std::span<const Vec3d> i_pos,
-                                  std::span<Vec3d> out_acc,
-                                  std::span<double> out_pot) {
+std::size_t Grape5System::compute_raw(std::span<const Vec3d> i_pos,
+                                      std::span<RawForce> raw) {
   if (!range_set_) {
     throw std::logic_error("set_range must be called before compute");
   }
   const std::size_t ni = i_pos.size();
-  if (out_acc.size() != ni || out_pot.size() != ni) {
+  if (raw.size() != ni) {
     throw std::invalid_argument("output span arity mismatch");
   }
-  std::fill(out_acc.begin(), out_acc.end(), Vec3d{});
-  std::fill(out_pot.begin(), out_pot.end(), 0.0);
-  if (ni == 0 || resident_j_ == 0) return 0;
+  if (ni == 0 || resident_j() == 0) return 0;
   G5_OBS_SPAN("compute", "grape");
 
-  if (sat_flags_.size() < ni) sat_flags_.resize(ni);
-  std::fill_n(sat_flags_.begin(), ni, std::uint8_t{0});
-
   util::Stopwatch watch;
-  std::size_t active_boards = 0;
-  for (const auto& board : boards_) {
-    if (board->j_count() > 0) ++active_boards;
-  }
-  std::size_t interactions = 0;
-  if (eval_pool_ != nullptr && eval_pool_->size() > 1 && active_boards > 1) {
-    interactions = run_boards_parallel(i_pos, out_acc, out_pot);
-  } else {
-    for (auto& board : boards_) {
-      if (board->j_count() == 0) continue;
-      interactions += board->run(i_pos.data(), ni, out_acc.data(),
-                                 out_pot.data(), sat_flags_.data());
-    }
-  }
-  bool call_saturated = false;
-  for (std::size_t i = 0; i < ni; ++i) call_saturated |= (sat_flags_[i] != 0);
+  const std::size_t interactions = set_.run(i_pos, raw, eval_pool_);
   account_.emulation_wall += watch.elapsed();
 
-  const ForceCallTiming t = timing_.force_call(ni, resident_j_, false);
+  bool call_saturated = false;
+  for (std::size_t i = 0; i < ni; ++i) call_saturated |= raw[i].saturated;
+
+  const ForceCallTiming t = timing_.force_call(ni, resident_j(), false);
   account_.modeled_dma_i += t.dma_i;
   account_.modeled_compute += t.compute;
   account_.modeled_dma_result += t.dma_result;
@@ -160,44 +104,36 @@ std::size_t Grape5System::compute(std::span<const Vec3d> i_pos,
   return interactions;
 }
 
-std::size_t Grape5System::run_boards_parallel(std::span<const Vec3d> i_pos,
-                                              std::span<Vec3d> out_acc,
-                                              std::span<double> out_pot) {
-  const std::size_t ni = i_pos.size();
-  eval_scratch_.resize(boards_.size());
-  for (std::size_t b = 0; b < boards_.size(); ++b) {
-    if (boards_[b]->j_count() == 0) continue;
-    BoardScratch& sc = eval_scratch_[b];
-    sc.acc.assign(ni, Vec3d{});
-    sc.pot.assign(ni, 0.0);
-    sc.sat.assign(ni, 0);
-    sc.interactions = 0;
+std::size_t Grape5System::compute(std::span<const Vec3d> i_pos,
+                                  std::span<Vec3d> out_acc,
+                                  std::span<double> out_pot) {
+  if (!range_set_) {
+    throw std::logic_error("set_range must be called before compute");
   }
-  // One lane per board; board b touches only eval_scratch_[b] (lane
-  // ownership, checked by TSan — the scratch doc in system.hpp).
-  eval_pool_->parallel_for(
-      boards_.size(), 1,
-      [&](std::size_t begin, std::size_t end, unsigned /*lane*/) {
-        for (std::size_t b = begin; b < end; ++b) {
-          if (boards_[b]->j_count() == 0) continue;
-          BoardScratch& sc = eval_scratch_[b];
-          sc.interactions = boards_[b]->run(i_pos.data(), ni, sc.acc.data(),
-                                            sc.pot.data(), sc.sat.data());
-        }
-      });
-  // Reduce in board order: out[i] accumulates (0 + f_b0) + f_b1 + ...,
-  // the exact double-addition sequence of the serial board loop, so the
-  // result is bitwise-identical.
-  std::size_t interactions = 0;
-  for (std::size_t b = 0; b < boards_.size(); ++b) {
-    if (boards_[b]->j_count() == 0) continue;
-    const BoardScratch& sc = eval_scratch_[b];
-    interactions += sc.interactions;
-    for (std::size_t i = 0; i < ni; ++i) {
-      out_acc[i] += sc.acc[i];
-      out_pot[i] += sc.pot[i];
-      sat_flags_[i] = static_cast<std::uint8_t>(sat_flags_[i] | sc.sat[i]);
-    }
+  const std::size_t ni = i_pos.size();
+  if (out_acc.size() != ni || out_pot.size() != ni) {
+    throw std::invalid_argument("output span arity mismatch");
+  }
+  std::fill(out_acc.begin(), out_acc.end(), Vec3d{});
+  std::fill(out_pot.begin(), out_pot.end(), 0.0);
+  if (ni == 0 || resident_j() == 0) return 0;
+
+  if (raw_merge_.size() < ni) raw_merge_.resize(ni);
+  std::fill_n(raw_merge_.begin(), ni, RawForce{});
+  const std::size_t interactions =
+      compute_raw(i_pos, std::span<RawForce>(raw_merge_.data(), ni));
+
+  // One conversion after the exact integer merge — the same readout a
+  // single board holding the whole j-set would perform.
+  const Pipeline& pipe = pipeline();
+  const double fq = pipe.force_accumulator_quantum();
+  const double pq = pipe.potential_accumulator_quantum();
+  for (std::size_t i = 0; i < ni; ++i) {
+    const RawForce& r = raw_merge_[i];
+    out_acc[i] = Vec3d{static_cast<double>(r.acc[0]) * fq,
+                       static_cast<double>(r.acc[1]) * fq,
+                       static_cast<double>(r.acc[2]) * fq};
+    out_pot[i] = static_cast<double>(r.pot) * pq;
   }
   return interactions;
 }
@@ -205,14 +141,10 @@ std::size_t Grape5System::run_boards_parallel(std::span<const Vec3d> i_pos,
 void Grape5System::reset_account() {
   account_.reset();
   saturated_ = false;
-  for (auto& board : boards_) board->hib().reset();
+  set_.reset_hib();
   counted_bytes_ = 0;  // HIB meters restart; keep the obs delta base in sync
 }
 
-std::uint64_t Grape5System::bytes_moved() const {
-  std::uint64_t total = 0;
-  for (const auto& board : boards_) total += board->hib().total_bytes();
-  return total;
-}
+std::uint64_t Grape5System::bytes_moved() const { return set_.bytes_moved(); }
 
 }  // namespace g5::grape

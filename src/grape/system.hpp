@@ -1,21 +1,23 @@
-// The whole GRAPE-5 system: two processor boards behind two host
-// interfaces, a shared scaling state, the timing model and the work
+// The whole GRAPE-5 system: a BoardSet of processor boards behind their
+// host interfaces, a shared scaling state, the timing model and the work
 // account. This is the C++ face of the hardware; the C-style g5_* driver
 // (grape/driver.hpp) is a thin veneer over it.
 //
 // Work distribution follows the real system: the *j*-particles (field
-// sources) are block-partitioned over the boards, every board evaluates
-// every i-particle against its share, and the host sums the partial
-// forces. set_j_particles handles the partitioning; compute() handles
-// chunking when the caller's i-set exceeds what it wants per call.
+// sources) are block-partitioned over the boards (grape/board_set.hpp),
+// every board evaluates every i-particle against its share, and the host
+// merges the partial sums — in the integer accumulator domain, so the
+// result is bitwise-identical for any board count (docs/scaling.md).
+// set_j_particles handles the partitioning; the driver layer handles
+// chunking when a j-set exceeds the aggregate particle memory.
 #pragma once
 
 #include <cstddef>
-#include <memory>
 #include <span>
 #include <vector>
 
 #include "grape/board.hpp"
+#include "grape/board_set.hpp"
 #include "grape/config.hpp"
 #include "grape/timing.hpp"
 #include "math/vec3.hpp"
@@ -38,8 +40,8 @@ class Grape5System {
   /// j-population, or 0 to defer to set_j_particles' automatic choice).
   void set_range(double lo, double hi, double eps, double mass_scale = 0.0);
 
-  /// Upload a full j-set, block-partitioned across the boards. Throws if
-  /// the set exceeds the aggregate particle memory.
+  /// Upload a full j-set, block-partitioned across the boards. Throws
+  /// JmemCapacityError if the set exceeds the aggregate particle memory.
   void set_j_particles(std::span<const Vec3d> pos, std::span<const double> mass);
 
   /// Evaluate the forces of the resident j-set on the given i-particles.
@@ -48,8 +50,20 @@ class Grape5System {
   std::size_t compute(std::span<const Vec3d> i_pos, std::span<Vec3d> out_acc,
                       std::span<double> out_pot);
 
+  /// compute() in the raw accumulator domain: merge this call's integer
+  /// partial sums into `raw` WITHOUT clearing it. Callers that stream a
+  /// large j-set in chunks accumulate every chunk's counts here and
+  /// convert to doubles once at the end, which keeps the result
+  /// bitwise-independent of both the chunking and the board count
+  /// (grape/driver.cpp does exactly this). Carries the same accounting
+  /// and observability as compute(). Returns interactions computed.
+  std::size_t compute_raw(std::span<const Vec3d> i_pos,
+                          std::span<RawForce> raw);
+
   /// Number of j-particles currently resident (across boards).
-  [[nodiscard]] std::size_t resident_j() const noexcept { return resident_j_; }
+  [[nodiscard]] std::size_t resident_j() const noexcept {
+    return set_.resident_j();
+  }
 
   /// Aggregate j-memory capacity.
   [[nodiscard]] std::size_t jmem_capacity() const noexcept {
@@ -68,14 +82,14 @@ class Grape5System {
   /// Communication meters (aggregated over boards).
   [[nodiscard]] std::uint64_t bytes_moved() const;
 
-  /// Attach a worker pool that compute() uses to run the emulated boards
-  /// concurrently (the silicon boards always ran concurrently; the
-  /// emulation is serial only for want of host cores). Each board writes
-  /// a private partial-force scratch and the host reduces them in board
-  /// order, so results are bitwise-identical to the serial path. The
-  /// caller owns the pool and must keep it alive until it detaches with
-  /// nullptr; compute() itself remains single-caller (one compute at a
-  /// time), as before.
+  /// Attach a worker pool that compute() hands to the BoardSet to run the
+  /// emulated boards concurrently (the silicon boards always ran
+  /// concurrently; the emulation is serial only for want of host cores).
+  /// Each board writes a private raw-count scratch and the host merges
+  /// them in board order in the integer domain, so results are
+  /// bitwise-identical to the serial path. The caller owns the pool and
+  /// must keep it alive until it detaches with nullptr; compute() itself
+  /// remains single-caller (one compute at a time), as before.
   void set_eval_pool(util::ThreadPool* pool) noexcept { eval_pool_ = pool; }
   [[nodiscard]] util::ThreadPool* eval_pool() const noexcept {
     return eval_pool_;
@@ -87,27 +101,27 @@ class Grape5System {
 
   /// Direct pipeline access for tests (board 0's pipeline).
   [[nodiscard]] const Pipeline& pipeline() const {
-    return boards_.front()->pipeline();
+    return set_.board(0).pipeline();
   }
 
-  /// Board access (self-test, fault injection, diagnostics).
+  /// The board cluster (self-test, fault injection, diagnostics).
+  [[nodiscard]] BoardSet& board_set() noexcept { return set_; }
+  [[nodiscard]] const BoardSet& board_set() const noexcept { return set_; }
   [[nodiscard]] std::size_t board_count() const noexcept {
-    return boards_.size();
+    return set_.size();
   }
   [[nodiscard]] ProcessorBoard& board(std::size_t idx) {
-    return *boards_.at(idx);
+    return set_.board(idx);
   }
   [[nodiscard]] const ProcessorBoard& board(std::size_t idx) const {
-    return *boards_.at(idx);
+    return set_.board(idx);
   }
 
  private:
   SystemConfig cfg_;
   TimingModel timing_;
-  std::vector<std::unique_ptr<ProcessorBoard>> boards_;
+  BoardSet set_;
   PipelineScaling scaling_;
-  std::vector<std::size_t> board_j_count_;
-  std::size_t resident_j_ = 0;
   bool range_set_ = false;
   bool saturated_ = false;
   HardwareAccount account_;
@@ -115,25 +129,9 @@ class Grape5System {
   /// lets set_j_particles/compute emit per-call deltas cheaply.
   std::uint64_t counted_bytes_ = 0;
 
-  // Per-call saturation flags (byte array so boards can write through it).
-  std::vector<std::uint8_t> sat_flags_;
-
   util::ThreadPool* eval_pool_ = nullptr;  ///< not owned; see set_eval_pool
-  /// Per-board partial sums for the board-parallel path: board b runs
-  /// into slot b (lane ownership, no lock), reduced in board order.
-  struct BoardScratch {
-    std::vector<Vec3d> acc;
-    std::vector<double> pot;
-    std::vector<std::uint8_t> sat;
-    std::size_t interactions = 0;
-  };
-  std::vector<BoardScratch> eval_scratch_;
-
-  /// Board loop of compute() on eval_pool_ (one lane per board, private
-  /// scratch, in-order reduction). Returns interactions computed.
-  std::size_t run_boards_parallel(std::span<const Vec3d> i_pos,
-                                  std::span<Vec3d> out_acc,
-                                  std::span<double> out_pot);
+  /// compute()'s merged integer partial sums before the one conversion.
+  std::vector<RawForce> raw_merge_;
 
   /// Publish the HIB byte-meter delta and occupancy to g5::obs (no-op
   /// when instrumentation is off).

@@ -3,8 +3,7 @@
 namespace g5::grape {
 
 std::size_t TimingModel::j_per_board(std::size_t nj) const {
-  const std::size_t b = cfg_.boards;
-  return (nj + b - 1) / b;
+  return shard_share(nj, cfg_.boards);
 }
 
 double TimingModel::board_compute_time(std::size_t ni,

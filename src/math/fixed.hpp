@@ -108,6 +108,12 @@ class FixedAccumulator {
   [[nodiscard]] double value() const noexcept {
     return static_cast<double>(acc_) * quantum_;
   }
+  /// The raw accumulator register: an integer count of the quantum.
+  /// Partial sums from different pipelines are exact in this domain
+  /// (integer addition is associative), which is what lets a multi-board
+  /// reduction stay bitwise-identical to a single accumulator stream —
+  /// see grape/board_set.hpp.
+  [[nodiscard]] std::int64_t raw() const noexcept { return acc_; }
   [[nodiscard]] bool saturated() const noexcept { return saturated_; }
   [[nodiscard]] double quantum() const noexcept { return quantum_; }
 

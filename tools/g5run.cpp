@@ -19,6 +19,11 @@
 //                           what every golden number refers to; native =
 //                           plain double on the same quantized coordinates,
 //                           ~10x faster emulation, codec error ~ 0)
+//         [--boards B]     (grape engines: processor boards in the emulated
+//                           machine; default 2 = the paper's configuration.
+//                           j-particles block-shard across boards and the
+//                           partial sums merge exactly, so forces are
+//                           bitwise-identical for every B — docs/scaling.md)
 //         [--snapshots K --snapshot-prefix out]
 //         [--analyze] [--selftest] [--seed 42]
 //         [--out final.g5snap] [--tipsy final.tipsy]
@@ -425,7 +430,8 @@ void write_report(const std::string& path,
   std::fprintf(
       f,
       "{\n"
-      "  \"run\": {\"engine\": \"%s\", \"backend\": \"%s\", \"n\": %llu, "
+      "  \"run\": {\"engine\": \"%s\", \"backend\": \"%s\", \"boards\": %u, "
+      "\"n\": %llu, "
       "\"steps\": %llu, \"eps\": %.6g, \"theta\": %.6g, \"n_crit\": %u, "
       "\"wall_s\": %.6g},\n"
       "  \"claims\": {\n"
@@ -444,6 +450,9 @@ void write_report(const std::string& path,
       "}\n",
       engine_name.c_str(),
       std::string(grape::backend_name(fp.backend)).c_str(),
+      fp.boards > 0 ? fp.boards
+                    : static_cast<unsigned>(
+                          grape::SystemConfig::paper_system().boards),
       static_cast<unsigned long long>(n),
       static_cast<unsigned long long>(summary.steps), fp.eps, fp.theta,
       fp.n_crit, summary.wall_seconds, mean_list, kPaperMeanList, expected,
@@ -528,6 +537,9 @@ int main(int argc, char** argv) {
       throw std::invalid_argument("unknown --backend '" + backend +
                                   "' (bit-exact, native)");
     }
+    const auto boards = opt.get_int("boards", 0);
+    if (boards < 0) throw std::invalid_argument("--boards must be >= 1");
+    fp.boards = static_cast<std::uint32_t>(boards);
 
     const std::string engine_name = opt.get_string("engine", "grape-tree");
     auto engine = core::make_engine(engine_name, fp);
