@@ -89,7 +89,8 @@ int main(int argc, char** argv) {
   t.print();
   std::printf(
       "\nspeedup = serial wall / threaded wall (walk + host kernel phases;"
-      "\ntree build stays serial). modeled = HostCostModel.walk_speedup()."
+      "\nsee bench_p4_treebuild for the build phase on its own)."
+      "\nmodeled = HostCostModel.walk_speedup()."
       "\nbitwise = forces identical to the serial run.\n");
   if (!all_identical) {
     std::printf("ERROR: threaded run diverged from serial forces\n");

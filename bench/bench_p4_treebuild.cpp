@@ -1,0 +1,178 @@
+// P4 — parallel Morton-ordered tree build scaling (build phase only).
+//
+// The paper's host built the tree serially on one Alpha core; at the
+// paper's N = 2,159,038 the serial sort + node construction is the
+// dominant host phase once the force loop is off-loaded. This harness
+// times BhTree::build alone over an N x threads sweep and verifies the
+// threaded build is bitwise-identical (nodes, keys, permutation) to the
+// serial one at every thread count.
+//
+//   ./bench_p4_treebuild [--n 65536,524288,2159038] [--maxthreads 0 (auto)]
+//                        [--reps 2] [--cutoff 32768] [--leafmax 8]
+//                        [--json out.json]
+//
+// JSON rows: {"n", "threads", "build_ms", "speedup",
+// "bitwise_identical"}; threads = 0 encodes the serial reference run.
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ic/uniform.hpp"
+#include "tree/tree.hpp"
+#include "util/options.hpp"
+#include "util/parallel.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using namespace g5;
+
+std::vector<std::size_t> parse_sizes(const std::string& spec) {
+  std::vector<std::size_t> out;
+  std::size_t start = 0;
+  while (start < spec.size()) {
+    std::size_t comma = spec.find(',', start);
+    if (comma == std::string::npos) comma = spec.size();
+    out.push_back(static_cast<std::size_t>(
+        std::strtoull(spec.substr(start, comma - start).c_str(), nullptr, 10)));
+    start = comma + 1;
+  }
+  return out;
+}
+
+bool trees_identical(const tree::BhTree& a, const tree::BhTree& b) {
+  if (a.node_count() != b.node_count() || a.keys() != b.keys() ||
+      a.original_index() != b.original_index() ||
+      a.sorted_pos() != b.sorted_pos() ||
+      a.sorted_mass() != b.sorted_mass() ||
+      a.max_depth_reached() != b.max_depth_reached()) {
+    return false;
+  }
+  for (std::size_t i = 0; i < a.node_count(); ++i) {
+    const tree::Node& na = a.node(i);
+    const tree::Node& nb = b.node(i);
+    bool same = na.first == nb.first && na.count == nb.count &&
+                na.parent == nb.parent && na.center == nb.center &&
+                na.half_size == nb.half_size && na.com == nb.com &&
+                na.mass == nb.mass && na.bradius == nb.bradius &&
+                na.depth == nb.depth && na.leaf == nb.leaf;
+    for (unsigned oct = 0; oct < 8; ++oct) {
+      same = same && na.child[oct] == nb.child[oct];
+    }
+    if (!same) return false;
+  }
+  return true;
+}
+
+struct Row {
+  std::size_t n = 0;
+  unsigned threads = 0;  ///< 0 = serial reference
+  double build_ms = 0.0;
+  double speedup = 1.0;
+  bool identical = true;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Options opt(argc, argv);
+  const auto sizes =
+      parse_sizes(opt.get_string("n", "65536,524288,2159038"));
+  auto max_threads = static_cast<unsigned>(opt.get_int("maxthreads", 0));
+  if (max_threads == 0) max_threads = util::resolve_thread_count();
+  const auto reps = static_cast<int>(opt.get_int("reps", 2));
+  const auto cutoff = static_cast<std::uint32_t>(opt.get_int("cutoff", 32768));
+  const auto leaf_max = static_cast<std::uint32_t>(opt.get_int("leafmax", 8));
+  const std::string json_path = opt.get_string("json", "");
+
+  std::printf("P4: tree build, N in {");
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    std::printf("%s%zu", i ? ", " : "", sizes[i]);
+  }
+  std::printf("}, up to %u threads, %d reps\n\n", max_threads, reps);
+
+  std::vector<Row> rows;
+  bool all_identical = true;
+
+  for (const std::size_t n : sizes) {
+    const auto pset = ic::make_uniform_ball(n, 1.0, 1.0, 101);
+    tree::TreeBuildConfig cfg;
+    cfg.leaf_max = leaf_max;
+    cfg.parallel.parallel_cutoff = cutoff;
+
+    auto timed_build = [&](tree::BhTree& tree,
+                           util::ThreadPool* pool) -> double {
+      double best = 0.0;
+      for (int rep = 0; rep < reps; ++rep) {
+        util::Stopwatch watch;
+        tree.build(pset, cfg, pool);
+        const double ms = watch.elapsed() * 1e3;
+        if (rep == 0 || ms < best) best = ms;
+      }
+      return best;
+    };
+
+    tree::BhTree serial;
+    const double serial_ms = timed_build(serial, nullptr);
+    rows.push_back(Row{n, 0, serial_ms, 1.0, true});
+
+    util::Table t({"threads", "build ms", "speedup", "bitwise"});
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.2f", serial_ms);
+    t.add_row({"serial", buf, "1.00", "ref"});
+
+    for (unsigned threads = 1; threads <= max_threads; threads *= 2) {
+      util::ThreadPool pool(threads);
+      tree::BhTree par;
+      const double ms = timed_build(par, &pool);
+      const bool identical = trees_identical(serial, par);
+      all_identical = all_identical && identical;
+      rows.push_back(Row{n, threads, ms, serial_ms / ms, identical});
+      char ms_s[64], sp_s[64];
+      std::snprintf(ms_s, sizeof ms_s, "%.2f", ms);
+      std::snprintf(sp_s, sizeof sp_s, "%.2f", serial_ms / ms);
+      t.add_row({std::to_string(threads), ms_s, sp_s,
+                 identical ? "yes" : "NO"});
+    }
+    std::printf("N = %zu (serial %.2f ms, %zu nodes, depth %d)\n", n,
+                serial_ms, serial.node_count(), serial.max_depth_reached());
+    t.print();
+    std::printf("\n");
+  }
+
+  if (!json_path.empty()) {
+    std::FILE* f = std::fopen(json_path.c_str(), "w");
+    if (f == nullptr) {
+      std::printf("ERROR: cannot write %s\n", json_path.c_str());
+      return EXIT_FAILURE;
+    }
+    std::fprintf(f, "[\n");
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      const Row& r = rows[i];
+      std::fprintf(f,
+                   "  {\"n\": %zu, \"threads\": %u, \"build_ms\": %.3f, "
+                   "\"speedup\": %.3f, \"bitwise_identical\": %s}%s\n",
+                   r.n, r.threads, r.build_ms, r.speedup,
+                   r.identical ? "true" : "false",
+                   i + 1 < rows.size() ? "," : "");
+    }
+    std::fprintf(f, "]\n");
+    std::fclose(f);
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+
+  std::printf(
+      "threads = 0/serial row is the reference std::sort build; threaded"
+      "\nrows run the chunked bbox/keys, parallel radix sort and subtree"
+      "\ntasks. bitwise = nodes/keys/permutation identical to serial.\n");
+  if (!all_identical) {
+    std::printf("ERROR: threaded build diverged from the serial tree\n");
+    return EXIT_FAILURE;
+  }
+  return EXIT_SUCCESS;
+}

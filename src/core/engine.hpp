@@ -34,10 +34,18 @@ struct ForceParams {
   /// GRAPE pipelines evaluate point masses, which is exactly the ablation:
   /// host accuracy per list entry vs hardware throughput.
   bool quadrupole = false;
-  /// Host worker threads for the tree-walk phase (tree engines). 0 = auto:
-  /// the G5_THREADS environment variable, else hardware concurrency.
-  /// Results are bitwise-identical for any thread count.
+  /// Host worker threads for the tree-walk and tree-build phases (tree
+  /// engines). 0 = auto: the G5_THREADS environment variable, else
+  /// hardware concurrency. Results are bitwise-identical for any thread
+  /// count.
   std::uint32_t threads = 0;
+  /// Tree engines: minimum particle count for the parallel tree build
+  /// (tree::TreeBuildParams::parallel_cutoff). Below it the build runs
+  /// serially — the fork-join overhead would dominate; above it all
+  /// build phases (bbox, keys, radix sort, subtree construction,
+  /// moments) spread across the walk pool, bitwise-identical to the
+  /// serial build.
+  std::uint32_t build_parallel_cutoff = 1u << 15;
   /// GRAPE engines: interaction-list batch buffers in flight. >= 2 runs
   /// the asynchronous pipeline — the host walks batch k+1 while the
   /// device thread evaluates batch k (grape::AsyncDevice), with the

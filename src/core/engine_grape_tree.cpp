@@ -109,13 +109,15 @@ void GrapeTreeEngine::compute(model::ParticleSet& pset) {
   pset.zero_force();
   if (n == 0) return;
 
-  // Host phase 1: tree construction.
+  // Host phase 1: tree construction, parallel over the walk pool.
+  auto& pool = ensure_walk_pool(pool_, params_.threads, scratch_);
   util::Stopwatch phase;
   {
     G5_OBS_SPAN("build", "tree");
     tree::TreeBuildConfig build_cfg;
     build_cfg.leaf_max = params_.leaf_max;
-    tree_.build(pset, build_cfg);
+    build_cfg.parallel = {params_.threads, params_.build_parallel_cutoff};
+    tree_.build(pset, build_cfg, &pool);
   }
   stats_.seconds_tree_build += phase.lap();
   if (obs::enabled()) {
@@ -146,7 +148,6 @@ void GrapeTreeEngine::compute(model::ParticleSet& pset) {
   // set. Group order, chunking, and the per-board reduction order are
   // unchanged, so the result is bitwise-identical to the synchronous
   // path (determinism_test pins this).
-  auto& pool = ensure_walk_pool(pool_, params_.threads, scratch_);
   const std::size_t batch =
       std::max<std::size_t>(std::size_t{4} * pool.size(), 8);
   const std::size_t depth = std::min<std::size_t>(
@@ -322,12 +323,14 @@ void GrapeTreeEngine::compute_targets(model::ParticleSet& pset,
   util::Stopwatch total;
   if (pset.empty() || targets.empty()) return;
 
+  auto& pool = ensure_walk_pool(pool_, params_.threads, scratch_);
   util::Stopwatch phase;
   {
     G5_OBS_SPAN("build", "tree");
     tree::TreeBuildConfig build_cfg;
     build_cfg.leaf_max = params_.leaf_max;
-    tree_.build(pset, build_cfg);
+    build_cfg.parallel = {params_.threads, params_.build_parallel_cutoff};
+    tree_.build(pset, build_cfg, &pool);
   }
   stats_.seconds_tree_build += phase.lap();
   if (obs::enabled()) {
@@ -345,7 +348,6 @@ void GrapeTreeEngine::compute_targets(model::ParticleSet& pset,
   // the evaluations run on the AsyncDevice thread, double-buffered
   // against the next batch's walks, exactly as in compute().
   const tree::WalkConfig walk_cfg{params_.theta, params_.mac};
-  auto& pool = ensure_walk_pool(pool_, params_.threads, scratch_);
   const std::size_t batch =
       std::max<std::size_t>(std::size_t{16} * pool.size(), 64);
   const std::size_t depth = std::min<std::size_t>(

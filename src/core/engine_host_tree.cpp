@@ -55,13 +55,15 @@ void HostTreeEngine::compute(model::ParticleSet& pset) {
   pset.zero_force();
   if (n == 0) return;
 
+  auto& pool = ensure_walk_pool(pool_, params_.threads, scratch_);
   util::Stopwatch phase;
   {
     G5_OBS_SPAN("build", "tree");
     tree::TreeBuildConfig build_cfg;
     build_cfg.leaf_max = params_.leaf_max;
     build_cfg.quadrupole = params_.quadrupole;
-    tree_.build(pset, build_cfg);
+    build_cfg.parallel = {params_.threads, params_.build_parallel_cutoff};
+    tree_.build(pset, build_cfg, &pool);
   }
   stats_.seconds_tree_build += phase.lap();
   if (obs::enabled()) {
@@ -72,7 +74,6 @@ void HostTreeEngine::compute(model::ParticleSet& pset) {
   const tree::WalkConfig walk_cfg{params_.theta, params_.mac,
                                   params_.quadrupole};
   const auto& orig = tree_.original_index();
-  auto& pool = ensure_walk_pool(pool_, params_.threads, scratch_);
 
   G5_OBS_SPAN("walk", "tree");
 
@@ -174,13 +175,15 @@ void HostTreeEngine::compute_targets(model::ParticleSet& pset,
   util::Stopwatch total;
   if (pset.empty() || targets.empty()) return;
 
+  auto& pool = ensure_walk_pool(pool_, params_.threads, scratch_);
   util::Stopwatch phase;
   {
     G5_OBS_SPAN("build", "tree");
     tree::TreeBuildConfig build_cfg;
     build_cfg.leaf_max = params_.leaf_max;
     build_cfg.quadrupole = params_.quadrupole;
-    tree_.build(pset, build_cfg);
+    build_cfg.parallel = {params_.threads, params_.build_parallel_cutoff};
+    tree_.build(pset, build_cfg, &pool);
   }
   stats_.seconds_tree_build += phase.lap();
   if (obs::enabled()) {
@@ -193,7 +196,6 @@ void HostTreeEngine::compute_targets(model::ParticleSet& pset,
   // engine contract, so per-target writes stay race-free.
   const tree::WalkConfig walk_cfg{params_.theta, params_.mac,
                                   params_.quadrupole};
-  auto& pool = ensure_walk_pool(pool_, params_.threads, scratch_);
   G5_OBS_SPAN("walk", "tree");
   obs::Histogram* h_list =
       obs::enabled() ? &obs::histogram("g5.walk.list_len") : nullptr;

@@ -6,10 +6,33 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "obs/registry.hpp"
+#include "obs/span.hpp"
+#include "util/parallel.hpp"
+#include "util/timer.hpp"
+
 namespace g5::tree {
 
+namespace {
+
+/// Fixed chunk edge of the parallel phases. Chunk boundaries depend only
+/// on N, never on the lane count — the determinism contract of every
+/// per-chunk merge below.
+constexpr std::size_t kChunk = std::size_t{1} << 16;
+
+/// LSD radix sort geometry: 8-bit digits over the 63 used key bits.
+constexpr unsigned kRadixBits = 8;
+constexpr std::size_t kRadixBuckets = std::size_t{1} << kRadixBits;
+constexpr unsigned kRadixPasses = 8;
+
+constexpr std::size_t chunk_count(std::size_t n) {
+  return (n + kChunk - 1) / kChunk;
+}
+
+}  // namespace
+
 void BhTree::build(std::span<const Vec3d> pos, std::span<const double> mass,
-                   const TreeBuildConfig& config) {
+                   const TreeBuildConfig& config, util::ThreadPool* pool) {
   if (pos.size() != mass.size()) {
     throw std::invalid_argument("position/mass arity mismatch");
   }
@@ -35,67 +58,154 @@ void BhTree::build(std::span<const Vec3d> pos, std::span<const double> mass,
   keys_.resize(n);
   if (n == 0) return;
 
+  // The parallel path needs a pool with >1 lanes, enough bodies to beat
+  // the fork-join overhead, and no explicit serial override. Either path
+  // produces bitwise-identical nodes_/keys_/orig_index_.
+  const bool par = pool != nullptr && pool->size() > 1 &&
+                   cfg_.parallel.threads != 1 &&
+                   n >= cfg_.parallel.parallel_cutoff;
+  util::Stopwatch build_watch;
+
   // Cubic hull, padded so boundary particles stay strictly inside.
   model::Aabb box;
-  box.lo = pos[0];
-  box.hi = pos[0];
-  for (const auto& p : pos) {
-    box.lo = math::cwise_min(box.lo, p);
-    box.hi = math::cwise_max(box.hi, p);
+  {
+    G5_OBS_SPAN("bbox", "tree");
+    box.lo = pos[0];
+    box.hi = pos[0];
+    if (par) {
+      // Per-chunk hulls merged in chunk order. min/max is exact, so the
+      // merged hull is bit-identical to the serial left-to-right scan.
+      const std::size_t chunks = chunk_count(n);
+      std::vector<model::Aabb> partial(chunks, model::Aabb{pos[0], pos[0]});
+      pool->parallel_for(
+          n, kChunk, [&](std::size_t begin, std::size_t end, unsigned) {
+            model::Aabb local{pos[begin], pos[begin]};
+            for (std::size_t i = begin; i < end; ++i) {
+              local.lo = math::cwise_min(local.lo, pos[i]);
+              local.hi = math::cwise_max(local.hi, pos[i]);
+            }
+            partial[begin / kChunk] = local;
+          });
+      for (const auto& p : partial) {
+        box.lo = math::cwise_min(box.lo, p.lo);
+        box.hi = math::cwise_max(box.hi, p.hi);
+      }
+    } else {
+      for (const auto& p : pos) {
+        box.lo = math::cwise_min(box.lo, p);
+        box.hi = math::cwise_max(box.hi, p);
+      }
+    }
   }
   const double size = std::max(box.cube_size(), 1e-300) * (1.0 + 1e-9);
   const Vec3d center = box.center();
   root_lo_ = center - Vec3d{0.5 * size, 0.5 * size, 0.5 * size};
   root_size_ = size;
 
-  // Sort by Morton key.
-  std::iota(orig_index_.begin(), orig_index_.end(), 0u);
-  std::vector<std::uint64_t> raw_keys(n);
-  for (std::uint32_t i = 0; i < n; ++i) {
-    raw_keys[i] = math::morton_key(pos[i], root_lo_, root_size_);
-  }
-  std::sort(orig_index_.begin(), orig_index_.end(),
-            [&](std::uint32_t a, std::uint32_t b) {
-              return raw_keys[a] != raw_keys[b] ? raw_keys[a] < raw_keys[b]
-                                                : a < b;
-            });
-  for (std::uint32_t i = 0; i < n; ++i) {
-    const std::uint32_t src = orig_index_[i];
-    sorted_pos_[i] = pos[src];
-    sorted_mass_[i] = mass[src];
-    keys_[i] = raw_keys[src];
-  }
-
-  nodes_.reserve(2 * n / std::max(1u, cfg_.leaf_max) + 64);
-  build_node(0, n, 0, center, 0.5 * size, -1);
-
-  if (cfg_.quadrupole) {
-    quads_.resize(nodes_.size());
-    for (std::size_t idx = 0; idx < nodes_.size(); ++idx) {
-      const Node& node = nodes_[idx];
-      Quadrupole& q = quads_[idx];
-      for (std::uint32_t k = node.first; k < node.first + node.count; ++k) {
-        const Vec3d d = sorted_pos_[k] - node.com;
-        const double m = sorted_mass_[k];
-        const double d2 = d.norm2();
-        q.xx += m * (3.0 * d.x * d.x - d2);
-        q.yy += m * (3.0 * d.y * d.y - d2);
-        q.zz += m * (3.0 * d.z * d.z - d2);
-        q.xy += m * 3.0 * d.x * d.y;
-        q.xz += m * 3.0 * d.x * d.z;
-        q.yz += m * 3.0 * d.y * d.z;
+  // Morton keys, still in caller order (keys_[i] belongs to particle i
+  // until the sort below permutes the pairs).
+  {
+    G5_OBS_SPAN("keys", "tree");
+    std::iota(orig_index_.begin(), orig_index_.end(), 0u);
+    if (par) {
+      pool->parallel_for(
+          n, kChunk, [&](std::size_t begin, std::size_t end, unsigned) {
+            // g5lint: hot-begin(tree_keys)
+            for (std::size_t i = begin; i < end; ++i) {
+              keys_[i] = math::morton_key(pos[i], root_lo_, root_size_);
+            }
+            // g5lint: hot-end
+          });
+    } else {
+      for (std::uint32_t i = 0; i < n; ++i) {
+        keys_[i] = math::morton_key(pos[i], root_lo_, root_size_);
       }
     }
   }
+
+  // Sort the (key, original index) pairs by key, ties broken by original
+  // index — the pinned order coincident particles rely on. The serial
+  // comparator sort and the stable radix sort (which starts from the
+  // identity permutation) produce exactly this order, so the two paths
+  // agree bit for bit.
+  {
+    G5_OBS_SPAN("sort", "tree");
+    if (par) {
+      sort_pairs_parallel(n, *pool);
+      pool->parallel_for(
+          n, kChunk, [&](std::size_t begin, std::size_t end, unsigned) {
+            for (std::size_t i = begin; i < end; ++i) {
+              const std::uint32_t src = orig_index_[i];
+              sorted_pos_[i] = pos[src];
+              sorted_mass_[i] = mass[src];
+            }
+          });
+    } else {
+      std::sort(orig_index_.begin(), orig_index_.end(),
+                [&](std::uint32_t a, std::uint32_t b) {
+                  return keys_[a] != keys_[b] ? keys_[a] < keys_[b] : a < b;
+                });
+      key_scratch_.resize(n);
+      for (std::uint32_t i = 0; i < n; ++i) {
+        const std::uint32_t src = orig_index_[i];
+        sorted_pos_[i] = pos[src];
+        sorted_mass_[i] = mass[src];
+        key_scratch_[i] = keys_[src];
+      }
+      std::swap(keys_, key_scratch_);
+    }
+  }
+
+  {
+    G5_OBS_SPAN("nodes", "tree");
+    if (par) {
+      build_nodes_parallel(n, center, 0.5 * size, *pool);
+    } else {
+      nodes_.reserve(2 * n / std::max(1u, cfg_.leaf_max) + 64);
+      build_structure(nodes_, 0, n, 0, center, 0.5 * size, -1, max_depth_);
+    }
+  }
+
+  {
+    G5_OBS_SPAN("moments", "tree");
+    if (par) {
+      pool->parallel_for(
+          nodes_.size(), 64,
+          [&](std::size_t begin, std::size_t end, unsigned) {
+            moments_range(begin, end);
+          });
+    } else {
+      moments_range(0, nodes_.size());
+    }
+    if (cfg_.quadrupole) {
+      quads_.resize(nodes_.size());
+      if (par) {
+        pool->parallel_for(
+            nodes_.size(), 64,
+            [&](std::size_t begin, std::size_t end, unsigned) {
+              quadrupole_range(begin, end);
+            });
+      } else {
+        quadrupole_range(0, nodes_.size());
+      }
+    }
+  }
+
+  if (obs::enabled()) {
+    obs::histogram("g5.tree.build_ms").observe(build_watch.elapsed() * 1e3);
+  }
 }
 
-std::int32_t BhTree::build_node(std::uint32_t first, std::uint32_t count,
-                                int depth, const Vec3d& center,
-                                double half_size, std::int32_t parent) {
-  const auto idx = static_cast<std::int32_t>(nodes_.size());
-  nodes_.emplace_back();
+std::int32_t BhTree::build_structure(std::vector<Node>& arena,
+                                     std::uint32_t first, std::uint32_t count,
+                                     int depth, const Vec3d& center,
+                                     double half_size, std::int32_t parent,
+                                     int& max_depth) const {
+  const auto idx = static_cast<std::int32_t>(arena.size());
+  // g5lint: hot-begin(tree_nodes)
+  arena.emplace_back();
   {
-    Node& node = nodes_.back();
+    Node& node = arena.back();
     node.first = first;
     node.count = count;
     node.center = center;
@@ -103,11 +213,12 @@ std::int32_t BhTree::build_node(std::uint32_t first, std::uint32_t count,
     node.depth = static_cast<std::uint8_t>(depth);
     node.parent = parent;
   }
-  max_depth_ = std::max(max_depth_, depth);
+  // g5lint: hot-end
+  max_depth = std::max(max_depth, depth);
 
   const bool split = count > cfg_.leaf_max && depth < cfg_.max_depth;
   if (split) {
-    nodes_[static_cast<std::size_t>(idx)].leaf = false;
+    arena[static_cast<std::size_t>(idx)].leaf = false;
     // Partition [first, first+count) by octant at this depth: keys are
     // sorted, so each octant is a contiguous sub-range found by binary
     // search on the 3-bit digit.
@@ -132,31 +243,294 @@ std::int32_t BhTree::build_node(std::uint32_t first, std::uint32_t count,
             center.y + ((oct & 2u) ? quarter : -quarter),
             center.z + ((oct & 4u) ? quarter : -quarter)};
         const std::int32_t child =
-            build_node(begin, child_count, depth + 1, child_center, quarter,
-                       idx);
-        nodes_[static_cast<std::size_t>(idx)].child[oct] = child;
+            build_structure(arena, begin, child_count, depth + 1, child_center,
+                            quarter, idx, max_depth);
+        arena[static_cast<std::size_t>(idx)].child[oct] = child;
       }
       begin = lo;
       if (begin >= end) break;
     }
   }
-
-  // Moments (children are complete now — post-order).
-  Node& node = nodes_[static_cast<std::size_t>(idx)];
-  double m = 0.0;
-  Vec3d com{};
-  for (std::uint32_t k = node.first; k < node.first + node.count; ++k) {
-    m += sorted_mass_[k];
-    com += sorted_mass_[k] * sorted_pos_[k];
-  }
-  node.mass = m;
-  node.com = m > 0.0 ? com / m : node.center;
-  double br2 = 0.0;
-  for (std::uint32_t k = node.first; k < node.first + node.count; ++k) {
-    br2 = std::max(br2, (sorted_pos_[k] - node.center).norm2());
-  }
-  node.bradius = std::sqrt(br2);
   return idx;
+}
+
+void BhTree::build_nodes_parallel(std::uint32_t n, const Vec3d& center,
+                                  double half_size, util::ThreadPool& pool) {
+  // Subtree task planned by the serial top-of-tree split: one complete
+  // octant subtree, built into a private arena by one pool lane.
+  struct SubtreeTask {
+    std::uint32_t first = 0;
+    std::uint32_t count = 0;
+    int depth = 0;
+    Vec3d center{};
+    double half_size = 0.0;
+    std::int32_t parent_top = -1;  ///< owning top node (tops index)
+    unsigned oct = 0;              ///< octant slot in the owner
+  };
+  // Node of the serially built top of the tree; children are either other
+  // top nodes or whole subtree tasks, per octant.
+  struct TopNode {
+    Node node;
+    std::int32_t child_top[8] = {-1, -1, -1, -1, -1, -1, -1, -1};
+    std::int32_t child_task[8] = {-1, -1, -1, -1, -1, -1, -1, -1};
+  };
+
+  // Stop the serial descent once a subtree is small enough to be one
+  // task. Depends only on N (never on the lane count), so the task
+  // decomposition — and with it the stitched layout — is identical for
+  // every thread count. The depth cap bounds the skeleton for adversarial
+  // (e.g. fully coincident) distributions.
+  const std::uint32_t top_cutoff = std::max(4096u, n / 256u);
+  constexpr int kTopDepthCap = 8;
+
+  std::vector<TopNode> tops;
+  std::vector<SubtreeTask> tasks;
+  tops.reserve(1024);
+  tasks.reserve(1024);
+
+  // Serial top split: exactly the build_structure recursion, except that
+  // child subtrees below the cutoff become tasks instead of recursing.
+  const auto plan = [&](auto&& self, std::uint32_t first, std::uint32_t count,
+                        int depth, const Vec3d& cell_center, double cell_half,
+                        std::int32_t parent) -> std::int32_t {
+    const auto ti = static_cast<std::int32_t>(tops.size());
+    tops.emplace_back();
+    {
+      Node& node = tops.back().node;
+      node.first = first;
+      node.count = count;
+      node.center = cell_center;
+      node.half_size = cell_half;
+      node.depth = static_cast<std::uint8_t>(depth);
+      node.parent = parent;
+    }
+    max_depth_ = std::max(max_depth_, depth);
+
+    const bool split = count > cfg_.leaf_max && depth < cfg_.max_depth;
+    if (split) {
+      tops[static_cast<std::size_t>(ti)].node.leaf = false;
+      std::uint32_t begin = first;
+      const std::uint32_t end = first + count;
+      for (unsigned oct = 0; oct < 8; ++oct) {
+        std::uint32_t lo = begin, hi = end;
+        while (lo < hi) {
+          const std::uint32_t mid = lo + (hi - lo) / 2;
+          if (math::morton_octant(keys_[mid], depth) <= oct) {
+            lo = mid + 1;
+          } else {
+            hi = mid;
+          }
+        }
+        const std::uint32_t child_count = lo - begin;
+        if (child_count > 0) {
+          const double quarter = 0.5 * cell_half;
+          const Vec3d child_center{
+              cell_center.x + ((oct & 1u) ? quarter : -quarter),
+              cell_center.y + ((oct & 2u) ? quarter : -quarter),
+              cell_center.z + ((oct & 4u) ? quarter : -quarter)};
+          const bool child_splits =
+              child_count > cfg_.leaf_max && depth + 1 < cfg_.max_depth;
+          auto& slots = tops[static_cast<std::size_t>(ti)];
+          if (child_splits && child_count > top_cutoff &&
+              depth + 1 < kTopDepthCap) {
+            slots.child_top[oct] = self(self, begin, child_count, depth + 1,
+                                        child_center, quarter, ti);
+          } else {
+            slots.child_task[oct] = static_cast<std::int32_t>(tasks.size());
+            tasks.push_back(SubtreeTask{begin, child_count, depth + 1,
+                                        child_center, quarter, ti, oct});
+          }
+        }
+        begin = lo;
+        if (begin >= end) break;
+      }
+    }
+    return ti;
+  };
+  plan(plan, 0, n, 0, center, half_size, -1);
+
+  // Build every subtree into its own arena across the pool. Each task
+  // writes only its own arena and depth slot, so the results are
+  // lane-assignment independent.
+  std::vector<std::vector<Node>> arenas(tasks.size());
+  std::vector<int> task_depth(tasks.size(), 0);
+  pool.parallel_for(
+      tasks.size(), 1, [&](std::size_t begin, std::size_t end, unsigned) {
+        for (std::size_t t = begin; t < end; ++t) {
+          const SubtreeTask& task = tasks[t];
+          std::vector<Node>& arena = arenas[t];
+          arena.reserve(2 * task.count / std::max(1u, cfg_.leaf_max) + 16);
+          int local_depth = 0;
+          build_structure(arena, task.first, task.count, task.depth,
+                          task.center, task.half_size, -1, local_depth);
+          task_depth[t] = local_depth;
+        }
+      });
+  for (std::size_t t = 0; t < tasks.size(); ++t) {
+    max_depth_ = std::max(max_depth_, task_depth[t]);
+  }
+
+  // Stitch: a serial preorder walk over the top skeleton assigns every
+  // top node and every task arena its final index block — node, then the
+  // octant children's complete subtrees in order, which is exactly the
+  // layout the serial recursion emits. Top nodes are written here; the
+  // arenas are rebased and copied across the pool afterwards.
+  std::size_t total = tops.size();
+  for (const auto& arena : arenas) total += arena.size();
+  nodes_.resize(total);
+  std::vector<std::int32_t> task_base(tasks.size(), 0);
+  std::vector<std::int32_t> task_parent(tasks.size(), -1);
+  std::size_t cursor = 0;
+  const auto emit = [&](auto&& self, std::int32_t ti,
+                        std::int32_t parent_final) -> void {
+    const auto final_idx = static_cast<std::int32_t>(cursor++);
+    const TopNode& top = tops[static_cast<std::size_t>(ti)];
+    Node& dst = nodes_[static_cast<std::size_t>(final_idx)];
+    dst = top.node;
+    dst.parent = parent_final;
+    for (unsigned oct = 0; oct < 8; ++oct) {
+      if (top.child_top[oct] >= 0) {
+        dst.child[oct] = static_cast<std::int32_t>(cursor);
+        self(self, top.child_top[oct], final_idx);
+      } else if (top.child_task[oct] >= 0) {
+        const auto t = static_cast<std::size_t>(top.child_task[oct]);
+        const auto base = static_cast<std::int32_t>(cursor);
+        dst.child[oct] = base;
+        task_base[t] = base;
+        task_parent[t] = final_idx;
+        cursor += arenas[t].size();
+      }
+    }
+  };
+  emit(emit, 0, -1);
+
+  // Rebase each arena's local indices by its block base and copy it into
+  // place; blocks are disjoint, so the copies parallelize freely.
+  pool.parallel_for(
+      tasks.size(), 1, [&](std::size_t begin, std::size_t end, unsigned) {
+        for (std::size_t t = begin; t < end; ++t) {
+          const std::vector<Node>& arena = arenas[t];
+          const std::int32_t base = task_base[t];
+          // g5lint: hot-begin(tree_stitch)
+          for (std::size_t j = 0; j < arena.size(); ++j) {
+            Node& dst = nodes_[static_cast<std::size_t>(base) + j];
+            dst = arena[j];
+            for (unsigned oct = 0; oct < 8; ++oct) {
+              if (dst.child[oct] >= 0) dst.child[oct] += base;
+            }
+            dst.parent = dst.parent >= 0 ? dst.parent + base : task_parent[t];
+          }
+          // g5lint: hot-end
+        }
+      });
+}
+
+void BhTree::sort_pairs_parallel(std::uint32_t n, util::ThreadPool& pool) {
+  key_scratch_.resize(n);
+  idx_scratch_.resize(n);
+  const std::size_t chunks = chunk_count(n);
+  // Per-(chunk, digit) histogram; cell (c, d) is touched only by chunk c
+  // in both the count and scatter sweeps, so the table needs no locks and
+  // the scatter offsets are independent of lane assignment.
+  std::vector<std::uint32_t> hist(chunks * kRadixBuckets);
+
+  std::uint64_t* key_src = keys_.data();
+  std::uint64_t* key_dst = key_scratch_.data();
+  std::uint32_t* idx_src = orig_index_.data();
+  std::uint32_t* idx_dst = idx_scratch_.data();
+
+  for (unsigned pass = 0; pass < kRadixPasses; ++pass) {
+    const unsigned shift = pass * kRadixBits;
+    pool.parallel_for(
+        n, kChunk, [&](std::size_t begin, std::size_t end, unsigned) {
+          std::uint32_t* row = hist.data() + (begin / kChunk) * kRadixBuckets;
+          std::fill(row, row + kRadixBuckets, 0u);
+          // g5lint: hot-begin(tree_radix_count)
+          for (std::size_t i = begin; i < end; ++i) {
+            ++row[(key_src[i] >> shift) & (kRadixBuckets - 1)];
+          }
+          // g5lint: hot-end
+        });
+
+    // Exclusive prefix sums in digit-major, then chunk order — the order
+    // a serial stable pass would visit the elements. A digit holding
+    // every element means the pass is the identity permutation; skip it.
+    bool skip = false;
+    std::uint32_t running = 0;
+    for (std::size_t d = 0; d < kRadixBuckets && !skip; ++d) {
+      std::uint32_t digit_total = 0;
+      for (std::size_t c = 0; c < chunks; ++c) {
+        std::uint32_t& cell = hist[c * kRadixBuckets + d];
+        digit_total += cell;
+        const std::uint32_t offset = running;
+        running += cell;
+        cell = offset;
+      }
+      if (digit_total == n) skip = true;
+    }
+    if (skip) continue;
+
+    pool.parallel_for(
+        n, kChunk, [&](std::size_t begin, std::size_t end, unsigned) {
+          std::uint32_t* row = hist.data() + (begin / kChunk) * kRadixBuckets;
+          // g5lint: hot-begin(tree_radix_scatter)
+          for (std::size_t i = begin; i < end; ++i) {
+            const std::size_t d = (key_src[i] >> shift) & (kRadixBuckets - 1);
+            const std::size_t dst = row[d]++;
+            key_dst[dst] = key_src[i];
+            idx_dst[dst] = idx_src[i];
+          }
+          // g5lint: hot-end
+        });
+    std::swap(key_src, key_dst);
+    std::swap(idx_src, idx_dst);
+  }
+
+  if (key_src != keys_.data()) {
+    std::swap(keys_, key_scratch_);
+    std::swap(orig_index_, idx_scratch_);
+  }
+}
+
+void BhTree::moments_range(std::size_t begin, std::size_t end) {
+  // g5lint: hot-begin(tree_moments)
+  for (std::size_t idx = begin; idx < end; ++idx) {
+    Node& node = nodes_[idx];
+    double m = 0.0;
+    Vec3d com{};
+    for (std::uint32_t k = node.first; k < node.first + node.count; ++k) {
+      m += sorted_mass_[k];
+      com += sorted_mass_[k] * sorted_pos_[k];
+    }
+    node.mass = m;
+    node.com = m > 0.0 ? com / m : node.center;
+    double br2 = 0.0;
+    for (std::uint32_t k = node.first; k < node.first + node.count; ++k) {
+      br2 = std::max(br2, (sorted_pos_[k] - node.center).norm2());
+    }
+    node.bradius = std::sqrt(br2);
+  }
+  // g5lint: hot-end
+}
+
+void BhTree::quadrupole_range(std::size_t begin, std::size_t end) {
+  // g5lint: hot-begin(tree_quadrupole)
+  for (std::size_t idx = begin; idx < end; ++idx) {
+    const Node& node = nodes_[idx];
+    Quadrupole& q = quads_[idx];
+    for (std::uint32_t k = node.first; k < node.first + node.count; ++k) {
+      const Vec3d d = sorted_pos_[k] - node.com;
+      const double m = sorted_mass_[k];
+      const double d2 = d.norm2();
+      q.xx += m * (3.0 * d.x * d.x - d2);
+      q.yy += m * (3.0 * d.y * d.y - d2);
+      q.zz += m * (3.0 * d.z * d.z - d2);
+      q.xy += m * 3.0 * d.x * d.y;
+      q.xz += m * 3.0 * d.x * d.z;
+      q.yz += m * 3.0 * d.y * d.z;
+    }
+  }
+  // g5lint: hot-end
 }
 
 }  // namespace g5::tree

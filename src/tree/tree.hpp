@@ -5,8 +5,16 @@
 // octree cell then owns a contiguous index range, and the tree is built
 // recursively by splitting ranges at octant boundaries (binary search on
 // the sorted keys). Monopole moments (mass, center of mass) are computed
-// bottom-up during the build — GRAPE-5 evaluates point-mass forces, so
-// monopole is what the paper's code shipped to the hardware.
+// per node from its contiguous particle range — GRAPE-5 evaluates
+// point-mass forces, so monopole is what the paper's code shipped to the
+// hardware.
+//
+// The build runs serially or, given a util::ThreadPool, in parallel over
+// every phase (bounding box, keys, sort, node construction, moments).
+// The parallel build is bitwise-identical to the serial one for any
+// thread count: chunk boundaries, the sort order (Morton key, then
+// original index), the node preorder layout, and every per-node moment
+// loop are independent of how chunks land on lanes.
 //
 // The tree keeps its own sorted copies of positions and masses; walks emit
 // interaction lists that point into these arrays, and `original_index`
@@ -21,9 +29,25 @@
 #include "math/vec3.hpp"
 #include "model/particles.hpp"
 
+namespace g5::util {
+class ThreadPool;
+}
+
 namespace g5::tree {
 
 using math::Vec3d;
+
+/// Threading knobs of the tree build (tentatively plumbed from
+/// core::ForceParams by the tree engines).
+struct TreeBuildParams {
+  /// Requested build parallelism. 1 forces the serial path even when a
+  /// pool is supplied; any other value uses every lane of the supplied
+  /// pool (0 = default). Results are bitwise-identical either way.
+  std::uint32_t threads = 0;
+  /// Minimum particle count for the parallel path: below this the serial
+  /// build wins on fork-join overhead alone, so the pool is ignored.
+  std::uint32_t parallel_cutoff = 1u << 15;
+};
 
 struct TreeBuildConfig {
   /// A cell with <= leaf_max bodies becomes a leaf.
@@ -36,6 +60,8 @@ struct TreeBuildConfig {
   /// point masses only, so quadrupoles serve the host-evaluation path
   /// (accuracy-vs-cost ablation against the hardware's monopole lists).
   bool quadrupole = false;
+  /// Parallel-build knobs; only honored when build() is handed a pool.
+  TreeBuildParams parallel;
 };
 
 /// Traceless quadrupole tensor about the node's center of mass:
@@ -79,13 +105,19 @@ class BhTree {
   BhTree() = default;
 
   /// Build over the given snapshot (positions copied and sorted inside).
+  /// With a pool and config.parallel permitting, every phase runs across
+  /// the pool's lanes; the result is bitwise-identical to the serial
+  /// build (pool == nullptr) for any lane count. The pool must not be
+  /// executing another parallel_for (ThreadPool is not reentrant).
   void build(std::span<const Vec3d> pos, std::span<const double> mass,
-             const TreeBuildConfig& config = TreeBuildConfig{});
+             const TreeBuildConfig& config = TreeBuildConfig{},
+             util::ThreadPool* pool = nullptr);
 
   /// Convenience overload.
   void build(const model::ParticleSet& pset,
-             const TreeBuildConfig& config = TreeBuildConfig{}) {
-    build(pset.pos(), pset.mass(), config);
+             const TreeBuildConfig& config = TreeBuildConfig{},
+             util::ThreadPool* pool = nullptr) {
+    build(pset.pos(), pset.mass(), config, pool);
   }
 
   [[nodiscard]] bool empty() const noexcept { return nodes_.empty(); }
@@ -123,6 +155,11 @@ class BhTree {
       const noexcept {
     return orig_index_;
   }
+  /// Morton keys in sorted order. Ties (coincident particles) are broken
+  /// by original index, so equal-key runs of original_index() ascend.
+  [[nodiscard]] const std::vector<std::uint64_t>& keys() const noexcept {
+    return keys_;
+  }
 
   [[nodiscard]] const TreeBuildConfig& config() const noexcept {
     return cfg_;
@@ -141,13 +178,34 @@ class BhTree {
   std::vector<double> sorted_mass_;
   std::vector<std::uint32_t> orig_index_;
   std::vector<std::uint64_t> keys_;
+  /// Radix-sort ping-pong halves (parallel path); kept as members so
+  /// steady-state per-step rebuilds reuse their capacity.
+  std::vector<std::uint64_t> key_scratch_;
+  std::vector<std::uint32_t> idx_scratch_;
   Vec3d root_lo_{};
   double root_size_ = 0.0;
   int max_depth_ = 0;
 
-  std::int32_t build_node(std::uint32_t first, std::uint32_t count, int depth,
-                          const Vec3d& center, double half_size,
-                          std::int32_t parent);
+  /// Recursive preorder structure build into `arena` (node fields except
+  /// moments; child/parent indices are arena-local, the arena root's
+  /// parent is `parent`). Returns the arena index of the subtree root and
+  /// maxes the deepest level into `max_depth`.
+  std::int32_t build_structure(std::vector<Node>& arena, std::uint32_t first,
+                               std::uint32_t count, int depth,
+                               const Vec3d& center, double half_size,
+                               std::int32_t parent, int& max_depth) const;
+  /// Parallel node construction: serial top-of-tree split into subtree
+  /// tasks, per-task arenas built across the pool, stitched into nodes_
+  /// in the exact serial preorder.
+  void build_nodes_parallel(std::uint32_t n, const Vec3d& center,
+                            double half_size, util::ThreadPool& pool);
+  /// Stable LSD radix sort of (keys_, orig_index_) pairs by key across
+  /// the pool; reproduces the serial comparator order exactly.
+  void sort_pairs_parallel(std::uint32_t n, util::ThreadPool& pool);
+  /// Per-node monopole moments (mass, com, bradius) over [begin, end).
+  void moments_range(std::size_t begin, std::size_t end);
+  /// Per-node quadrupole moments over [begin, end).
+  void quadrupole_range(std::size_t begin, std::size_t end);
 };
 
 }  // namespace g5::tree

@@ -10,6 +10,11 @@
 //                  host-direct
 //         [--n 8192] [--steps 100] [--dt 0.01] [--eps 0.02] [--theta 0.75]
 //         [--ncrit 256] [--mac edge|bmax] [--quadrupole] [--threads 0]
+//         [--build-cutoff 32768]
+//                          (tree engines: minimum N for the parallel tree
+//                           build; the build threads across the --threads
+//                           walk pool above it, bitwise-identical to the
+//                           serial build either way)
 //         [--pipeline 2]   (grape engines: batch buffers in flight;
 //                           0/1 = synchronous, >= 2 overlaps tree walks
 //                           with device evaluation — same forces bitwise)
@@ -528,6 +533,8 @@ int main(int argc, char** argv) {
     fp.n_crit = static_cast<std::uint32_t>(opt.get_int("ncrit", 256));
     fp.quadrupole = opt.get_bool("quadrupole", false);
     fp.threads = static_cast<std::uint32_t>(opt.get_int("threads", 0));
+    fp.build_parallel_cutoff = static_cast<std::uint32_t>(
+        opt.get_int("build-cutoff", 1 << 15));
     fp.pipeline_depth =
         static_cast<std::uint32_t>(opt.get_int("pipeline", 2));
     const std::string mac = opt.get_string("mac", "edge");
