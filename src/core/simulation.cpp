@@ -7,6 +7,8 @@
 
 #include "core/engines.hpp"
 #include "core/snapshot.hpp"
+#include "obs/crash.hpp"
+#include "obs/flight.hpp"
 #include "obs/metrics.hpp"
 #include "obs/registry.hpp"
 #include "obs/span.hpp"
@@ -125,6 +127,10 @@ SimulationSummary Simulation::run(model::ParticleSet& pset) {
   std::uint64_t prev_bytes = gsys ? gsys->bytes_moved() : 0;
 
   double t_elapsed = 0.0;
+  // Heartbeat state: steps/s smoothed with an EMA so the ETA is stable
+  // against per-step jitter. Published as g5.sim.* gauges each step;
+  // the telemetry sampler snapshots them into the status file.
+  double rate_ema = 0.0;
   for (std::uint64_t s = 1; s <= cfg_.steps; ++s) {
     const double dt = cfg_.dt_schedule.empty()
                           ? cfg_.dt
@@ -159,9 +165,16 @@ SimulationSummary Simulation::run(model::ParticleSet& pset) {
 
     if (cfg_.log_every > 0 && (s % cfg_.log_every == 0 || s == cfg_.steps)) {
       const auto& es = engine_.stats();
+      // rate_ema lags one step here (it updates after the step record
+      // below); good enough for a human-facing progress line.
+      const double eta_s =
+          rate_ema > 0.0
+              ? static_cast<double>(cfg_.steps - s) / rate_ema
+              : 0.0;
       util::log_info() << "step " << s << "/" << cfg_.steps << " t="
                        << t_elapsed << " interactions=" << es.interactions
-                       << " wall=" << wall.elapsed() << "s";
+                       << " wall=" << wall.elapsed() << "s rate="
+                       << rate_ema << "/s eta=" << eta_s << "s";
     }
     if (cfg_.diag_every > 0 && s % cfg_.diag_every == 0) {
       G5_OBS_SPAN("diagnostics", "sim");
@@ -239,7 +252,37 @@ SimulationSummary Simulation::run(model::ParticleSet& pset) {
       prev_grape = ga;
     }
     if (metrics) metrics->write(m);
+    // Heartbeat gauges + flight-recorder step ring. The recorder is
+    // armed independently of obs::enabled() (it powers the crash
+    // post-mortem even in otherwise-uninstrumented runs).
+    {
+      const double inst = m.wall_s > 0.0 ? 1.0 / m.wall_s : 0.0;
+      rate_ema = s == 1 ? inst : 0.3 * inst + 0.7 * rate_ema;
+    }
+    if (obs::FlightRecorder::armed()) {
+      obs::FlightRecorder::instance().record_step(m);
+      // Keep the crash dump's pre-serialized registry section and cached
+      // device-gauge pointers current (board gauges don't exist yet when
+      // the handlers install, before the engine is built).
+      if (obs::crash::installed()) obs::crash::refresh();
+    }
     if (obs::enabled()) {
+      obs::gauge("g5.sim.step").set(static_cast<double>(s));
+      obs::gauge("g5.sim.steps_total")
+          .set(static_cast<double>(cfg_.steps));
+      obs::gauge("g5.sim.steps_per_s").set(rate_ema);
+      obs::gauge("g5.sim.eta_s")
+          .set(rate_ema > 0.0
+                   ? static_cast<double>(cfg_.steps - s) / rate_ema
+                   : 0.0);
+      obs::gauge("g5.sim.interactions_per_s")
+          .set(m.wall_s > 0.0
+                   ? static_cast<double>(m.interactions) / m.wall_s
+                   : 0.0);
+      obs::gauge("g5.sim.mean_list")
+          .set(m.groups > 0 ? static_cast<double>(m.list_entries) /
+                                  static_cast<double>(m.groups)
+                            : 0.0);
       obs::counter("g5.sim.steps").add(1);
       if (obs::tracing()) {
         obs::trace_counter("g5.step.interactions",

@@ -27,7 +27,7 @@ AsyncDevice::AsyncDevice(std::shared_ptr<Grape5Device> device,
                          const Config& config)
     : device_(require_device(std::move(device))),
       queue_(config.queue_capacity),
-      submitter_([this] { submitter_loop(); }) {
+      submitter_("g5-submit", [this] { submitter_loop(); }) {
   const std::size_t boards = device_->system().board_count();
   const unsigned eval_lanes =
       config.eval_threads != 0
@@ -49,6 +49,9 @@ void AsyncDevice::publish_queue_depth() {
   if (!obs::enabled()) return;
   obs::gauge("g5.grape.queue_depth")
       .set(static_cast<double>(queue_.size()));
+  // Submitted-but-not-completed jobs; the crash post-mortem and the
+  // status file read this to show what the device pipeline was doing.
+  obs::gauge("g5.grape.in_flight").set(static_cast<double>(in_flight()));
 }
 
 AsyncDevice::Ticket AsyncDevice::submit(ForceJob& job) {

@@ -1,0 +1,41 @@
+// Live exporters: the status-file document and the Prometheus text
+// exposition of the metric registry.
+//
+// Both are pull-side views of the same sources — the registry
+// (counters/gauges/histograms), the flight recorder's heartbeat and
+// last-step record — rendered on demand. obs::Telemetry writes them to
+// files on its sampling period (atomic_write_file: temp + rename, so a
+// scraper never reads a half-written document); g5run's --live-port
+// serves them over util::HttpListener.
+//
+// The status document is versioned ("schema": "g5.status.v1") and
+// machine-checked by tools/check_trace.py against
+// tools/schema/status.schema.json. The Prometheus output follows the
+// text exposition format 0.0.4: dotted g5.* names mangle to
+// underscores, histograms emit cumulative _bucket{le=...} series over
+// the power-of-two bucket bounds plus _sum/_count.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace g5::obs {
+
+/// The full status document as a JSON string. `sequence` increments
+/// per call (process-wide), so a poller can detect staleness.
+[[nodiscard]] std::string build_status_json();
+
+/// Registry-only JSON fragment: {"counters":{...},"gauges":{...},
+/// "histograms":{...}}. The crash path pre-serializes this per
+/// telemetry tick so a signal handler can embed it verbatim.
+[[nodiscard]] std::string registry_json();
+
+/// The whole g5.* catalog in Prometheus text exposition format 0.0.4.
+[[nodiscard]] std::string prometheus_text();
+
+/// Write `content` to `path` via a same-directory temp file + rename,
+/// so readers see the old or the new document, never a torn one.
+bool atomic_write_file(const std::string& path, std::string_view content);
+
+}  // namespace g5::obs

@@ -1,0 +1,141 @@
+#include "obs/flight.hpp"
+
+#include <type_traits>
+
+#include "util/thread.hpp"
+
+namespace g5::obs {
+
+static_assert(std::is_trivially_copyable_v<StepMetrics> &&
+                  sizeof(StepMetrics) % 8 == 0,
+              "StepMetrics rides through word-atomic seqlock cells");
+
+FlightRecorder& FlightRecorder::instance() noexcept {
+  // Constant-initializable members only: no destructor ordering hazards
+  // and the instance exists before any crash handler could fire.
+  static FlightRecorder recorder;
+  return recorder;
+}
+
+void FlightRecorder::clear() noexcept {
+  step_count_.store(0, std::memory_order_relaxed);
+  span_count_.store(0, std::memory_order_relaxed);
+  // Thread slots stay: threads keep their thread_local assignment.
+}
+
+void FlightRecorder::record_step(const StepMetrics& m) noexcept {
+  const std::uint64_t idx = step_count_.load(std::memory_order_relaxed);
+  steps_[idx % kStepCapacity].store(&m);
+  step_count_.store(idx + 1, std::memory_order_release);
+}
+
+void FlightRecorder::record_span(std::string_view path, double start_us,
+                                 double dur_us) noexcept {
+  SpanEvent ev{};
+  const std::size_t n =
+      path.size() < sizeof(ev.path) - 1 ? path.size() : sizeof(ev.path) - 1;
+  std::memcpy(ev.path, path.data(), n);
+  const char* name = util::current_thread_name();
+  std::size_t tn = 0;
+  for (; tn + 1 < sizeof(ev.thread) && name[tn] != '\0'; ++tn) {
+    ev.thread[tn] = name[tn];
+  }
+  ev.start_us = start_us;
+  ev.dur_us = dur_us;
+  const std::uint64_t idx = span_count_.fetch_add(1, std::memory_order_relaxed);
+  spans_[idx % kSpanCapacity].store(&ev);
+}
+
+std::uint32_t FlightRecorder::thread_slot_for_caller() noexcept {
+  // Lazily assign each thread a slot for life; kThreadCapacity excess
+  // threads go unrecorded rather than contending.
+  thread_local std::uint32_t slot = [this]() noexcept {
+    return thread_count_.fetch_add(1, std::memory_order_relaxed);
+  }();
+  return slot;
+}
+
+void FlightRecorder::publish_thread_path(std::string_view path) noexcept {
+  const std::uint32_t slot = thread_slot_for_caller();
+  if (slot >= kThreadCapacity) return;
+  ThreadPath tp{};
+  const char* name = util::current_thread_name();
+  std::size_t tn = 0;
+  for (; tn + 1 < sizeof(tp.thread) && name[tn] != '\0'; ++tn) {
+    tp.thread[tn] = name[tn];
+  }
+  const std::size_t n =
+      path.size() < kPathBytes - 1 ? path.size() : kPathBytes - 1;
+  std::memcpy(tp.path, path.data(), n);
+  threads_[slot].store(&tp);
+}
+
+std::size_t FlightRecorder::thread_slots() const noexcept {
+  const std::uint32_t n = thread_count_.load(std::memory_order_relaxed);
+  return n < kThreadCapacity ? n : kThreadCapacity;
+}
+
+bool FlightRecorder::read_step(std::uint64_t index,
+                               StepMetrics* out) const noexcept {
+  const std::uint64_t count = step_count_.load(std::memory_order_acquire);
+  if (index >= count || index + kStepCapacity < count) return false;
+  return steps_[index % kStepCapacity].load(out);
+}
+
+bool FlightRecorder::read_span(std::uint64_t index,
+                               SpanEvent* out) const noexcept {
+  const std::uint64_t count = span_count_.load(std::memory_order_relaxed);
+  if (index >= count || index + kSpanCapacity < count) return false;
+  if (!spans_[index % kSpanCapacity].load(out)) return false;
+  out->path[sizeof(out->path) - 1] = '\0';
+  out->thread[sizeof(out->thread) - 1] = '\0';
+  return true;
+}
+
+bool FlightRecorder::read_thread(std::size_t slot,
+                                 ThreadPath* out) const noexcept {
+  if (slot >= thread_slots()) return false;
+  if (!threads_[slot].load(out)) return false;
+  out->thread[sizeof(out->thread) - 1] = '\0';
+  out->path[sizeof(out->path) - 1] = '\0';
+  return true;
+}
+
+std::vector<StepMetrics> FlightRecorder::last_steps() const {
+  const std::uint64_t count = step_count();
+  const std::uint64_t first =
+      count > kStepCapacity ? count - kStepCapacity : 0;
+  std::vector<StepMetrics> out;
+  out.reserve(static_cast<std::size_t>(count - first));
+  for (std::uint64_t i = first; i < count; ++i) {
+    StepMetrics m;
+    if (read_step(i, &m)) out.push_back(m);
+  }
+  return out;
+}
+
+std::vector<SpanEvent> FlightRecorder::last_spans() const {
+  const std::uint64_t count = span_count();
+  const std::uint64_t first =
+      count > kSpanCapacity ? count - kSpanCapacity : 0;
+  std::vector<SpanEvent> out;
+  out.reserve(static_cast<std::size_t>(count - first));
+  for (std::uint64_t i = first; i < count; ++i) {
+    SpanEvent ev;
+    if (read_span(i, &ev)) out.push_back(ev);
+  }
+  return out;
+}
+
+std::vector<ThreadPath> FlightRecorder::thread_paths() const {
+  std::vector<ThreadPath> out;
+  const std::size_t n = thread_slots();
+  out.reserve(n);
+  for (std::size_t s = 0; s < n; ++s) {
+    ThreadPath tp;
+    if (read_thread(s, &tp)) out.push_back(tp);
+  }
+  return out;
+}
+
+}  // namespace g5::obs

@@ -1,0 +1,161 @@
+// Flight recorder: fixed-size lock-free black box for post-mortems.
+//
+// Three seqlock ring structures, all preallocated and all readable
+// without locks (including from a crash signal handler, obs/crash.hpp):
+//
+//   * the last kStepCapacity StepMetrics records (one per step);
+//   * the last kSpanCapacity span-completion events (path, thread,
+//     start, duration);
+//   * one active-span-path slot per thread — the live "stack trace in
+//     span space" a post-mortem prints for every named thread.
+//
+// Every payload word is a relaxed 64-bit atomic guarded by a per-slot
+// sequence counter (odd = write in progress), so readers detect torn
+// slots instead of locking writers out: TSan-clean, wait-free for
+// writers, and safe to walk from an async-signal context.
+//
+// Recording is gated on an `armed` flag separate from obs::enabled():
+// span hooks cost one relaxed load when disarmed, keeping
+// bench_p2_obs_overhead's budget intact. obs::Telemetry arms the
+// recorder; tests may arm it directly.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <cstring>
+#include <string_view>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace g5::obs {
+
+namespace detail {
+
+inline std::atomic<bool> g_flight_armed{false};
+
+/// Seqlock cell over a fixed payload stored as relaxed atomic words.
+template <std::size_t Bytes>
+struct SeqCell {
+  static_assert(Bytes % 8 == 0);
+  static constexpr std::size_t kWords = Bytes / 8;
+
+  std::atomic<std::uint32_t> seq{0};
+  std::array<std::atomic<std::uint64_t>, kWords> words{};
+
+  void store(const void* src) noexcept {
+    std::uint64_t tmp[kWords];
+    std::memcpy(tmp, src, Bytes);
+    seq.fetch_add(1, std::memory_order_acq_rel);  // odd: write in progress
+    for (std::size_t w = 0; w < kWords; ++w) {
+      words[w].store(tmp[w], std::memory_order_relaxed);
+    }
+    seq.fetch_add(1, std::memory_order_release);  // even: stable
+  }
+
+  /// Copies the payload into `dst`; false when unwritten or torn.
+  bool load(void* dst) const noexcept {
+    const std::uint32_t s0 = seq.load(std::memory_order_acquire);
+    if (s0 == 0 || (s0 & 1U) != 0) return false;
+    std::uint64_t tmp[kWords];
+    for (std::size_t w = 0; w < kWords; ++w) {
+      tmp[w] = words[w].load(std::memory_order_relaxed);
+    }
+    std::atomic_thread_fence(std::memory_order_acquire);
+    if (seq.load(std::memory_order_relaxed) != s0) return false;
+    std::memcpy(dst, tmp, Bytes);
+    return true;
+  }
+};
+
+}  // namespace detail
+
+/// One completed span, as recorded in the flight ring.
+struct SpanEvent {
+  char path[160];
+  char thread[16];
+  double start_us;
+  double dur_us;
+};
+static_assert(sizeof(SpanEvent) % 8 == 0);
+
+/// One thread's live span path (its "where am I" at read time).
+struct ThreadPath {
+  char thread[16];
+  char path[160];
+};
+static_assert(sizeof(ThreadPath) % 8 == 0);
+
+class FlightRecorder {
+ public:
+  static constexpr std::size_t kStepCapacity = 64;
+  static constexpr std::size_t kSpanCapacity = 128;
+  static constexpr std::size_t kThreadCapacity = 64;
+
+  static FlightRecorder& instance() noexcept;
+
+  /// Recording gate; sticky until disarm(). Safe to arm repeatedly.
+  void arm() noexcept {
+    detail::g_flight_armed.store(true, std::memory_order_relaxed);
+  }
+  void disarm() noexcept {
+    detail::g_flight_armed.store(false, std::memory_order_relaxed);
+  }
+  [[nodiscard]] static bool armed() noexcept {
+    return detail::g_flight_armed.load(std::memory_order_relaxed);
+  }
+
+  /// Reset the ring indices (slots stay allocated; tests).
+  void clear() noexcept;
+
+  // -- writers (wait-free) --------------------------------------------
+
+  /// Single-writer by contract: the simulation loop.
+  void record_step(const StepMetrics& m) noexcept;
+  /// Any thread; called from the Span destructor when armed.
+  void record_span(std::string_view path, double start_us,
+                   double dur_us) noexcept;
+  /// Publish the calling thread's live span path (Span ctor/dtor).
+  void publish_thread_path(std::string_view path) noexcept;
+
+  // -- counters -------------------------------------------------------
+
+  [[nodiscard]] std::uint64_t step_count() const noexcept {
+    return step_count_.load(std::memory_order_acquire);
+  }
+  [[nodiscard]] std::uint64_t span_count() const noexcept {
+    return span_count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::size_t thread_slots() const noexcept;
+
+  // -- signal-safe element readers (no allocation) --------------------
+  // Absolute indices; a read races a wrap or an in-flight write by
+  // returning false, never by blocking.
+
+  bool read_step(std::uint64_t index, StepMetrics* out) const noexcept;
+  bool read_span(std::uint64_t index, SpanEvent* out) const noexcept;
+  bool read_thread(std::size_t slot, ThreadPath* out) const noexcept;
+
+  // -- snapshot readers (allocate; samplers and tests) ----------------
+
+  [[nodiscard]] std::vector<StepMetrics> last_steps() const;
+  [[nodiscard]] std::vector<SpanEvent> last_spans() const;
+  [[nodiscard]] std::vector<ThreadPath> thread_paths() const;
+
+ private:
+  FlightRecorder() = default;
+
+  static constexpr std::size_t kPathBytes = sizeof(ThreadPath::path);
+
+  std::array<detail::SeqCell<sizeof(StepMetrics)>, kStepCapacity> steps_;
+  std::array<detail::SeqCell<sizeof(SpanEvent)>, kSpanCapacity> spans_;
+  std::array<detail::SeqCell<sizeof(ThreadPath)>, kThreadCapacity> threads_;
+  std::atomic<std::uint64_t> step_count_{0};
+  std::atomic<std::uint64_t> span_count_{0};
+  std::atomic<std::uint32_t> thread_count_{0};
+
+  [[nodiscard]] std::uint32_t thread_slot_for_caller() noexcept;
+};
+
+}  // namespace g5::obs

@@ -18,17 +18,69 @@ std::string json_number(double v) {
   return buf;
 }
 
-unsigned long long ull(std::uint64_t v) {
-  return static_cast<unsigned long long>(v);
+void field_u64(std::string& out, const char* name, std::uint64_t v,
+               bool first = false) {
+  if (!first) out += ',';
+  out += '"';
+  out += name;
+  out += "\":";
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%llu",
+                static_cast<unsigned long long>(v));
+  out += buf;
+}
+
+void field_num(std::string& out, const char* name, double v) {
+  out += ",\"";
+  out += name;
+  out += "\":";
+  out += json_number(v);
 }
 
 }  // namespace
+
+std::string step_metrics_json(const StepMetrics& m) {
+  std::string out;
+  out.reserve(512);
+  out += '{';
+  field_u64(out, "step", m.step, /*first=*/true);
+  field_num(out, "t_sim", m.t_sim);
+  field_num(out, "wall_s", m.wall_s);
+  field_num(out, "build_s", m.build_s);
+  field_num(out, "walk_s", m.walk_s);
+  field_num(out, "kernel_s", m.kernel_s);
+  field_num(out, "engine_s", m.engine_s);
+  field_u64(out, "interactions", m.interactions);
+  field_u64(out, "list_entries", m.list_entries);
+  field_u64(out, "groups", m.groups);
+  field_u64(out, "grape_force_calls", m.grape_force_calls);
+  field_u64(out, "grape_j_uploaded", m.grape_j_uploaded);
+  field_u64(out, "grape_bytes", m.grape_bytes);
+  field_num(out, "grape_emulation_s", m.grape_emulation_s);
+  field_num(out, "grape_modeled_dma_s", m.grape_modeled_dma_s);
+  field_num(out, "grape_modeled_compute_s", m.grape_modeled_compute_s);
+  field_num(out, "grape_occupancy", m.grape_occupancy);
+  field_num(out, "energy_drift", m.energy_drift);
+  field_num(out, "momentum_drift", m.momentum_drift);
+  field_num(out, "err_total_p50", m.err_total_p50);
+  field_num(out, "err_total_p99", m.err_total_p99);
+  field_num(out, "err_tree_p50", m.err_tree_p50);
+  field_num(out, "err_tree_p99", m.err_tree_p99);
+  field_num(out, "err_codec_p50", m.err_codec_p50);
+  field_num(out, "err_codec_p99", m.err_codec_p99);
+  out += '}';
+  return out;
+}
 
 MetricsWriter::MetricsWriter(const std::string& path) {
   file_ = std::fopen(path.c_str(), "w");
   if (file_ == nullptr) {
     throw std::runtime_error("cannot open " + path + " for metrics output");
   }
+  // Line buffering as the baseline (every '\n' reaches the kernel even
+  // if a future write path forgets to flush); write() flushes explicitly
+  // on top, so a kill -9 between steps never costs a completed record.
+  std::setvbuf(file_, nullptr, _IOLBF, BUFSIZ);
 }
 
 MetricsWriter::~MetricsWriter() {
@@ -36,38 +88,9 @@ MetricsWriter::~MetricsWriter() {
 }
 
 void MetricsWriter::write(const StepMetrics& m) {
-  std::fprintf(
-      file_,
-      "{\"step\":%llu,\"t_sim\":%s,\"wall_s\":%s,"
-      "\"build_s\":%s,\"walk_s\":%s,\"kernel_s\":%s,"
-      "\"engine_s\":%s,"
-      "\"interactions\":%llu,\"list_entries\":%llu,\"groups\":%llu,"
-      "\"grape_force_calls\":%llu,\"grape_j_uploaded\":%llu,"
-      "\"grape_bytes\":%llu,\"grape_emulation_s\":%s,"
-      "\"grape_modeled_dma_s\":%s,\"grape_modeled_compute_s\":%s,"
-      "\"grape_occupancy\":%s,"
-      "\"energy_drift\":%s,\"momentum_drift\":%s,"
-      "\"err_total_p50\":%s,\"err_total_p99\":%s,"
-      "\"err_tree_p50\":%s,\"err_tree_p99\":%s,"
-      "\"err_codec_p50\":%s,\"err_codec_p99\":%s}\n",
-      ull(m.step), json_number(m.t_sim).c_str(),
-      json_number(m.wall_s).c_str(), json_number(m.build_s).c_str(),
-      json_number(m.walk_s).c_str(), json_number(m.kernel_s).c_str(),
-      json_number(m.engine_s).c_str(), ull(m.interactions),
-      ull(m.list_entries), ull(m.groups), ull(m.grape_force_calls),
-      ull(m.grape_j_uploaded), ull(m.grape_bytes),
-      json_number(m.grape_emulation_s).c_str(),
-      json_number(m.grape_modeled_dma_s).c_str(),
-      json_number(m.grape_modeled_compute_s).c_str(),
-      json_number(m.grape_occupancy).c_str(),
-      json_number(m.energy_drift).c_str(),
-      json_number(m.momentum_drift).c_str(),
-      json_number(m.err_total_p50).c_str(),
-      json_number(m.err_total_p99).c_str(),
-      json_number(m.err_tree_p50).c_str(),
-      json_number(m.err_tree_p99).c_str(),
-      json_number(m.err_codec_p50).c_str(),
-      json_number(m.err_codec_p99).c_str());
+  const std::string line = step_metrics_json(m);
+  std::fwrite(line.data(), 1, line.size(), file_);
+  std::fputc('\n', file_);
   std::fflush(file_);
   ++records_;
 }

@@ -58,8 +58,14 @@ struct StepMetrics {
       std::numeric_limits<double>::quiet_NaN();
 };
 
+/// One StepMetrics as a JSON object — exactly the JSONL line format
+/// (no trailing newline). Shared by MetricsWriter and the status-file
+/// exporter (obs/export.hpp) so both artifacts agree byte-for-byte.
+[[nodiscard]] std::string step_metrics_json(const StepMetrics& m);
+
 /// Appends StepMetrics as one JSON object per line (JSON Lines). The
-/// stream is flushed per record so a crashed run keeps its tail.
+/// stream is line-buffered and flushed per record so an abnormal exit
+/// (crash, SIGKILL) keeps every completed-step record.
 class MetricsWriter {
  public:
   /// Opens `path` for writing; throws std::runtime_error on failure.

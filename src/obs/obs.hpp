@@ -1,14 +1,20 @@
 // Umbrella header for the observability layer (g5::obs).
 //
-// The layer has five pieces, usable independently:
-//   * obs/span.hpp     — hierarchical RAII phase timers + phase table;
-//   * obs/registry.hpp — global counters, gauges and histograms;
-//   * obs/trace.hpp    — Chrome trace-event (Perfetto) collection/export;
-//   * obs/metrics.hpp  — per-step StepMetrics record + JSON-lines sink;
-//   * obs/probe.hpp    — sampling force-error / conservation probe
-//                        (separate library g5_obs_probe — it sits above
-//                        tree/grape, so it is NOT included here to keep
-//                        this umbrella usable from the bottom layer).
+// The layer's pieces, usable independently:
+//   * obs/span.hpp      — hierarchical RAII phase timers + phase table;
+//   * obs/registry.hpp  — global counters, gauges and histograms;
+//   * obs/trace.hpp     — Chrome trace-event (Perfetto) collection/export;
+//   * obs/metrics.hpp   — per-step StepMetrics record + JSON-lines sink;
+//   * obs/flight.hpp    — lock-free flight-recorder rings (last K steps /
+//                         span events / per-thread live span paths);
+//   * obs/telemetry.hpp — background sampler thread: status-file +
+//                         Prometheus exporters on a period;
+//   * obs/export.hpp    — the exporters themselves (pull-side views);
+//   * obs/crash.hpp     — async-signal-safe crash post-mortem dumps;
+//   * obs/probe.hpp     — sampling force-error / conservation probe
+//                         (separate library g5_obs_probe — it sits above
+//                         tree/grape, so it is NOT included here to keep
+//                         this umbrella usable from the bottom layer).
 //
 // Everything is off until obs::set_enabled(true); the instrumented hot
 // paths cost one relaxed atomic load while disabled. docs/observability.md
@@ -16,7 +22,11 @@
 // Section 5 mapping, Perfetto walkthrough).
 #pragma once
 
+#include "obs/crash.hpp"      // IWYU pragma: export
+#include "obs/export.hpp"     // IWYU pragma: export
+#include "obs/flight.hpp"     // IWYU pragma: export
 #include "obs/metrics.hpp"    // IWYU pragma: export
 #include "obs/registry.hpp"   // IWYU pragma: export
 #include "obs/span.hpp"       // IWYU pragma: export
+#include "obs/telemetry.hpp"  // IWYU pragma: export
 #include "obs/trace.hpp"      // IWYU pragma: export

@@ -107,6 +107,13 @@ Gauge& Registry::gauge(std::string_view name) {
   return *slot;
 }
 
+Gauge* Registry::find_gauge(std::string_view name) {
+  Impl& state = impl();
+  const util::MutexLock lock(state.mutex);
+  const auto it = state.gauges.find(std::string(name));
+  return it != state.gauges.end() ? it->second.get() : nullptr;
+}
+
 Histogram& Registry::histogram(std::string_view name) {
   Impl& state = impl();
   const util::MutexLock lock(state.mutex);

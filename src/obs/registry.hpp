@@ -157,6 +157,12 @@ class Registry {
   Gauge& gauge(std::string_view name);
   Histogram& histogram(std::string_view name);
 
+  /// Lookup without creating — nullptr when the name was never
+  /// registered. The crash post-mortem path caches these pointers so
+  /// reading device gauges from a signal handler neither allocates nor
+  /// invents registry entries.
+  [[nodiscard]] Gauge* find_gauge(std::string_view name);
+
   /// All metrics, sorted by name.
   [[nodiscard]] std::vector<MetricSample> snapshot();
 

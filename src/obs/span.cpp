@@ -5,6 +5,7 @@
 #include <map>
 #include <utility>
 
+#include "obs/flight.hpp"
 #include "obs/trace.hpp"
 #include "util/mutex.hpp"
 
@@ -74,6 +75,12 @@ Span::Span(std::string_view name, std::string_view category)
   ts.path += name;
   ++ts.depth;
   active_ = true;
+  // Flight recorder (armed only during live-telemetry runs): publish
+  // this thread's new live path so a post-mortem can print per-thread
+  // span stacks. One relaxed load when disarmed.
+  if (FlightRecorder::armed()) {
+    FlightRecorder::instance().publish_thread_path(ts.path);
+  }
   start_us_ = now_us();
 }
 
@@ -83,6 +90,14 @@ Span::~Span() {
   ThreadState& ts = thread_state();
   add_phase(ts.path, dur_us * 1e-6, 1);
   if (tracing()) trace_complete_event(ts.path, category_, start_us_, dur_us);
+  if (FlightRecorder::armed()) {
+    FlightRecorder& fr = FlightRecorder::instance();
+    fr.record_span(ts.path, start_us_, dur_us);
+    // prev_len_ bytes of ts.path survive the resize below: publish the
+    // popped path now so the live slot never points at a closed span.
+    fr.publish_thread_path(
+        std::string_view(ts.path.data(), prev_len_));
+  }
   ts.path.resize(prev_len_);
   --ts.depth;
 }

@@ -1,0 +1,62 @@
+#include "obs/telemetry.hpp"
+
+#include <chrono>
+#include <utility>
+
+#include "obs/crash.hpp"
+#include "obs/export.hpp"
+#include "obs/flight.hpp"
+
+namespace g5::obs {
+
+Telemetry::Telemetry(TelemetryConfig config) : cfg_(std::move(config)) {
+  // Arm and take the first sample synchronously, before the thread
+  // exists: a status file is on disk when the constructor returns.
+  if (cfg_.arm_flight) FlightRecorder::instance().arm();
+  sample();
+  thread_ = util::Thread("g5-telemetry", [this] { loop(); });
+}
+
+Telemetry::~Telemetry() { stop(); }
+
+void Telemetry::stop() {
+  {
+    const util::MutexLock lock(mutex_);
+    stop_requested_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) {
+    thread_.join();
+    // Final sample after the join: the exported documents reflect the
+    // run's end state, not the last periodic tick.
+    sample();
+  }
+}
+
+void Telemetry::sample_now() { sample(); }
+
+void Telemetry::loop() {
+  for (;;) {
+    {
+      const util::MutexLock lock(mutex_);
+      if (stop_requested_) return;
+      cv_.wait_for(mutex_, std::chrono::milliseconds(cfg_.period_ms));
+      if (stop_requested_) return;
+    }
+    sample();
+  }
+}
+
+void Telemetry::sample() {
+  if (!cfg_.status_path.empty()) {
+    atomic_write_file(cfg_.status_path, build_status_json());
+  }
+  if (!cfg_.prom_path.empty()) {
+    atomic_write_file(cfg_.prom_path, prometheus_text());
+  }
+  // Keep the crash dump's pre-serialized state at most one period old.
+  if (crash::installed()) crash::refresh();
+  samples_.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace g5::obs

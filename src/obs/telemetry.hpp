@@ -1,0 +1,66 @@
+// Background telemetry sampler: the live half of the obs layer.
+//
+// Telemetry is an RAII sampler thread ("g5-telemetry") that, every
+// `period_ms`:
+//   * builds the status document (obs/export.hpp) and writes it to
+//     `status_path` atomically (temp + rename);
+//   * writes the Prometheus text exposition to `prom_path`;
+//   * refreshes the crash post-mortem caches (obs/crash.hpp) so a dump
+//     taken mid-run carries a registry section at most one period old.
+//
+// Construction arms the flight recorder (unless arm_flight = false) and
+// takes an immediate first sample, so a status file exists within
+// milliseconds of startup. stop() is idempotent (clean double-stop) and
+// takes a final sample after the join, so the last document reflects
+// the run's end state. The sampler only ever *reads* metrics —
+// simulation physics is bitwise-identical with the sampler on or off
+// (tests/obs_telemetry_test.cpp holds that).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "util/mutex.hpp"
+#include "util/thread.hpp"
+
+namespace g5::obs {
+
+struct TelemetryConfig {
+  unsigned period_ms = 1000;  ///< sampling period (default 1 s)
+  std::string status_path;    ///< status JSON ("" = don't write)
+  std::string prom_path;      ///< Prometheus text ("" = don't write)
+  bool arm_flight = true;     ///< arm the flight recorder on start
+};
+
+class Telemetry {
+ public:
+  explicit Telemetry(TelemetryConfig config);
+  ~Telemetry();
+  Telemetry(const Telemetry&) = delete;
+  Telemetry& operator=(const Telemetry&) = delete;
+
+  /// Stop the sampler and take a final sample. Idempotent.
+  void stop();
+
+  /// One synchronous sample on the calling thread (tests, final flush).
+  void sample_now();
+
+  [[nodiscard]] std::uint64_t samples() const noexcept {
+    return samples_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void loop();
+  void sample();
+
+  TelemetryConfig cfg_;
+  util::Mutex mutex_;
+  util::CondVar cv_;
+  bool stop_requested_ G5_GUARDED_BY(mutex_) = false;
+  std::atomic<std::uint64_t> samples_{0};
+  util::Thread thread_;  ///< last member: started in the ctor body, after
+                         ///< the eager first sample
+};
+
+}  // namespace g5::obs

@@ -10,6 +10,7 @@
 #include "obs/registry.hpp"
 #include "obs/span.hpp"
 #include "util/mutex.hpp"
+#include "util/thread.hpp"
 
 namespace g5::obs {
 
@@ -32,6 +33,9 @@ struct TraceState {
   std::size_t cap G5_GUARDED_BY(mutex) = 0;
   std::uint64_t dropped G5_GUARDED_BY(mutex) = 0;
   std::map<std::thread::id, std::uint32_t> tids G5_GUARDED_BY(mutex);
+  /// Thread name captured when the tid slot was assigned (set via
+  /// util::set_current_thread_name; empty for unnamed threads).
+  std::map<std::uint32_t, std::string> names G5_GUARDED_BY(mutex);
   std::uint32_t next_tid G5_GUARDED_BY(mutex) = 1;
 };
 
@@ -44,7 +48,10 @@ std::uint32_t tid_locked(TraceState& s)
     G5_REQUIRES(s.mutex) {
   const auto id = std::this_thread::get_id();
   auto& slot = s.tids[id];
-  if (slot == 0) slot = s.next_tid++;
+  if (slot == 0) {
+    slot = s.next_tid++;
+    s.names[slot] = util::current_thread_name();
+  }
   return slot;
 }
 
@@ -155,14 +162,23 @@ bool write_trace(const std::string& path) {
                    finite_or_zero(ev.dur_us));
     }
   }
-  // Thread-name metadata so the viewer labels the lanes.
+  // Thread-name metadata so the viewer labels the lanes: real names
+  // (g5-main, g5-pool-N, g5-submit, ...) when the thread was named via
+  // util::set_current_thread_name, "thread-N" otherwise.
   for (const auto& [id, tid] : s.tids) {
     static_cast<void>(id);
     if (!first) std::fputc(',', f);
     first = false;
     std::fprintf(f, "\n{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,"
-                    "\"tid\":%u,\"args\":{\"name\":\"thread-%u\"}}",
-                 tid, tid);
+                    "\"tid\":%u,\"args\":{\"name\":",
+                 tid);
+    const auto it = s.names.find(tid);
+    if (it != s.names.end() && !it->second.empty()) {
+      write_json_string(f, it->second);
+    } else {
+      std::fprintf(f, "\"thread-%u\"", tid);
+    }
+    std::fprintf(f, "}}");
   }
   // Registry snapshot rides along for offline inspection.
   std::fprintf(f, "\n],\"displayTimeUnit\":\"ms\",\"otherData\":{"

@@ -1,0 +1,164 @@
+#include "util/http.hpp"
+
+#include <cstdio>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+#define G5_HTTP_SUPPORTED 1
+#else
+#define G5_HTTP_SUPPORTED 0
+#endif
+
+namespace g5::util {
+
+namespace {
+
+const char* status_text(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    default: return "Status";
+  }
+}
+
+}  // namespace
+
+#if G5_HTTP_SUPPORTED
+
+HttpListener::HttpListener(std::uint16_t port, Handler handler)
+    : handler_(std::move(handler)) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) throw std::runtime_error("http: cannot create socket");
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);  // loopback only
+  addr.sin_port = htons(port);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+          0 ||
+      ::listen(listen_fd_, 4) != 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error("http: cannot bind 127.0.0.1:" +
+                             std::to_string(port));
+  }
+  sockaddr_in bound;
+  socklen_t len = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len) ==
+      0) {
+    port_ = ntohs(bound.sin_port);
+  } else {
+    port_ = port;
+  }
+  thread_ = Thread("g5-http", [this] { loop(); });
+}
+
+HttpListener::~HttpListener() { stop(); }
+
+void HttpListener::stop() {
+  stop_.store(true, std::memory_order_relaxed);
+  thread_.join();  // idempotent: join() no-ops when already joined
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+void HttpListener::loop() {
+  while (!stop_.load(std::memory_order_relaxed)) {
+    pollfd pfd{};
+    pfd.fd = listen_fd_;
+    pfd.events = POLLIN;
+    const int r = ::poll(&pfd, 1, 200);  // short timeout: stop_ checks
+    if (r <= 0) continue;
+    const int client = ::accept(listen_fd_, nullptr, nullptr);
+    if (client < 0) continue;
+    serve_one(client);
+    ::close(client);
+  }
+}
+
+void HttpListener::serve_one(int client_fd) {
+  // Slow-client guard: a scraper that stalls mid-request can hold the
+  // single connection for at most the socket timeout.
+  timeval tv{};
+  tv.tv_sec = 2;
+  ::setsockopt(client_fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  ::setsockopt(client_fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+
+  char buf[4096];
+  std::size_t got = 0;
+  while (got < sizeof(buf) - 1) {
+    const ssize_t n = ::recv(client_fd, buf + got, sizeof(buf) - 1 - got, 0);
+    if (n <= 0) break;
+    got += static_cast<std::size_t>(n);
+    buf[got] = '\0';
+    if (std::strstr(buf, "\r\n\r\n") != nullptr ||
+        std::strstr(buf, "\n\n") != nullptr) {
+      break;
+    }
+  }
+  buf[got] = '\0';
+
+  HttpResponse resp;
+  const std::string_view req(buf, got);
+  if (req.substr(0, 4) == "GET ") {
+    const std::size_t path_end = req.find(' ', 4);
+    if (path_end != std::string_view::npos) {
+      std::string_view path = req.substr(4, path_end - 4);
+      const std::size_t q = path.find('?');
+      if (q != std::string_view::npos) path = path.substr(0, q);
+      resp = handler_(path);
+    } else {
+      resp = {400, "text/plain", "bad request\n"};
+    }
+  } else if (got == 0) {
+    return;  // client connected and went away
+  } else {
+    resp = {405, "text/plain", "method not allowed\n"};
+  }
+
+  char head[256];
+  const int head_len = std::snprintf(
+      head, sizeof(head),
+      "HTTP/1.1 %d %s\r\nContent-Type: %s\r\nContent-Length: %zu\r\n"
+      "Connection: close\r\n\r\n",
+      resp.status, status_text(resp.status), resp.content_type.c_str(),
+      resp.body.size());
+  if (head_len <= 0) return;
+  std::string out(head, static_cast<std::size_t>(head_len));
+  out += resp.body;
+  std::size_t sent = 0;
+  while (sent < out.size()) {
+    const ssize_t n =
+        ::send(client_fd, out.data() + sent, out.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) break;
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+#else  // !G5_HTTP_SUPPORTED
+
+HttpListener::HttpListener(std::uint16_t, Handler handler)
+    : handler_(std::move(handler)) {
+  throw std::runtime_error("http: not supported on this platform");
+}
+HttpListener::~HttpListener() = default;
+void HttpListener::stop() {}
+void HttpListener::loop() {}
+void HttpListener::serve_one(int) {}
+
+#endif  // G5_HTTP_SUPPORTED
+
+}  // namespace g5::util

@@ -1,0 +1,61 @@
+// Minimal single-connection HTTP listener for live telemetry.
+//
+// HttpListener binds 127.0.0.1:<port> (port 0 = kernel-assigned, read
+// it back with port()) and serves GET requests one connection at a
+// time on a background util::Thread ("g5-http"): accept, parse the
+// request line, call the handler, write the response, close. That is
+// exactly enough for `curl`/Prometheus scrapes of g5run --live-port —
+// it is not a general web server and never will be: no keep-alive, no
+// TLS, no concurrency, loopback only.
+//
+// The accept loop polls with a short timeout and checks a stop flag,
+// so stop()/destruction joins promptly without racing a close() against
+// a blocked accept().
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+
+#include "util/thread.hpp"
+
+namespace g5::util {
+
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "text/plain";
+  std::string body;
+};
+
+class HttpListener {
+ public:
+  /// Called on the listener thread with the request path ("/status").
+  using Handler = std::function<HttpResponse(std::string_view path)>;
+
+  /// Binds and starts serving. Throws std::runtime_error when the
+  /// port cannot be bound (already in use, no socket support).
+  HttpListener(std::uint16_t port, Handler handler);
+  ~HttpListener();
+  HttpListener(const HttpListener&) = delete;
+  HttpListener& operator=(const HttpListener&) = delete;
+
+  /// The bound port (the kernel's pick when constructed with 0).
+  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+
+  /// Stop accepting and join the listener thread. Idempotent.
+  void stop();
+
+ private:
+  void loop();
+  void serve_one(int client_fd);
+
+  Handler handler_;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::atomic<bool> stop_{false};
+  Thread thread_;  ///< started in the ctor body, after the bind succeeds
+};
+
+}  // namespace g5::util

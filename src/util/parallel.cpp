@@ -1,10 +1,12 @@
 #include "util/parallel.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <cstdlib>
 #include <utility>
 
 #include "obs/span.hpp"
+#include "util/thread.hpp"
 
 namespace g5::util {
 
@@ -58,6 +60,9 @@ void ThreadPool::run_chunks(unsigned lane) {
 }
 
 void ThreadPool::worker_loop(unsigned lane) {
+  char name[kThreadNameCap];
+  std::snprintf(name, sizeof(name), "g5-pool-%u", lane);
+  set_current_thread_name(name);
   std::uint64_t seen = 0;
   for (;;) {
     {

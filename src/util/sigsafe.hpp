@@ -1,0 +1,168 @@
+// Async-signal-safe text formatting into a caller-owned buffer.
+//
+// The crash post-mortem path (obs/crash.hpp) runs inside SIGSEGV/SIGABRT
+// handlers where malloc, snprintf and iostreams are all off-limits: the
+// only allowed operations are plain memory writes and a short list of
+// syscalls. SigsafeWriter is the formatting half of that contract — an
+// appender over a fixed char buffer that renders integers, doubles and
+// JSON-escaped strings with no allocation, no locale and no libc
+// formatting calls, so a handler can serialize a JSON document and hand
+// it straight to write(2).
+//
+// Doubles render with ~9 significant digits (decimal or scientific,
+// whichever is shorter to place); non-finite values render as the JSON
+// literal `null`. Overflowing the buffer sets truncated() and drops the
+// excess — the output stays a prefix of the intended text, never
+// garbage.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace g5::util {
+
+class SigsafeWriter {
+ public:
+  SigsafeWriter(char* buf, std::size_t cap) noexcept : buf_(buf), cap_(cap) {}
+  SigsafeWriter(const SigsafeWriter&) = delete;
+  SigsafeWriter& operator=(const SigsafeWriter&) = delete;
+
+  [[nodiscard]] const char* data() const noexcept { return buf_; }
+  [[nodiscard]] std::size_t size() const noexcept { return len_; }
+  [[nodiscard]] bool truncated() const noexcept { return truncated_; }
+  void clear() noexcept {
+    len_ = 0;
+    truncated_ = false;
+  }
+
+  void append_char(char c) noexcept {
+    if (len_ >= cap_) {
+      truncated_ = true;
+      return;
+    }
+    buf_[len_++] = c;
+  }
+
+  void append(std::string_view s) noexcept {
+    for (const char c : s) append_char(c);
+  }
+
+  void append_u64(std::uint64_t v) noexcept {
+    char tmp[20];
+    std::size_t n = 0;
+    do {
+      tmp[n++] = static_cast<char>('0' + (v % 10));
+      v /= 10;
+    } while (v != 0);
+    while (n > 0) append_char(tmp[--n]);
+  }
+
+  void append_i64(std::int64_t v) noexcept {
+    std::uint64_t mag = 0;
+    if (v < 0) {
+      append_char('-');
+      // Negate via unsigned arithmetic so INT64_MIN stays defined.
+      mag = ~static_cast<std::uint64_t>(v) + 1;
+    } else {
+      mag = static_cast<std::uint64_t>(v);
+    }
+    append_u64(mag);
+  }
+
+  /// JSON-safe double: `null` for NaN/Inf, otherwise ~9 significant
+  /// digits in plain or scientific notation.
+  void append_double(double v) noexcept {
+    if (!(v == v) || v > kMaxDouble || v < -kMaxDouble) {
+      append("null");
+      return;
+    }
+    if (v == 0.0) {
+      append_char('0');
+      return;
+    }
+    if (v < 0.0) {
+      append_char('-');
+      v = -v;
+    }
+    // Decimal normalization: v = m * 10^exp10 with m in [1, 10). The
+    // repeated scaling loses ~1 ulp per decade — invisible at the 9
+    // significant digits rendered below.
+    int exp10 = 0;
+    double m = v;
+    while (m >= 10.0) {
+      m /= 10.0;
+      ++exp10;
+    }
+    while (m < 1.0) {
+      m *= 10.0;
+      --exp10;
+    }
+    auto digits = static_cast<std::uint64_t>(m * 1e8 + 0.5);
+    if (digits >= 1000000000ULL) {  // 9.999999996 rounded up a decade
+      digits /= 10;
+      ++exp10;
+    }
+    char dig[9];
+    for (int i = 8; i >= 0; --i) {
+      dig[i] = static_cast<char>('0' + (digits % 10));
+      digits /= 10;
+    }
+    int ndig = 9;
+    while (ndig > 1 && dig[ndig - 1] == '0') --ndig;
+
+    if (exp10 >= 0 && exp10 <= 15) {
+      // Plain notation, decimal point after exp10 + 1 digits.
+      const int int_digits = exp10 + 1;
+      for (int i = 0; i < int_digits; ++i) {
+        append_char(i < ndig ? dig[i] : '0');
+      }
+      if (ndig > int_digits) {
+        append_char('.');
+        for (int i = int_digits; i < ndig; ++i) append_char(dig[i]);
+      }
+    } else if (exp10 < 0 && exp10 >= -5) {
+      append("0.");
+      for (int i = 0; i < -exp10 - 1; ++i) append_char('0');
+      for (int i = 0; i < ndig; ++i) append_char(dig[i]);
+    } else {
+      append_char(dig[0]);
+      if (ndig > 1) {
+        append_char('.');
+        for (int i = 1; i < ndig; ++i) append_char(dig[i]);
+      }
+      append_char('e');
+      append_i64(exp10);
+    }
+  }
+
+  /// `"..."` with JSON escaping for quotes, backslashes and controls.
+  void append_json_string(std::string_view s) noexcept {
+    append_char('"');
+    for (const char c : s) {
+      const auto u = static_cast<unsigned char>(c);
+      if (c == '"' || c == '\\') {
+        append_char('\\');
+        append_char(c);
+      } else if (u < 0x20) {
+        append("\\u00");
+        append_char(kHex[(u >> 4) & 0xF]);
+        append_char(kHex[u & 0xF]);
+      } else {
+        append_char(c);
+      }
+    }
+    append_char('"');
+  }
+
+ private:
+  static constexpr double kMaxDouble = 1.7976931348623157e308;
+  static constexpr char kHex[] = "0123456789abcdef";
+
+  char* buf_;
+  std::size_t cap_;
+  std::size_t len_ = 0;
+  bool truncated_ = false;
+};
+
+}  // namespace g5::util

@@ -8,18 +8,63 @@
 // annotated Mutex/CondVar primitives it must synchronize through.
 // Thread is deliberately minimal: construct with a callable, join on
 // destruction (or explicitly earlier), move-only.
+//
+// Thread *names* live here too: set_current_thread_name() records a
+// short name in a thread-local buffer (readable lock-free, including
+// from signal handlers — the post-mortem span dump) and forwards it to
+// pthread_setname_np so TSan reports, /proc and Chrome trace metadata
+// all show "g5-pool-3" instead of an anonymous tid. Names follow the
+// pthread limit: 15 characters plus NUL, longer names truncate.
 #pragma once
 
 #include <thread>
 #include <utility>
 
+#if defined(__linux__)
+#include <pthread.h>
+#endif
+
 namespace g5::util {
+
+/// pthread name limit: 15 characters + NUL.
+inline constexpr std::size_t kThreadNameCap = 16;
+
+namespace detail {
+inline thread_local char t_thread_name[kThreadNameCap] = {};
+}  // namespace detail
+
+/// Names the calling thread (truncated to 15 chars). Also forwarded to
+/// the OS where supported, so debuggers and sanitizers see it.
+inline void set_current_thread_name(const char* name) noexcept {
+  std::size_t i = 0;
+  for (; i + 1 < kThreadNameCap && name[i] != '\0'; ++i) {
+    detail::t_thread_name[i] = name[i];
+  }
+  detail::t_thread_name[i] = '\0';
+#if defined(__linux__)
+  pthread_setname_np(pthread_self(), detail::t_thread_name);
+#endif
+}
+
+/// The calling thread's name ("" until set). The pointer stays valid
+/// for the thread's lifetime; safe to read from a signal handler.
+[[nodiscard]] inline const char* current_thread_name() noexcept {
+  return detail::t_thread_name;
+}
 
 class Thread {
  public:
   Thread() = default;
   template <typename Fn>
   explicit Thread(Fn&& fn) : t_(std::forward<Fn>(fn)) {}
+  /// Named thread: `name` must be a literal (or otherwise outlive the
+  /// thread's startup); it is applied on the new thread before `fn`.
+  template <typename Fn>
+  Thread(const char* name, Fn&& fn)
+      : t_([name, fn = std::forward<Fn>(fn)]() mutable {
+          set_current_thread_name(name);
+          fn();
+        }) {}
   ~Thread() {
     if (t_.joinable()) t_.join();
   }

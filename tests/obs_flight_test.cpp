@@ -1,0 +1,173 @@
+// Flight recorder: bounded seqlock rings for steps, span events and
+// per-thread live span paths. In the TSan CI job's filter together with
+// the telemetry/crash suites — the rings are written by the simulation
+// and span hooks while the sampler (or a crash handler) reads them.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/obs.hpp"
+#include "util/parallel.hpp"
+#include "util/thread.hpp"
+
+namespace {
+
+using namespace g5;
+
+class ObsFlightEnv : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    obs::FlightRecorder::instance().clear();
+    obs::FlightRecorder::instance().arm();
+  }
+  void TearDown() override {
+    obs::FlightRecorder::instance().disarm();
+    obs::FlightRecorder::instance().clear();
+    obs::set_enabled(false);
+  }
+};
+
+using ObsFlight = ObsFlightEnv;
+
+obs::StepMetrics step_record(std::uint64_t step) {
+  obs::StepMetrics m;
+  m.step = step;
+  m.t_sim = static_cast<double>(step) * 0.01;
+  m.interactions = step * 100;
+  return m;
+}
+
+TEST_F(ObsFlight, StepRingKeepsTheLastKRecords) {
+  auto& fr = obs::FlightRecorder::instance();
+  const std::uint64_t total = obs::FlightRecorder::kStepCapacity + 36;
+  for (std::uint64_t s = 1; s <= total; ++s) fr.record_step(step_record(s));
+  EXPECT_EQ(fr.step_count(), total);
+
+  const std::vector<obs::StepMetrics> steps = fr.last_steps();
+  ASSERT_EQ(steps.size(), obs::FlightRecorder::kStepCapacity);
+  // Oldest-to-newest, ending at the last recorded step.
+  EXPECT_EQ(steps.front().step, total - obs::FlightRecorder::kStepCapacity + 1);
+  EXPECT_EQ(steps.back().step, total);
+  for (std::size_t i = 1; i < steps.size(); ++i) {
+    EXPECT_EQ(steps[i].step, steps[i - 1].step + 1);
+  }
+  EXPECT_EQ(steps.back().interactions, total * 100);
+}
+
+TEST_F(ObsFlight, SignalSafeReaderRejectsUnwrittenSlots) {
+  auto& fr = obs::FlightRecorder::instance();
+  obs::StepMetrics out;
+  EXPECT_FALSE(fr.read_step(0, &out));
+  fr.record_step(step_record(7));
+  ASSERT_TRUE(fr.read_step(0, &out));
+  EXPECT_EQ(out.step, 7u);
+  EXPECT_FALSE(fr.read_step(1, &out));
+}
+
+TEST_F(ObsFlight, ClearResetsCountsButStaysArmed) {
+  auto& fr = obs::FlightRecorder::instance();
+  fr.record_step(step_record(1));
+  fr.record_span("/a/b", 0.0, 1.0);
+  fr.clear();
+  EXPECT_EQ(fr.step_count(), 0u);
+  EXPECT_EQ(fr.span_count(), 0u);
+  EXPECT_TRUE(obs::FlightRecorder::armed());
+  EXPECT_TRUE(fr.last_steps().empty());
+  EXPECT_TRUE(fr.last_spans().empty());
+}
+
+TEST_F(ObsFlight, SpanDestructorRecordsEventsWhenArmed) {
+  obs::set_enabled(true);
+  obs::reset_phases();
+  auto& fr = obs::FlightRecorder::instance();
+  fr.clear();
+  {
+    obs::Span outer("outer", "test");
+    { obs::Span inner("inner", "test"); }
+  }
+  const std::vector<obs::SpanEvent> spans = fr.last_spans();
+  ASSERT_EQ(spans.size(), 2u);
+  // Completion order: inner closes first.
+  EXPECT_STREQ(spans[0].path, "/outer/inner");
+  EXPECT_STREQ(spans[1].path, "/outer");
+  EXPECT_GE(spans[0].dur_us, 0.0);
+}
+
+TEST_F(ObsFlight, DisarmedSpansRecordNothing) {
+  obs::set_enabled(true);
+  obs::reset_phases();
+  auto& fr = obs::FlightRecorder::instance();
+  fr.disarm();
+  fr.clear();
+  { obs::Span s("quiet", "test"); }
+  EXPECT_EQ(fr.span_count(), 0u);
+}
+
+TEST_F(ObsFlight, ThreadPathsNameTheRecordingThreads) {
+  obs::set_enabled(true);
+  obs::reset_phases();
+  util::set_current_thread_name("g5-test-main");
+  auto& fr = obs::FlightRecorder::instance();
+  fr.clear();
+  // Search by name: thread slots persist across tests, so other (dead)
+  // threads may still occupy entries.
+  const auto find_me = [&fr]() -> std::string {
+    for (const obs::ThreadPath& tp : fr.thread_paths()) {
+      if (std::string(tp.thread) == "g5-test-main") return tp.path;
+    }
+    return "<absent>";
+  };
+  {
+    obs::Span s("phase", "test");
+    EXPECT_EQ(find_me(), "/phase");
+  }
+  // After the span closes the slot holds the (empty) parent path.
+  EXPECT_EQ(find_me(), "");
+}
+
+TEST_F(ObsFlight, SpanRingIsBoundedUnderManyWriters) {
+  obs::set_enabled(true);
+  obs::reset_phases();
+  auto& fr = obs::FlightRecorder::instance();
+  fr.clear();
+  util::ThreadPool pool(4);
+  pool.parallel_for(512, 1, [](std::size_t, std::size_t, unsigned) {
+    obs::Span s("burst", "test");
+  });
+  EXPECT_GE(fr.span_count(), 512u);
+  EXPECT_LE(fr.last_spans().size(), obs::FlightRecorder::kSpanCapacity);
+}
+
+// Satellite: trace metadata carries real thread names. A traced run
+// with worker lanes must label them g5-pool-N, not thread-N.
+TEST_F(ObsFlight, TraceMetadataUsesRealThreadNames) {
+  obs::set_enabled(true);
+  obs::reset_phases();
+  util::set_current_thread_name("g5-test-main");
+  obs::start_trace();
+  {
+    util::ThreadPool pool(2);
+    pool.parallel_for(64, 1, [](std::size_t, std::size_t, unsigned) {
+      obs::Span s("lane", "test");
+    });
+  }
+  obs::stop_trace();
+  const std::string path = ::testing::TempDir() + "flight_trace_names.json";
+  ASSERT_TRUE(obs::write_trace(path));
+  std::ifstream in(path);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  const std::string doc = ss.str();
+  EXPECT_NE(doc.find("\"thread_name\""), std::string::npos);
+  EXPECT_NE(doc.find("\"g5-pool-1\""), std::string::npos);
+  EXPECT_NE(doc.find("\"g5-test-main\""), std::string::npos);
+  std::remove(path.c_str());
+}
+
+}  // namespace

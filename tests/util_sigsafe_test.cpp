@@ -1,0 +1,121 @@
+// SigsafeWriter: the no-allocation, no-stdio formatter the crash
+// handler serializes post-mortems with. Since it hand-rolls double
+// formatting, the tests pin the exact output for representative values
+// and round-trip everything else through strtod.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <limits>
+#include <string>
+
+#include "util/sigsafe.hpp"
+
+namespace {
+
+using g5::util::SigsafeWriter;
+
+std::string format_u64(std::uint64_t v) {
+  char buf[64];
+  SigsafeWriter w(buf, sizeof(buf));
+  w.append_u64(v);
+  return std::string(buf, w.size());
+}
+
+std::string format_i64(std::int64_t v) {
+  char buf[64];
+  SigsafeWriter w(buf, sizeof(buf));
+  w.append_i64(v);
+  return std::string(buf, w.size());
+}
+
+std::string format_double(double v) {
+  char buf[64];
+  SigsafeWriter w(buf, sizeof(buf));
+  w.append_double(v);
+  return std::string(buf, w.size());
+}
+
+TEST(UtilSigsafe, UnsignedIntegers) {
+  EXPECT_EQ(format_u64(0), "0");
+  EXPECT_EQ(format_u64(7), "7");
+  EXPECT_EQ(format_u64(1234567890123456789ULL), "1234567890123456789");
+  EXPECT_EQ(format_u64(std::numeric_limits<std::uint64_t>::max()),
+            "18446744073709551615");
+}
+
+TEST(UtilSigsafe, SignedIntegers) {
+  EXPECT_EQ(format_i64(0), "0");
+  EXPECT_EQ(format_i64(-1), "-1");
+  EXPECT_EQ(format_i64(42), "42");
+  EXPECT_EQ(format_i64(std::numeric_limits<std::int64_t>::min()),
+            "-9223372036854775808");
+  EXPECT_EQ(format_i64(std::numeric_limits<std::int64_t>::max()),
+            "9223372036854775807");
+}
+
+TEST(UtilSigsafe, DoubleSpecialValues) {
+  // JSON has no NaN/Inf literals; the writer must emit null so the
+  // document stays parseable no matter what a gauge held at crash time.
+  EXPECT_EQ(format_double(std::numeric_limits<double>::quiet_NaN()), "null");
+  EXPECT_EQ(format_double(std::numeric_limits<double>::infinity()), "null");
+  EXPECT_EQ(format_double(-std::numeric_limits<double>::infinity()), "null");
+  EXPECT_EQ(format_double(0.0), "0");
+  EXPECT_EQ(format_double(-0.0), "0");
+}
+
+TEST(UtilSigsafe, DoublePlainNotation) {
+  EXPECT_EQ(format_double(1.0), "1");
+  EXPECT_EQ(format_double(-2.5), "-2.5");
+  EXPECT_EQ(format_double(1000.0), "1000");
+  EXPECT_EQ(format_double(0.001), "0.001");
+}
+
+TEST(UtilSigsafe, DoubleRoundTripsThroughStrtod) {
+  // 9 significant digits: parse-back must agree to ~1e-8 relative.
+  const double cases[] = {3.14159265358979,  1.5e-7,   6.02e23, -1.23456789e-12,
+                          0.12345678901234,  8.125,    1e15,    1e16,
+                          -9.87654321098765, 4.9e-324, 1e-5,    123456.789};
+  for (const double v : cases) {
+    const std::string s = format_double(v);
+    const double back = std::strtod(s.c_str(), nullptr);
+    if (v == 0.0) {
+      EXPECT_EQ(back, 0.0) << s;
+    } else {
+      EXPECT_NEAR(back / v, 1.0, 1e-7) << "formatted '" << s << "' from " << v;
+    }
+  }
+}
+
+TEST(UtilSigsafe, JsonStringEscaping) {
+  char buf[128];
+  SigsafeWriter w(buf, sizeof(buf));
+  w.append_json_string("a\"b\\c\n\t\x01z");
+  EXPECT_EQ(std::string(buf, w.size()),
+            "\"a\\\"b\\\\c\\u000a\\u0009\\u0001z\"");
+}
+
+TEST(UtilSigsafe, TruncationIsDetectedNotOverflowed) {
+  char buf[8];
+  SigsafeWriter w(buf, sizeof(buf));
+  w.append("12345678901234567890");
+  EXPECT_TRUE(w.truncated());
+  EXPECT_LE(w.size(), sizeof(buf));
+  // Whatever fit must be a prefix of the input.
+  EXPECT_EQ(std::string(buf, w.size()), "12345678");
+}
+
+TEST(UtilSigsafe, ClearRestartsTheBuffer) {
+  char buf[32];
+  SigsafeWriter w(buf, sizeof(buf));
+  w.append("hello");
+  w.clear();
+  EXPECT_EQ(w.size(), 0u);
+  EXPECT_FALSE(w.truncated());
+  w.append_char('x');
+  EXPECT_EQ(std::string(buf, w.size()), "x");
+}
+
+}  // namespace

@@ -2,16 +2,22 @@
 """Validate g5 observability artifacts against their checked-in schemas.
 
 Usage:
-  check_trace.py trace   FILE [--schema tools/schema/trace.schema.json]
-  check_trace.py metrics FILE [--schema tools/schema/metrics.schema.json]
-  check_trace.py timing  FILE [--schema tools/schema/timing.schema.json]
-  check_trace.py report  FILE [--schema tools/schema/report.schema.json]
+  check_trace.py trace      FILE [--schema tools/schema/trace.schema.json]
+  check_trace.py metrics    FILE [--schema tools/schema/metrics.schema.json]
+  check_trace.py timing     FILE [--schema tools/schema/timing.schema.json]
+  check_trace.py report     FILE [--schema tools/schema/report.schema.json]
+  check_trace.py status     FILE [--schema tools/schema/status.schema.json]
+  check_trace.py postmortem FILE [--schema tools/schema/postmortem.schema.json]
 
 `trace` validates a Chrome trace written by g5run --trace (or
 obs::write_trace); `metrics` validates a JSON-lines file written by
 g5run --metrics (one obs::StepMetrics object per line); `timing`
 validates the g5run --timing-json phase/metric breakdown; `report`
-validates the g5run --report paper-claims artifact.
+validates the g5run --report paper-claims artifact; `status` validates
+the live telemetry document written by g5run --status-file (the
+last_step object is additionally validated against the full StepMetrics
+schema); `postmortem` validates a crash dump written by g5run
+--postmortem (obs::crash).
 
 The validator implements the small JSON-Schema subset the schemas use
 (type — including nullable type lists, required, properties,
@@ -137,10 +143,53 @@ def check_timing(doc, schema, errors):
             check_histogram_summary(entry, path, errors)
 
 
+def check_status(doc, schema, schema_dir, errors):
+    validate(doc, schema, "$", errors)
+    # The embedded last_step object is the same serialization the JSONL
+    # sink writes; hold it to the full StepMetrics schema.
+    last = doc.get("last_step")
+    if isinstance(last, dict):
+        metrics_path = os.path.join(schema_dir, "metrics.schema.json")
+        with open(metrics_path, encoding="utf-8") as f:
+            validate(last, json.load(f), "$.last_step", errors)
+    hists = doc.get("histograms")
+    if isinstance(hists, dict):
+        for name, value in hists.items():
+            if isinstance(value, dict):
+                check_histogram_summary(value, f"$.histograms.{name}",
+                                        errors)
+
+
+def check_postmortem(doc, schema, errors):
+    validate(doc, schema, "$", errors)
+    cause = doc.get("cause", {})
+    if isinstance(cause, dict) and cause.get("kind") == "signal" \
+            and "signal" not in cause:
+        errors.append("$.cause: kind 'signal' missing 'signal' number")
+    # Step records must be consecutive: the ring keeps the *last* K
+    # steps, so any gap means a torn read slipped through.
+    steps = doc.get("steps", [])
+    if isinstance(steps, list):
+        numbers = [s.get("step") for s in steps if isinstance(s, dict)]
+        for prev, cur in zip(numbers, numbers[1:]):
+            if isinstance(prev, int) and isinstance(cur, int) \
+                    and cur != prev + 1:
+                errors.append(f"$.steps: non-consecutive records "
+                              f"{prev} -> {cur}")
+                break
+    metrics = doc.get("metrics")
+    if isinstance(metrics, dict):
+        for name, value in metrics.get("histograms", {}).items():
+            if isinstance(value, dict):
+                check_histogram_summary(
+                    value, f"$.metrics.histograms.{name}", errors)
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("mode",
-                        choices=["trace", "metrics", "timing", "report"])
+                        choices=["trace", "metrics", "timing", "report",
+                                 "status", "postmortem"])
     parser.add_argument("file")
     parser.add_argument("--schema", default=None)
     args = parser.parse_args()
@@ -182,6 +231,12 @@ def main():
         elif args.mode == "timing":
             check_timing(doc, schema, errors)
             count = len(doc.get("metrics", []))
+        elif args.mode == "status":
+            check_status(doc, schema, schema_dir, errors)
+            count = 1
+        elif args.mode == "postmortem":
+            check_postmortem(doc, schema, errors)
+            count = len(doc.get("steps", []))
         else:
             validate(doc, schema, "$", errors)
             count = 1
@@ -191,7 +246,8 @@ def main():
             print(f"{args.file}: {err}", file=sys.stderr)
         return 1
     unit = {"trace": "events", "metrics": "records",
-            "timing": "metric entries", "report": "document"}[args.mode]
+            "timing": "metric entries", "report": "document",
+            "status": "document", "postmortem": "step records"}[args.mode]
     print(f"{args.file}: OK ({count} {unit})")
     return 0
 

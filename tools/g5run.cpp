@@ -52,13 +52,31 @@
 //   --probe-samples M    particles the probe re-evaluates exactly (64)
 //   --probe-seed S       probe sampling seed (deterministic subsets)
 //
+// Live telemetry & post-mortem (docs/observability.md):
+//   --status-file FILE   background sampler rewrites FILE atomically every
+//                        --status-period ms with the g5.status.v1 JSON
+//                        (heartbeat, ETA, device queue, flight recorder,
+//                        full metric registry)
+//   --status-period MS   sampler period in milliseconds (default 1000)
+//   --prom-file FILE     sampler also rewrites FILE in Prometheus text
+//                        exposition format (the full g5.* catalog)
+//   --live-port P        serve /status (JSON) and /metrics (Prometheus)
+//                        on 127.0.0.1:P (P=0 picks a free port)
+//   --postmortem FILE    install async-signal-safe crash handlers that
+//                        dump the flight recorder to FILE (g5.postmortem.v1)
+//                        on SIGSEGV/SIGABRT/SIGTERM/std::terminate
+//   --debug-crash S      abort() from the step hook at step S (exercises
+//                        the post-mortem path; used by tests/CI)
+//
 // Cosmological runs (--ic cosmo) integrate z=24 -> 0 with a log-a step
 // schedule (or --comoving for the comoving-coordinate integrator) and set
 // dt/eps from the lattice automatically.
 
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <limits>
+#include <optional>
 #include <stdexcept>
 #include <string>
 #include <string_view>
@@ -79,10 +97,12 @@
 #include "ic/zeldovich.hpp"
 #include "math/rng.hpp"
 #include "model/units.hpp"
+#include "util/http.hpp"
 #include "util/log.hpp"
 #include "util/options.hpp"
 #include "util/parallel.hpp"
 #include "util/table.hpp"
+#include "util/thread.hpp"
 
 namespace {
 
@@ -504,6 +524,7 @@ void write_report(const std::string& path,
 
 int main(int argc, char** argv) {
   try {
+    util::set_current_thread_name("g5-main");
     util::Options opt(argc, argv);
     if (opt.has("help")) {
       std::printf("see the header of tools/g5run.cpp for usage\n");
@@ -516,14 +537,57 @@ int main(int argc, char** argv) {
     const std::string metrics_path = opt.get_string("metrics", "");
     const std::string timing_json = opt.get_string("timing-json", "");
     const std::string report_path = opt.get_string("report", "");
+    const std::string status_path = opt.get_string("status-file", "");
+    const std::string prom_path = opt.get_string("prom-file", "");
+    const std::string postmortem_path = opt.get_string("postmortem", "");
+    const auto live_port = opt.get_int("live-port", -1);
+    const bool live =
+        !status_path.empty() || !prom_path.empty() || live_port >= 0;
     const bool timing = opt.get_bool("timing", false) || !timing_json.empty();
     if (timing || !trace_path.empty() || !metrics_path.empty() ||
-        !report_path.empty()) {
+        !report_path.empty() || live || !postmortem_path.empty()) {
       obs::set_enabled(true);
       obs::reset_phases();
       obs::Registry::instance().reset_values();
     }
     if (!trace_path.empty()) obs::start_trace();
+
+    // Crash post-mortem first, so even IC generation faults get a dump;
+    // then the live sampler (its ctor arms the flight recorder) and the
+    // loopback HTTP endpoint for `curl`/Prometheus scrapes.
+    if (!postmortem_path.empty()) {
+      obs::crash::install(postmortem_path);
+      obs::FlightRecorder::instance().arm();
+    }
+    std::optional<obs::Telemetry> telemetry;
+    if (live) {
+      obs::TelemetryConfig tc;
+      tc.period_ms =
+          static_cast<std::uint32_t>(opt.get_int("status-period", 1000));
+      tc.status_path = status_path;
+      tc.prom_path = prom_path;
+      telemetry.emplace(tc);
+    }
+    std::optional<util::HttpListener> http;
+    if (live_port >= 0) {
+      http.emplace(static_cast<std::uint16_t>(live_port),
+                   [](std::string_view path) {
+                     util::HttpResponse r;
+                     if (path == "/" || path == "/status") {
+                       r.content_type = "application/json";
+                       r.body = obs::build_status_json();
+                     } else if (path == "/metrics") {
+                       r.content_type = "text/plain; version=0.0.4";
+                       r.body = obs::prometheus_text();
+                     } else {
+                       r.status = 404;
+                       r.body = "not found\n";
+                     }
+                     return r;
+                   });
+      std::printf("g5run: live telemetry on http://127.0.0.1:%u/status\n",
+                  http->port());
+    }
 
     Prepared ic = prepare_ic(opt);
 
@@ -624,6 +688,20 @@ int main(int argc, char** argv) {
       sc.probe_seed = static_cast<std::uint64_t>(
           opt.get_int("probe-seed", 0x5eed));
       core::Simulation sim(*engine, sc);
+      // Deliberate mid-step abort for exercising the post-mortem path
+      // (the hook runs inside the step span, so the dump names it).
+      const auto debug_crash = opt.get_int("debug-crash", 0);
+      if (debug_crash > 0) {
+        sim.set_step_hook(
+            [debug_crash](std::uint64_t s, const model::ParticleSet&) {
+              if (s == static_cast<std::uint64_t>(debug_crash)) {
+                std::fprintf(stderr,
+                             "g5run: --debug-crash aborting at step %llu\n",
+                             static_cast<unsigned long long>(s));
+                std::abort();
+              }
+            });
+      }
       summary = sim.run(ic.pset);
       if (!metrics_path.empty()) std::printf("wrote %s\n", metrics_path.c_str());
     }
@@ -682,6 +760,14 @@ int main(int argc, char** argv) {
       core::write_snapshot_tipsy(out_path, ic.pset, 0.0, fp.eps);
       std::printf("wrote %s (TIPSY dark-only)\n", out_path.c_str());
     }
+    // Orderly telemetry shutdown: one final sample after the run so the
+    // exported files show the finished state, then close the endpoint.
+    if (telemetry) {
+      telemetry->stop();
+      if (!status_path.empty()) std::printf("wrote %s\n", status_path.c_str());
+      if (!prom_path.empty()) std::printf("wrote %s\n", prom_path.c_str());
+    }
+    if (http) http->stop();
     return 0;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "g5run: %s\n", e.what());
